@@ -1,0 +1,29 @@
+// Fig. 14: pipeline bubble ratio on 8 GPUs — DiffusionPipe vs GPipe vs
+// SPP, across batch sizes, for SD v2.1 and ControlNet v1.0.
+// Paper: DiffusionPipe < 5% (residual gap from profiled-vs-actual time
+// differences and the discreteness of layer times); baselines far higher.
+
+#include "bench_util.h"
+
+int main() {
+  using namespace dpipe;
+  using namespace dpipe::bench;
+
+  header("Fig. 14: measured pipeline bubble ratio on 8 GPUs");
+  std::printf("%-24s %7s %14s %8s %8s\n", "model", "batch", "DiffusionPipe",
+              "GPipe", "SPP");
+  for (const bool controlnet : {false, true}) {
+    const ModelDesc model =
+        controlnet ? make_controlnet_v10() : make_stable_diffusion_v21();
+    const Testbed t(model, 1);
+    for (const double batch : {128.0, 256.0}) {
+      const PlannedRun ours = run_diffusionpipe(model, t.cluster, batch);
+      const BaselineReport gpipe = run_gpipe_baseline(t.db, t.comm, batch);
+      const BaselineReport spp = run_spp_baseline(t.db, t.comm, batch);
+      std::printf("%-24s %7.0f %13.1f%% %7.1f%% %7.1f%%\n",
+                  model.name.c_str(), batch, 100.0 * ours.bubble_ratio,
+                  100.0 * gpipe.bubble_ratio, 100.0 * spp.bubble_ratio);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Fig. 15: ablation on 8 GPUs — full DiffusionPipe vs disabling the
+// partial-batch layer design vs disabling bubble filling entirely.
+// Paper (ControlNet @ batch 256): -10.9% without partial-batch layers,
+// -17.6% without any filling; at batch 384 no-partial ~= no-fill because
+// the extra-long layer blocks everything.
+
+#include "bench_util.h"
+
+int main() {
+  using namespace dpipe;
+  using namespace dpipe::bench;
+
+  header("Fig. 15: ablation study on 8 GPUs (samples/s)");
+  std::printf("%-24s %7s %8s %12s %10s %18s\n", "model", "batch", "full",
+              "no-partial", "no-fill", "degradation (np/nf)");
+  for (const bool controlnet : {false, true}) {
+    const ModelDesc model =
+        controlnet ? make_controlnet_v10() : make_stable_diffusion_v21();
+    const ClusterSpec cluster = make_p4de_cluster(1);
+    for (const double batch : {128.0, 256.0, 384.0}) {
+      const PlannedRun full =
+          run_diffusionpipe(model, cluster, batch, true, true);
+      const PlannedRun no_partial =
+          run_diffusionpipe(model, cluster, batch, true, false);
+      const PlannedRun no_fill =
+          run_diffusionpipe(model, cluster, batch, false, false);
+      std::printf("%-24s %7.0f %8.1f %12.1f %10.1f %8.1f%% / %.1f%%\n",
+                  model.name.c_str(), batch, full.samples_per_second,
+                  no_partial.samples_per_second, no_fill.samples_per_second,
+                  100.0 * (1.0 - no_partial.samples_per_second /
+                                     full.samples_per_second),
+                  100.0 * (1.0 - no_fill.samples_per_second /
+                                     full.samples_per_second));
+    }
+  }
+  return 0;
+}

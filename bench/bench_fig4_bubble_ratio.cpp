@@ -1,0 +1,55 @@
+// Fig. 4: (upper) ratio of pipeline bubble time to iteration time and
+// (lower) ratio of bubble time to non-trainable execution time, at batch 64
+// under FIFO-1F1B, across (stages, micro-batches) settings.
+// Paper: bubbles take up to 68% of iteration time; the lower ratio is close
+// to 1 — the motivation for bubble filling.
+
+#include "core/fill/filler.h"
+
+#include "bench_util.h"
+
+int main() {
+  using namespace dpipe;
+  using namespace dpipe::bench;
+
+  header("Fig. 4: bubble/iteration and bubble/non-trainable ratios "
+         "(batch 64, FIFO-1F1B)");
+  std::printf("%-24s %4s %4s %12s %14s\n", "model", "S", "M", "bubble/iter",
+              "bubble/frozen");
+  for (const bool controlnet : {false, true}) {
+    const Testbed t(
+        controlnet ? make_controlnet_v10() : make_stable_diffusion_v21(), 1);
+    const int backbone = t.model.backbone_ids[0];
+    const DpPartitioner partitioner(t.db, t.comm);
+    const ScheduleBuilder builder(t.db, t.comm);
+    for (const int S : {2, 4, 8}) {
+      for (const int M : {2, 4, 8}) {
+        PartitionOptions opts;
+        opts.num_stages = S;
+        opts.num_microbatches = M;
+        opts.group_size = 8;
+        opts.microbatch_size = 64.0 / M;
+        opts.self_conditioning = false;  // Fig. 4 profiles without it.
+        const PartitionResult part =
+            partitioner.partition_single(backbone, opts);
+        const Schedule schedule =
+            builder.build_1f1b(backbone, part.stages, opts);
+        // Iteration = pipeline + un-overlapped non-trainable part (the
+        // paper's measurement setup for this figure).
+        const double frozen_ms = non_trainable_fwd_ms(t, 64.0 / 8.0);
+        const double iter_ms = schedule.makespan_ms + frozen_ms;
+        double bubble_device_ms = 0.0;
+        for (const Bubble& b : extract_bubbles(schedule)) {
+          bubble_device_ms +=
+              b.length_ms() * static_cast<double>(b.devices.size());
+        }
+        const double per_device_bubble = bubble_device_ms / 8.0;
+        std::printf("%-24s %4d %4d %11.1f%% %14.2f\n",
+                    t.model.name.c_str(), S, M,
+                    100.0 * per_device_bubble / iter_ms,
+                    bubble_device_ms / (frozen_ms * 8.0));
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Fig. 5: execution time of each non-trainable layer at batch size 64.
+// Paper shape: layers 0..21 (text encoder) are short; most image-encoder
+// layers are moderate (< 30 ms); a few are extra-long (> 400 ms).
+
+#include "bench_util.h"
+
+int main() {
+  using namespace dpipe;
+  using namespace dpipe::bench;
+
+  for (const bool controlnet : {false, true}) {
+    const Testbed t(
+        controlnet ? make_controlnet_v10() : make_stable_diffusion_v21(), 1);
+    header("Fig. 5: non-trainable layer times at batch 64 — " +
+           t.model.name);
+    std::printf("%5s %-28s %10s\n", "idx", "layer", "time (ms)");
+    int index = 0;
+    for (const int ci : t.model.non_trainable_topo_order()) {
+      const ComponentDesc& comp = t.model.components[ci];
+      for (int li = 0; li < comp.num_layers(); ++li) {
+        std::printf("%5d %-28s %10.2f\n", index++,
+                    comp.layers[li].name.c_str(),
+                    t.db.fwd_ms(ci, li, 64.0));
+      }
+    }
+  }
+  return 0;
+}

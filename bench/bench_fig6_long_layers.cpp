@@ -1,0 +1,71 @@
+// Fig. 6: the top-3 longest non-trainable layers at batch sizes 8..64,
+// compared against the longest pipeline bubble under M=4 micro-batches and
+// S = 2/4/8 stages at batch 64 (FIFO-1F1B).
+// Paper: at batch 64 the long layers exceed every bubble; shrinking the
+// batch to ~16 lets them fit — the motivation for partial-batch layers.
+
+#include <algorithm>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace dpipe;
+  using namespace dpipe::bench;
+
+  const Testbed t(make_stable_diffusion_v21(), 1);
+
+  // Top-3 longest non-trainable layers at batch 64.
+  struct Longest {
+    int component;
+    int layer;
+    double ms64;
+  };
+  std::vector<Longest> layers;
+  for (std::size_t ci = 0; ci < t.model.components.size(); ++ci) {
+    if (t.model.components[ci].trainable) {
+      continue;
+    }
+    for (int li = 0; li < t.model.components[ci].num_layers(); ++li) {
+      layers.push_back({static_cast<int>(ci), li,
+                        t.db.fwd_ms(static_cast<int>(ci), li, 64.0)});
+    }
+  }
+  std::sort(layers.begin(), layers.end(),
+            [](const Longest& a, const Longest& b) { return a.ms64 > b.ms64; });
+  layers.resize(3);
+
+  header("Fig. 6 (top): top-3 longest non-trainable layers vs batch size");
+  std::printf("%-22s %8s %8s %8s %8s\n", "layer", "b=8", "b=16", "b=32",
+              "b=64");
+  for (const Longest& l : layers) {
+    std::printf("%-22s %8.1f %8.1f %8.1f %8.1f\n",
+                t.model.components[l.component].layers[l.layer].name.c_str(),
+                t.db.fwd_ms(l.component, l.layer, 8.0),
+                t.db.fwd_ms(l.component, l.layer, 16.0),
+                t.db.fwd_ms(l.component, l.layer, 32.0),
+                t.db.fwd_ms(l.component, l.layer, 64.0));
+  }
+
+  header("Fig. 6 (bottom): longest pipeline bubble at batch 64, M=4");
+  const DpPartitioner partitioner(t.db, t.comm);
+  const ScheduleBuilder builder(t.db, t.comm);
+  std::printf("%8s %22s\n", "stages", "longest bubble (ms)");
+  for (const int S : {2, 4, 8}) {
+    PartitionOptions opts;
+    opts.num_stages = S;
+    opts.num_microbatches = 4;
+    opts.group_size = 8;
+    opts.microbatch_size = 16.0;
+    opts.self_conditioning = false;
+    const PartitionResult part =
+        partitioner.partition_single(t.model.backbone_ids[0], opts);
+    const Schedule schedule =
+        builder.build_1f1b(t.model.backbone_ids[0], part.stages, opts);
+    double longest = 0.0;
+    for (const Bubble& b : extract_bubbles(schedule)) {
+      longest = std::max(longest, b.length_ms());
+    }
+    std::printf("%8d %22.1f\n", S, longest);
+  }
+  return 0;
+}

@@ -1,0 +1,129 @@
+// §6.4: pre-processing overhead, measured with google-benchmark.
+// Paper: profiling ~55 s for SD v2.1 on 2 machines at batch 512 (cluster
+// wall time); model partitioning ~0.5 s; bubble filling < 1 s (host time).
+
+#include <benchmark/benchmark.h>
+
+#include "core/fill/filler.h"
+#include "core/partition/bidirectional.h"
+#include "core/planner/planner.h"
+#include "model/zoo.h"
+
+namespace {
+
+using namespace dpipe;
+
+struct Bed {
+  ModelDesc model = make_stable_diffusion_v21();
+  ClusterSpec cluster = make_p4de_cluster(2);
+  CommModel comm{cluster};
+  ProfileDb db{model,
+               AnalyticCostModel(cluster.device, NoiseSource(0xD1FF, 0.02)),
+               default_batch_grid()};
+};
+
+const Bed& bed() {
+  static const Bed instance;
+  return instance;
+}
+
+void BM_Profiling(benchmark::State& state) {
+  // Host-side cost of building the profile DB; the bench also reports the
+  // estimated on-cluster wall time as a counter (paper: ~55 s).
+  const Profiler profiler;
+  double cluster_seconds = 0.0;
+  for (auto _ : state) {
+    const ProfileReport report =
+        profiler.profile(bed().model, bed().cluster);
+    cluster_seconds = report.profiling_wall_ms / 1e3;
+    benchmark::DoNotOptimize(report.db.batch_grid().size());
+  }
+  state.counters["cluster_wall_s"] = cluster_seconds;
+}
+BENCHMARK(BM_Profiling)->Unit(benchmark::kMillisecond);
+
+void BM_PartitionSingle(benchmark::State& state) {
+  const DpPartitioner partitioner(bed().db, bed().comm);
+  PartitionOptions opts;
+  opts.num_stages = static_cast<int>(state.range(0));
+  opts.num_microbatches = 8;
+  opts.group_size = 16;
+  opts.microbatch_size = 32.0;
+  opts.self_conditioning = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        partitioner.partition_single(2, opts).upper_bound_ms);
+  }
+}
+BENCHMARK(BM_PartitionSingle)->Arg(2)->Arg(4)->Arg(8)->Unit(
+    benchmark::kMillisecond);
+
+void BM_PartitionGeneralReplicas(benchmark::State& state) {
+  const DpPartitioner partitioner(bed().db, bed().comm);
+  PartitionOptions opts;
+  opts.num_stages = 4;
+  opts.num_microbatches = 8;
+  opts.group_size = static_cast<int>(state.range(0));
+  opts.microbatch_size = 32.0;
+  opts.force_uniform_replicas = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        partitioner.partition_single(2, opts).upper_bound_ms);
+  }
+}
+BENCHMARK(BM_PartitionGeneralReplicas)->Arg(8)->Unit(
+    benchmark::kMillisecond);
+
+void BM_PartitionBidirectional(benchmark::State& state) {
+  static const ModelDesc cdm = make_cdm_lsun();
+  static const ProfileDb cdm_db(
+      cdm, AnalyticCostModel(bed().cluster.device, NoiseSource(0xD1FF, 0.02)),
+      default_batch_grid());
+  const DpPartitioner partitioner(cdm_db, bed().comm);
+  PartitionOptions opts;
+  opts.num_stages = static_cast<int>(state.range(0));
+  opts.num_microbatches = 8;
+  opts.group_size = 16;
+  opts.microbatch_size = 16.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        partition_bidirectional(partitioner, 1, 2, opts).upper_bound_ms);
+  }
+}
+BENCHMARK(BM_PartitionBidirectional)->Arg(2)->Arg(4)->Unit(
+    benchmark::kMillisecond);
+
+void BM_BubbleFilling(benchmark::State& state) {
+  const DpPartitioner partitioner(bed().db, bed().comm);
+  const ScheduleBuilder builder(bed().db, bed().comm);
+  PartitionOptions opts;
+  opts.num_stages = 4;
+  opts.num_microbatches = static_cast<int>(state.range(0));
+  opts.group_size = 8;
+  opts.microbatch_size = 256.0 / opts.num_microbatches;
+  const PartitionResult part = partitioner.partition_single(2, opts);
+  const Schedule schedule = builder.build_1f1b(2, part.stages, opts);
+  const BubbleFiller filler(bed().db);
+  FillOptions fill_opts;
+  fill_opts.training_batch = 256.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        filler.fill(schedule, fill_opts).filled_device_ms);
+  }
+}
+BENCHMARK(BM_BubbleFilling)->Arg(4)->Arg(8)->Arg(16)->Unit(
+    benchmark::kMillisecond);
+
+void BM_FullPlannerSearch(benchmark::State& state) {
+  PlannerOptions options;
+  options.global_batch = 512.0;
+  for (auto _ : state) {
+    const Planner planner(bed().model, bed().cluster, options);
+    benchmark::DoNotOptimize(planner.plan().config.predicted_iteration_ms);
+  }
+}
+BENCHMARK(BM_FullPlannerSearch)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

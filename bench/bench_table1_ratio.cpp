@@ -1,0 +1,30 @@
+// Table 1: ratio of the non-trainable part's forward time to the trainable
+// part's forward+backward time on an A100, at batch sizes 8/16/32/64.
+// Paper: SD v2.1 38/41/43/44 %, ControlNet v1.0 76/81/86/89 %.
+
+#include "bench_util.h"
+
+int main() {
+  using namespace dpipe;
+  using namespace dpipe::bench;
+
+  header("Table 1: non-trainable fwd / trainable fwd+bwd (A100)");
+  const double paper_sd[] = {0.38, 0.41, 0.43, 0.44};
+  const double paper_cn[] = {0.76, 0.81, 0.86, 0.89};
+  const double batches[] = {8, 16, 32, 64};
+
+  std::printf("%-24s %8s %10s %10s\n", "model", "batch", "measured",
+              "paper");
+  for (const bool controlnet : {false, true}) {
+    const Testbed t(
+        controlnet ? make_controlnet_v10() : make_stable_diffusion_v21(), 1);
+    for (int i = 0; i < 4; ++i) {
+      const double ratio = non_trainable_fwd_ms(t, batches[i]) /
+                           trainable_fwd_bwd_ms(t, batches[i]);
+      std::printf("%-24s %8.0f %9.1f%% %9.1f%%\n", t.model.name.c_str(),
+                  batches[i], 100.0 * ratio,
+                  100.0 * (controlnet ? paper_cn[i] : paper_sd[i]));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Table 2: proportion of parameter synchronization in DDP iteration time at
+// local batch size 8, on 8/16/32/64 A100s.
+// Paper: SD v2.1 5.2/19.3/36.1/38.1 %, ControlNet 6.9/22.7/39.1/40.1 %.
+
+#include "bench_util.h"
+
+int main() {
+  using namespace dpipe;
+  using namespace dpipe::bench;
+
+  header("Table 2: synchronization share of DDP iteration (local batch 8)");
+  const double paper_sd[] = {0.052, 0.193, 0.361, 0.381};
+  const double paper_cn[] = {0.069, 0.227, 0.391, 0.401};
+  const int machine_counts[] = {1, 2, 4, 8};
+
+  std::printf("%-24s %8s %10s %10s\n", "model", "GPUs", "measured",
+              "paper");
+  for (const bool controlnet : {false, true}) {
+    for (int i = 0; i < 4; ++i) {
+      const Testbed t(
+          controlnet ? make_controlnet_v10() : make_stable_diffusion_v21(),
+          machine_counts[i]);
+      const double batch = 8.0 * t.cluster.world_size();
+      const BaselineReport r = run_ddp(t.db, t.comm, batch);
+      std::printf("%-24s %8d %9.1f%% %9.1f%%\n", t.model.name.c_str(),
+                  t.cluster.world_size(), 100.0 * r.sync_fraction,
+                  100.0 * (controlnet ? paper_cn[i] : paper_sd[i]));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Multi-machine ControlNet v1.0 training: DiffusionPipe vs data-parallel
+// baselines (DeepSpeed DDP and ZeRO-3) across cluster sizes, reproducing
+// the shape of the paper's Fig. 13b.
+
+#include <cstdio>
+
+#include "baselines/baselines.h"
+#include "core/planner/planner.h"
+#include "engine/engine.h"
+#include "model/zoo.h"
+
+namespace {
+
+double diffusionpipe_throughput(const dpipe::ModelDesc& model,
+                                const dpipe::ClusterSpec& cluster,
+                                double global_batch) {
+  using namespace dpipe;
+  PlannerOptions options;
+  options.global_batch = global_batch;
+  const Planner planner(model, cluster, options);
+  const Plan plan = planner.plan();
+  const ExecutionEngine engine(planner.db(), planner.comm());
+  EngineOptions eopts;
+  eopts.iterations = 4;
+  eopts.data_parallel_degree = plan.config.data_parallel_degree;
+  eopts.group_batch = global_batch / plan.config.data_parallel_degree;
+  return engine.run(plan.program, eopts).samples_per_second;
+}
+
+}  // namespace
+
+int main() {
+  using namespace dpipe;
+  const ModelDesc model = make_controlnet_v10();
+
+  std::printf("== ControlNet v1.0: throughput vs cluster size "
+              "(samples/s) ==\n");
+  std::printf("%8s %8s %14s %12s %12s\n", "GPUs", "batch", "DiffusionPipe",
+              "DeepSpeed", "ZeRO-3");
+  for (const int machines : {1, 2, 4, 8}) {
+    const ClusterSpec cluster = make_p4de_cluster(machines);
+    const CommModel comm(cluster);
+    const ProfileDb db(
+        model, AnalyticCostModel(cluster.device, NoiseSource(0xD1FF, 0.02)),
+        default_batch_grid());
+    const double batch = 32.0 * cluster.world_size();
+    const double ours = diffusionpipe_throughput(model, cluster, batch);
+    const BaselineReport ddp = run_ddp(db, comm, batch);
+    const BaselineReport z3 = run_zero3(db, comm, batch);
+    std::printf("%8d %8.0f %14.1f %12.1f %12.1f\n", cluster.world_size(),
+                batch, ours, ddp.samples_per_second,
+                z3.samples_per_second);
+  }
+  std::printf("\nDiffusionPipe hides the frozen text/VAE/locked-encoder "
+              "compute inside pipeline bubbles and syncs only the control "
+              "branch; the data-parallel baselines pay for both.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Functional demonstration of the paper's §3.2 equivalence claim using the
+// mini training runtime: a real (thread-per-stage, channel-connected) 1F1B
+// pipeline with cross-iteration frozen-encoder execution learns exactly the
+// same parameters as single-process full-batch training.
+
+#include <cstdio>
+
+#include "runtime/dp_trainer.h"
+#include "runtime/pipeline_exec.h"
+
+int main() {
+  using namespace dpipe::rt;
+
+  DdpmConfig config;
+  config.self_conditioning = true;  // Exercise the extra forward pass too.
+  config.self_cond_prob = 0.5;
+  const DdpmProblem problem(config);
+  constexpr int kIterations = 40;
+  constexpr int kBatch = 32;
+  constexpr float kLr = 0.2f;
+
+  ReferenceTrainer reference(problem, kBatch, kLr);
+  reference.train(kIterations);
+
+  PipelineRtConfig cfg;
+  cfg.num_stages = 3;
+  cfg.num_microbatches = 4;
+  cfg.data_parallel_degree = 2;
+  cfg.global_batch = kBatch;
+  cfg.lr = kLr;
+  cfg.cross_iteration = true;
+  PipelineTrainer pipeline(problem, cfg);
+  pipeline.train(kIterations);
+
+  std::printf("== Toy DDPM: pipeline (S=3, M=4, dp=2, cross-iteration, "
+              "self-cond) vs full-batch reference ==\n");
+  std::printf("%6s %16s %16s\n", "iter", "reference-loss", "pipeline-loss");
+  for (int k = 0; k < kIterations; k += 5) {
+    std::printf("%6d %16.6f %16.6f\n", k, reference.losses()[k],
+                pipeline.losses()[k]);
+  }
+
+  const auto ref_params = reference.snapshot_params();
+  const auto pipe_params = pipeline.snapshot_params();
+  float worst = 0.0f;
+  for (std::size_t i = 0; i < ref_params.size(); ++i) {
+    worst = std::max(worst, max_abs_diff(ref_params[i], pipe_params[i]));
+  }
+  std::printf("\nmax |param difference| after %d iterations: %.2e\n",
+              kIterations, static_cast<double>(worst));
+  std::printf("replica divergence across data-parallel copies: %.2e\n",
+              static_cast<double>(pipeline.replica_divergence()));
+  std::printf("=> synchronous pipeline + cross-iteration bubble filling is "
+              "mathematically equivalent to data-parallel training.\n");
+  return worst < 1e-3f ? 0 : 1;
+}

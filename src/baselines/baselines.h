@@ -1,0 +1,88 @@
+#pragma once
+
+#include <string>
+
+#include "cluster/comm_model.h"
+#include "engine/engine.h"
+#include "profiler/profile_db.h"
+
+namespace dpipe {
+
+/// Common result type for every training system compared in §6.
+struct BaselineReport {
+  std::string name;
+  double iteration_ms = 0.0;
+  double samples_per_second = 0.0;
+  double bubble_ratio = 0.0;   ///< Pipeline systems only.
+  double sync_ms = 0.0;        ///< Parameter synchronization time.
+  double sync_fraction = 0.0;  ///< sync / iteration (paper Table 2).
+  double peak_memory_gb = 0.0;
+  bool memory_feasible = true;
+};
+
+struct DdpOptions {
+  /// Gradient bucket count: each bucket pays a collective launch overhead.
+  int bucket_count = 25;
+  double bucket_overhead_ms = 1.0;
+  /// Fraction of backward time the bucketed allreduce overlaps with.
+  double overlap_credit = 0.3;
+  /// Fraction of the collective time that stays exposed no matter how long
+  /// the backward pass is (bucket serialization, blocking fp32 copies) —
+  /// without it, large local batches would hide synchronization entirely,
+  /// which real DeepSpeed does not achieve (paper Fig. 13).
+  double exposed_floor = 0.7;
+  /// Restrict to a single backbone (CDM helpers); -1 = all trainable parts.
+  int only_backbone = -1;
+  /// Devices actually used (CDM-P splits the cluster); 0 = whole cluster.
+  int num_devices = 0;
+};
+
+/// DeepSpeed-style distributed data parallelism (vanilla DDP): every device
+/// computes the full model at global_batch / N samples; gradients allreduce
+/// across all devices, partially overlapped with backward.
+[[nodiscard]] BaselineReport run_ddp(const ProfileDb& db,
+                                     const CommModel& comm,
+                                     double global_batch,
+                                     const DdpOptions& opts = {});
+
+/// ZeRO-3: parameters allgathered before each layer's forward and backward,
+/// gradients reduce-scattered; memory sharded (Rajbhandari et al., 2021).
+[[nodiscard]] BaselineReport run_zero3(const ProfileDb& db,
+                                       const CommModel& comm,
+                                       double global_batch,
+                                       const DdpOptions& opts = {});
+
+struct PipelineBaselineOptions {
+  int num_stages = 2;       ///< GPipe is evaluated with S=2, M=4 (§6).
+  int num_microbatches = 4;
+  int group_size = 0;       ///< 0 = num_stages (one device per stage).
+  int engine_iterations = 4;
+  std::uint64_t actual_noise_seed = 0xAC7BA1;
+};
+
+/// GPipe (Huang et al., 2019): equal-layer stage partitioning, all-forward/
+/// all-backward schedule, non-trainable part executed data-parallel outside
+/// the pipeline (no bubble filling). Measured with the execution engine.
+[[nodiscard]] BaselineReport run_gpipe_baseline(
+    const ProfileDb& db, const CommModel& comm, double global_batch,
+    const PipelineBaselineOptions& opts = {});
+
+/// SPP-like (Luo et al., 2022): DP-optimized partitioning + FIFO-1F1B,
+/// same hyper-parameter search as DiffusionPipe but no bubble filling.
+[[nodiscard]] BaselineReport run_spp_baseline(
+    const ProfileDb& db, const CommModel& comm, double global_batch,
+    const PipelineBaselineOptions& opts = {});
+
+/// Cascaded-diffusion data-parallel baselines (§6, Metrics):
+/// DeepSpeed-S trains the backbones sequentially on all devices;
+/// DeepSpeed-P trains them concurrently on evenly split device sets.
+[[nodiscard]] BaselineReport run_deepspeed_s(const ProfileDb& db,
+                                             const CommModel& comm,
+                                             double per_backbone_batch,
+                                             bool zero3 = false);
+[[nodiscard]] BaselineReport run_deepspeed_p(const ProfileDb& db,
+                                             const CommModel& comm,
+                                             double per_backbone_batch,
+                                             bool zero3 = false);
+
+}  // namespace dpipe

@@ -1,0 +1,27 @@
+#include "cluster/cluster.h"
+
+namespace dpipe {
+
+ClusterSpec make_p4de_cluster(int num_machines) {
+  require(num_machines >= 1, "need at least one machine");
+  ClusterSpec cluster;
+  cluster.num_machines = num_machines;
+  cluster.devices_per_machine = 8;
+  validate(cluster);
+  return cluster;
+}
+
+void validate(const ClusterSpec& cluster) {
+  require(cluster.num_machines >= 1, "num_machines must be >= 1");
+  require(cluster.devices_per_machine >= 1,
+          "devices_per_machine must be >= 1");
+  require(cluster.device.peak_tflops > 0.0, "peak_tflops must be positive");
+  require(cluster.device.memory_gb > 0.0, "memory_gb must be positive");
+  require(cluster.intra.bandwidth_gbps > 0.0 &&
+              cluster.inter.bandwidth_gbps > 0.0,
+          "link bandwidth must be positive");
+  require(cluster.intra.latency_ms >= 0.0 && cluster.inter.latency_ms >= 0.0,
+          "link latency must be non-negative");
+}
+
+}  // namespace dpipe

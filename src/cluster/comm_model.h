@@ -1,0 +1,51 @@
+#pragma once
+
+#include <vector>
+
+#include "cluster/cluster.h"
+
+namespace dpipe {
+
+/// Analytic communication cost model over a ClusterSpec.
+///
+/// All sizes in MB, all times in ms (see common/units.h). Collectives use
+/// standard ring algorithms; the attainable bandwidth of a group is the
+/// slowest link any ring edge crosses (inter-node EFA when the group spans
+/// machines, NVSwitch otherwise).
+class CommModel {
+ public:
+  explicit CommModel(ClusterSpec cluster);
+
+  /// Point-to-point transfer of `size_mb` between two ranks.
+  [[nodiscard]] double p2p_ms(double size_mb, int src_rank,
+                              int dst_rank) const;
+
+  /// Ring allreduce of `size_mb` (per-rank payload) over `group` ranks.
+  [[nodiscard]] double allreduce_ms(double size_mb,
+                                    const std::vector<int>& group) const;
+
+  /// Ring allgather: each rank contributes size_mb / n, gathers size_mb.
+  [[nodiscard]] double allgather_ms(double size_mb,
+                                    const std::vector<int>& group) const;
+
+  /// Ring reduce-scatter of `size_mb` total payload over `group`.
+  [[nodiscard]] double reduce_scatter_ms(double size_mb,
+                                         const std::vector<int>& group) const;
+
+  /// Broadcast of `size_mb` from one rank to the group (tree).
+  [[nodiscard]] double broadcast_ms(double size_mb,
+                                    const std::vector<int>& group) const;
+
+  /// Effective ring bandwidth (GB/s) and per-step latency (ms) of a group.
+  [[nodiscard]] LinkSpec group_link(const std::vector<int>& group) const;
+
+  /// The point-to-point link between two specific ranks.
+  [[nodiscard]] LinkSpec p2p_link(int src_rank, int dst_rank) const;
+
+  [[nodiscard]] const ClusterSpec& cluster() const { return cluster_; }
+
+ private:
+  ClusterSpec cluster_;
+};
+
+}  // namespace dpipe

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace dpipe {
+
+/// Throws std::invalid_argument when a caller-supplied precondition fails.
+/// Use for argument validation on public API boundaries.
+inline void require(bool condition, const std::string& message) {
+  if (!condition) {
+    throw std::invalid_argument(message);
+  }
+}
+
+/// Throws std::logic_error when an internal invariant is violated.
+/// Use for "this cannot happen unless the library itself is buggy".
+inline void ensure(bool condition, const std::string& message) {
+  if (!condition) {
+    throw std::logic_error(message);
+  }
+}
+
+}  // namespace dpipe

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace dpipe {
+
+/// Deterministic multiplicative noise used to emulate measurement jitter.
+///
+/// The planner consumes "profiled" layer times while the execution engine
+/// consumes "actual" layer times; both come from the same analytic cost model
+/// but with different noise seeds. This reproduces the profiled-vs-actual gap
+/// the paper cites as the main source of residual (unfilled) bubble time.
+class NoiseSource {
+ public:
+  /// `amplitude` is the maximum relative deviation, e.g. 0.02 for +/-2%.
+  explicit NoiseSource(std::uint64_t seed, double amplitude = 0.02);
+
+  /// Returns a multiplier in [1-amplitude, 1+amplitude], a pure function of
+  /// (seed, key). The same key always yields the same multiplier.
+  [[nodiscard]] double multiplier(std::uint64_t key) const;
+
+  /// Convenience: build a stable key from mixed identifiers.
+  [[nodiscard]] static std::uint64_t key(std::uint64_t a, std::uint64_t b,
+                                         std::uint64_t c = 0);
+
+  /// Hashes a string into a key component (FNV-1a).
+  [[nodiscard]] static std::uint64_t hash(std::string_view text);
+
+  [[nodiscard]] double amplitude() const { return amplitude_; }
+
+ private:
+  std::uint64_t seed_;
+  double amplitude_;
+};
+
+}  // namespace dpipe

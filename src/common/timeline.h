@@ -1,0 +1,41 @@
+#pragma once
+
+#include <vector>
+
+namespace dpipe {
+
+/// Half-open time interval [start, end) in milliseconds.
+struct Span {
+  double start = 0.0;
+  double end = 0.0;
+
+  [[nodiscard]] double length() const { return end - start; }
+  friend bool operator==(const Span&, const Span&) = default;
+};
+
+/// Sorts spans by start time and merges overlapping/adjacent ones.
+[[nodiscard]] std::vector<Span> normalize_spans(std::vector<Span> spans);
+
+/// Total length of a (not necessarily normalized) span list.
+[[nodiscard]] double total_length(const std::vector<Span>& spans);
+
+/// Complements `busy` within [0, horizon): the idle spans of one device.
+/// `busy` need not be normalized.
+[[nodiscard]] std::vector<Span> complement_spans(std::vector<Span> busy,
+                                                 double horizon);
+
+/// A maximal interval during which the *set* of idle devices is constant.
+/// This matches the paper's definition of a pipeline bubble as a tuple
+/// (start time, end time, idle devices).
+struct IdleInterval {
+  Span span;
+  std::vector<int> idle_devices;  ///< Sorted device indices idle over `span`.
+};
+
+/// Sweeps per-device idle spans and returns maximal constant-idle-set
+/// intervals, in chronological order. Intervals with an empty idle set are
+/// omitted. `idle_per_device[d]` must be normalized (disjoint, sorted).
+[[nodiscard]] std::vector<IdleInterval> sweep_idle_intervals(
+    const std::vector<std::vector<Span>>& idle_per_device, double horizon);
+
+}  // namespace dpipe

@@ -1,0 +1,29 @@
+#pragma once
+
+namespace dpipe {
+
+// The library uses plain doubles with unit conventions fixed across all
+// modules, documented once here:
+//   time        : milliseconds (ms)
+//   data size   : megabytes (MB)
+//   bandwidth   : gigabytes per second (GB/s)
+//   compute     : gigaflops (GFLOP) per sample; rates in TFLOP/s
+//   memory      : gigabytes (GB)
+
+/// Converts a transfer of `mega_bytes` MB over a link of `giga_bytes_per_s`
+/// GB/s into milliseconds.
+inline double transfer_ms(double mega_bytes, double giga_bytes_per_s) {
+  // MB / (GB/s) = 1e6 B / (1e9 B/s) = 1e-3 s = 1 ms per unit ratio.
+  return mega_bytes / giga_bytes_per_s;
+}
+
+/// Converts `gflop` GFLOP executed at `tflops` TFLOP/s into milliseconds.
+inline double compute_ms(double gflop, double tflops) {
+  // GFLOP / (TFLOP/s) = 1e9 / 1e12 s = 1e-3 s = 1 ms per unit ratio.
+  return gflop / tflops;
+}
+
+inline double seconds_to_ms(double s) { return s * 1e3; }
+inline double ms_to_seconds(double ms) { return ms * 1e-3; }
+
+}  // namespace dpipe

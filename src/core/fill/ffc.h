@@ -1,0 +1,68 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "profiler/profile_db.h"
+
+namespace dpipe {
+
+/// State of the non-trainable part while bubbles are being filled: for each
+/// ready component, which layer runs next and how many samples its head
+/// layer still has to process (a head layer becomes partially processed
+/// when a partial-batch layer was scheduled, paper Fig. 12).
+struct ReadyComponent {
+  int component = -1;       ///< Model component id.
+  int next_layer = 0;       ///< u_i: first not-fully-processed layer.
+  double head_remaining = 0.0;  ///< Samples layer `next_layer` still owes.
+};
+
+/// A partial-batch layer assignment: (component index, layer index, number
+/// of samples in the partial batch) — the paper's tuple from §5.
+struct PartialBatchLayer {
+  int component = -1;
+  int layer = -1;
+  double samples = 0.0;  ///< Total samples (split over the idle devices).
+};
+
+/// One bubble-filling candidate: `full_layers[i]` consecutive layers of
+/// ready component i (full remaining batch each), optionally followed by
+/// one partial-batch layer; `exec_ms` is the planned occupancy.
+struct BubbleFillCandidate {
+  std::vector<int> full_layers;
+  std::optional<PartialBatchLayer> partial;
+  double exec_ms = 0.0;
+};
+
+/// Inputs of Alg. 1 / Alg. 2.
+struct FfcInput {
+  std::vector<ReadyComponent> ready;  ///< In topological order.
+  double bubble_ms = 0.0;             ///< T_B.
+  int idle_devices = 0;               ///< d.
+  double training_batch = 0.0;        ///< B (per pipeline group).
+};
+
+/// Forward time of `layer` of `component` processing `samples` spread over
+/// `devices` idle devices (local batch = samples / devices).
+[[nodiscard]] double frozen_layer_ms(const ProfileDb& db, int component,
+                                     int layer, double samples, int devices);
+
+/// Alg. 2 (FFC): all maximal assignments of consecutive full-batch layers
+/// of the ready components that finish within `bubble_ms`, enumerated in
+/// the recursive take-k-layers-then-recurse fashion of the paper. Each
+/// returned vector has one entry per ready component.
+[[nodiscard]] std::vector<std::vector<int>> full_batch_candidates(
+    const ProfileDb& db, const FfcInput& input);
+
+/// Alg. 1: picks the bubble-filling candidate with the longest execution
+/// time, optionally enhanced with one partial-batch layer whose size comes
+/// from `partial_local_grid` (the paper's getValidNumSamples values, local
+/// batch sizes per device). `split_overhead_ms` is charged once per
+/// partial-batch layer for input split / output concat handling. Returns
+/// nullopt when nothing fits.
+[[nodiscard]] std::optional<BubbleFillCandidate> fill_one_bubble(
+    const ProfileDb& db, const FfcInput& input,
+    const std::vector<double>& partial_local_grid, double split_overhead_ms,
+    bool enable_partial);
+
+}  // namespace dpipe

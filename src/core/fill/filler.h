@@ -1,0 +1,60 @@
+#pragma once
+
+#include "core/fill/ffc.h"
+#include "core/schedule/schedule.h"
+
+namespace dpipe {
+
+struct FillOptions {
+  double training_batch = 64.0;  ///< B: iteration batch of the group.
+  /// getValidNumSamples grid (local batch per device), paper §5.
+  std::vector<double> partial_local_grid = {4, 8, 12, 16, 24, 32, 48, 64, 96};
+  double min_bubble_ms = 10.0;     ///< Ignore shorter bubbles (§5 fn. 3).
+  double split_overhead_ms = 1.0;  ///< Input split / output concat cost per
+                                   ///< partial-batch layer (Fig. 12).
+  bool enable_partial = true;      ///< Ablation: partial-batch layer design.
+  bool enable_fill = true;         ///< Ablation: bubble filling altogether.
+};
+
+/// One non-trainable layer placed into a bubble (or into the leftover tail).
+struct PlacedFrozenOp {
+  int bubble_index = -1;  ///< -1 for leftover ops.
+  int component = -1;
+  int layer = -1;
+  double samples = 0.0;  ///< Total samples processed by this placement.
+  bool partial = false;
+  double start_ms = 0.0;
+  double end_ms = 0.0;
+  std::vector<int> devices;  ///< Chain positions executing the op.
+};
+
+struct FillResult {
+  std::vector<PlacedFrozenOp> placed;    ///< Bubble-filled work.
+  std::vector<PlacedFrozenOp> leftover;  ///< Work appended after the flush.
+  double filled_device_ms = 0.0;    ///< Sum over placed of time x devices.
+  double leftover_ms = 0.0;         ///< Wall time appended after pipelining.
+  Schedule filled_schedule;         ///< Input schedule + frozen ops.
+};
+
+/// Fills a backbone pipeline schedule's bubbles with the model's
+/// non-trainable components (paper §5): bubbles are visited chronologically;
+/// each is filled with Alg. 1 over the components whose dependencies are
+/// fully resolved; partially processed layers re-enter as full-batch layers
+/// on their remaining samples; whatever does not fit runs after the flush,
+/// data-parallel over all devices.
+///
+/// Filling always targets the *cross-iteration* composition (§3.2): the
+/// filled non-trainable work belongs to the next iteration's batch, so no
+/// dependency exists between it and the surrounding backbone compute.
+class BubbleFiller {
+ public:
+  explicit BubbleFiller(const ProfileDb& db);
+
+  [[nodiscard]] FillResult fill(const Schedule& schedule,
+                                const FillOptions& opts) const;
+
+ private:
+  const ProfileDb* db_;
+};
+
+}  // namespace dpipe

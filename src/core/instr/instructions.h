@@ -1,0 +1,62 @@
+#pragma once
+
+#include <vector>
+
+#include "core/fill/filler.h"
+#include "core/schedule/schedule.h"
+
+namespace dpipe {
+
+/// The back-end ISA (step 6 of Fig. 7): per-device ordered instruction
+/// streams the execution engine replays. Device indices are chain positions
+/// within one pipeline-parallel group.
+enum class InstrKind {
+  kLoadMicroBatch,   ///< Stage-0 input fetch; waits for the micro-batch's
+                     ///< non-trainable outputs (cross-iteration fence).
+  kForward,          ///< Backbone stage forward, one micro-batch.
+  kBackward,         ///< Backbone stage backward, one micro-batch.
+  kSendActivation,   ///< Async send to the next stage (non-blocking).
+  kRecvActivation,   ///< Blocking receive from the previous stage.
+  kSendGradient,     ///< Async send of activation grads to the prev stage.
+  kRecvGradient,     ///< Blocking receive from the next stage.
+  kFrozenForward,    ///< Non-trainable layer (bubble-filled or leftover),
+                     ///< preparing the *next* iteration's inputs.
+  kAllReduceGrads,   ///< Async gradient allreduce for this device's stage.
+  kOptimizerStep,    ///< Parameter update; fences the next iteration.
+};
+
+[[nodiscard]] const char* to_string(InstrKind kind);
+
+struct Instruction {
+  InstrKind kind = InstrKind::kForward;
+  int backbone = 0;       ///< Backbone index (0 = single/down, 1 = up).
+  int stage = -1;
+  int micro = -1;
+  int component = -1;     ///< Model component (compute & frozen ops).
+  int layer_begin = 0;    ///< Layer range [begin, end) this op covers.
+  int layer_end = 0;
+  double samples = 0.0;   ///< Per-device samples this op processes.
+  int peer = -1;          ///< Chain position of the send/recv counterpart.
+  double size_mb = 0.0;   ///< Transfer payload (send/recv) or gradient MB
+                          ///< (allreduce) or parameter MB (optimizer).
+};
+
+/// One iteration's instruction streams plus the first-iteration preamble
+/// (the non-trainable part executed un-overlapped, §3.2).
+struct InstructionProgram {
+  int group_size = 0;
+  int num_backbones = 1;
+  std::vector<std::vector<Instruction>> per_device;  ///< Steady iteration.
+  std::vector<std::vector<Instruction>> preamble;    ///< Iteration 0 only.
+};
+
+/// Lowers a bubble-filled schedule into instruction streams. The per-device
+/// op order of the schedule is preserved; communication instructions are
+/// inserted around stage boundaries (replica i of stage s-1 pairs with
+/// replica i of stage s; stages must have equal replica counts for
+/// pairing, otherwise traffic funnels through replica 0).
+[[nodiscard]] InstructionProgram generate_instructions(
+    const ProfileDb& db, const Schedule& filled_schedule,
+    const FillResult& fill, const PartitionOptions& opts);
+
+}  // namespace dpipe

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/instr/instructions.h"
+
+namespace dpipe {
+
+/// Serializes an instruction program to a line-based text format — the
+/// hand-off artifact between DiffusionPipe's front-end (planner) and
+/// back-end (execution engine), mirroring the paper's step 6. The format is
+/// versioned and self-describing:
+///
+///   dpipe-program v1
+///   group_size <D>
+///   num_backbones <n>
+///   device <d> steady|preamble
+///   <kind> b=<backbone> s=<stage> m=<micro> c=<component> l=<lo>:<hi>
+///          n=<samples> p=<peer> sz=<size_mb>
+///   ...
+void save_program(const InstructionProgram& program, std::ostream& out);
+
+/// Parses a program previously written by save_program. Throws
+/// std::invalid_argument on malformed input (wrong magic, unknown
+/// instruction kind, truncated fields, inconsistent device count).
+[[nodiscard]] InstructionProgram load_program(std::istream& in);
+
+/// Convenience string round-trip helpers.
+[[nodiscard]] std::string program_to_string(const InstructionProgram& p);
+[[nodiscard]] InstructionProgram program_from_string(const std::string& text);
+
+}  // namespace dpipe

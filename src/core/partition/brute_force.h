@@ -1,0 +1,16 @@
+#pragma once
+
+#include "core/partition/partitioner.h"
+
+namespace dpipe {
+
+/// Exhaustive reference partitioner: enumerates every composition of the
+/// backbone's layers into S consecutive stages (and, when
+/// `force_uniform_replicas` is false, every composition of the D devices
+/// into per-stage replica counts) and minimizes the same objective as
+/// DpPartitioner. Exponential — test oracle only (small L, S, D).
+[[nodiscard]] PartitionResult brute_force_partition(
+    const DpPartitioner& partitioner, int backbone_component,
+    const PartitionOptions& opts);
+
+}  // namespace dpipe

@@ -1,0 +1,32 @@
+#pragma once
+
+#include "model/model.h"
+
+namespace dpipe {
+
+/// Result of grouping a >2-backbone cascade into two virtual backbones
+/// (paper §4.2: "divide the backbones into two groups, one to be pipelined
+/// in each direction... combine stages of the backbones in the same
+/// pipeline direction to form a larger model stage").
+struct BackboneGrouping {
+  /// Original backbone cascade indices in each direction.
+  std::vector<int> down_members;
+  std::vector<int> up_members;
+  /// A rewritten model whose backbone list has exactly two (virtual)
+  /// backbones: the concatenated layer chains of each group. Non-trainable
+  /// components are preserved; their dependencies on grouped backbones are
+  /// remapped to the containing virtual backbone.
+  ModelDesc grouped_model;
+  /// grouped_model layer index of each member's first layer, per group —
+  /// lets callers map virtual-stage layer ranges back to real backbones.
+  std::vector<int> down_offsets;
+  std::vector<int> up_offsets;
+};
+
+/// Partitions the cascade's backbones into two groups with (greedily)
+/// balanced total forward+backward FLOPs and concatenates each group into
+/// one virtual backbone. Models with 1 or 2 backbones pass through
+/// unchanged (identity grouping). Throws if the model has no backbone.
+[[nodiscard]] BackboneGrouping group_backbones(const ModelDesc& model);
+
+}  // namespace dpipe

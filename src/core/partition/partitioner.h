@@ -1,0 +1,121 @@
+#pragma once
+
+#include <vector>
+
+#include "cluster/comm_model.h"
+#include "profiler/profile_db.h"
+
+namespace dpipe {
+
+/// One pipeline stage of a backbone: consecutive layers [layer_begin,
+/// layer_end), replicated over `replicas` devices.
+struct StagePlan {
+  int layer_begin = 0;
+  int layer_end = 0;
+  int replicas = 1;
+  /// Global device ranks of this stage within pipeline-parallel group 0
+  /// (other groups are rank-shifted copies).
+  std::vector<int> device_ranks;
+
+  [[nodiscard]] int num_layers() const { return layer_end - layer_begin; }
+};
+
+/// Pipeline-training hyper-parameters (paper Table 3) plus per-run context.
+struct PartitionOptions {
+  int num_stages = 2;        ///< S.
+  int num_microbatches = 4;  ///< M.
+  int group_size = 8;        ///< D: devices in one pipeline-parallel group.
+  int data_parallel_degree = 1;  ///< world size / D (for sync group size).
+  double microbatch_size = 8.0;  ///< B: samples per micro-batch (per group).
+  bool self_conditioning = false;
+  double self_cond_prob = 0.5;
+  /// Evaluation default (paper §4.1 fn. 2): every stage uses D/S replicas.
+  /// When false the DP explores per-stage replica counts (slower; intended
+  /// for small groups).
+  bool force_uniform_replicas = true;
+  /// Ranks of group 0's devices in chain order; empty = 0..D-1.
+  std::vector<int> device_ranks;
+  /// Multiplier on inter-stage communication time; bidirectional pipelining
+  /// sets 2.0 for link competition between the two directions (§4.2).
+  double comm_competition_factor = 1.0;
+  /// Ablation: collapse each DP state's Pareto frontier of (W, Y) pairs to
+  /// the single scalarized-best point, as a naive reading of Eqn (2) would.
+  /// Can only produce equal-or-worse objectives than the full frontier
+  /// (see DESIGN.md §3 and PartitionerAblation tests).
+  bool scalarize_dp_states = false;
+};
+
+/// Which way a backbone pipelines along the device chain (§4.2). Down
+/// pipelines flow from chain position 0 upward; up pipelines flow from the
+/// chain end downward, so their incoming stage boundary sits on the
+/// high-chain side.
+enum class PipeDirection { kDown, kUp };
+
+/// Result of the single-backbone dynamic program (§4.1).
+struct PartitionResult {
+  std::vector<StagePlan> stages;  ///< In pipeline order (stage 0 first).
+  double t0_ms = 0.0;             ///< W at the optimum (max stage/comm time).
+  double y_ms = 0.0;              ///< Y at the optimum (max T_S - T_C gap).
+  double feedback_ms = 0.0;       ///< Expected self-conditioning T_F term.
+  double upper_bound_ms = 0.0;    ///< (M + 2S - 2) * W + Y + p * T_F.
+};
+
+/// Per-stage cost terms, exposed for tests and the schedule builder.
+struct StageCost {
+  double fwd_ms = 0.0;      ///< One micro-batch forward on the stage.
+  double bwd_ms = 0.0;      ///< One micro-batch backward on the stage.
+  double comm_in_ms = 0.0;  ///< Incoming fwd + outgoing bwd boundary comm.
+  double t0_ms = 0.0;       ///< Eqn (3) / (17); expectation if self-cond.
+  double sync_ms = 0.0;     ///< T_S, Eqn (4).
+  double comp_ms = 0.0;     ///< T_C, Eqn (5).
+  double y_ms = 0.0;        ///< max(0, T_S - T_C), Eqn (6).
+};
+
+/// Dynamic-programming backbone partitioner (paper §4).
+class DpPartitioner {
+ public:
+  DpPartitioner(const ProfileDb& db, const CommModel& comm);
+
+  /// Optimal partition of a single backbone component (§4.1, Eqns 1-9).
+  [[nodiscard]] PartitionResult partition_single(
+      int backbone_component, const PartitionOptions& opts) const;
+
+  /// Cost terms of stage [lo, hi) of `backbone_component` on `replicas`
+  /// devices whose incoming boundary crosses chain position `chain_begin`
+  /// (i.e. the stage occupies chain slots [chain_begin, chain_begin +
+  /// replicas)). Used by the DP, the brute-force oracle, and the schedule
+  /// builder.
+  [[nodiscard]] StageCost stage_cost(
+      int backbone_component, int lo, int hi, int replicas, int chain_begin,
+      const PartitionOptions& opts,
+      PipeDirection direction = PipeDirection::kDown) const;
+
+  /// Scalarized objective for a full assignment (shared with brute force):
+  /// (M + 2S - 2) * max T0 + max Y (+ expected feedback term).
+  [[nodiscard]] double objective(const std::vector<StageCost>& stages,
+                                 int backbone_component,
+                                 const PartitionOptions& opts) const;
+
+  /// Expected feedback-communication term p * T_F (0 without self-cond).
+  [[nodiscard]] double feedback_ms(int backbone_component,
+                                   const PartitionOptions& opts) const;
+
+  [[nodiscard]] const ProfileDb& db() const { return *db_; }
+  [[nodiscard]] const CommModel& comm() const { return *comm_; }
+
+ private:
+  void check_options(int backbone_component,
+                     const PartitionOptions& opts) const;
+  /// Global rank at chain position `pos` of group 0.
+  [[nodiscard]] int rank_at(const PartitionOptions& opts, int pos) const;
+  /// Gradient allreduce group of a stage occupying chain slots
+  /// [chain_begin, chain_begin + replicas) in every data-parallel group.
+  [[nodiscard]] std::vector<int> sync_group(const PartitionOptions& opts,
+                                            int chain_begin,
+                                            int replicas) const;
+
+  const ProfileDb* db_;
+  const CommModel* comm_;
+};
+
+}  // namespace dpipe

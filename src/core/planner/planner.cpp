@@ -1,0 +1,168 @@
+#include "core/planner/planner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+
+namespace dpipe {
+
+namespace {
+
+std::vector<int> default_group_candidates(int world) {
+  std::vector<int> out;
+  for (int d = 2; d <= world; ++d) {
+    if (world % d == 0) {
+      out.push_back(d);
+    }
+  }
+  return out;
+}
+
+double elapsed_ms(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+}  // namespace
+
+Planner::Planner(ModelDesc model, ClusterSpec cluster, PlannerOptions options)
+    : model_(group_backbones(model).grouped_model),
+      cluster_(std::move(cluster)),
+      options_(std::move(options)),
+      comm_(cluster_),
+      report_(Profiler(options_.profiler).profile(model_, cluster_)) {
+  validate(model_);
+  require(options_.global_batch > 0.0, "global batch must be positive");
+  ensure(model_.backbone_ids.size() <= 2,
+         "grouping must produce at most two virtual backbones");
+  if (options_.stage_candidates.empty()) {
+    options_.stage_candidates = {2, 4, 8};
+  }
+  if (options_.micro_candidates.empty()) {
+    options_.micro_candidates = {2, 4, 8, 16};
+  }
+  if (options_.group_candidates.empty()) {
+    options_.group_candidates =
+        default_group_candidates(cluster_.world_size());
+  }
+}
+
+std::optional<Planner::Evaluation> Planner::evaluate(int S, int M,
+                                                     int D) const {
+  const int world = cluster_.world_size();
+  if (D > world || world % D != 0 || D % S != 0) {
+    return std::nullopt;
+  }
+  const int dp = world / D;
+  const double group_batch = options_.global_batch / dp;
+  const double micro = group_batch / M;
+  if (micro < 1.0) {
+    return std::nullopt;
+  }
+  for (const int b : model_.backbone_ids) {
+    if (S > model_.components[b].num_layers()) {
+      return std::nullopt;
+    }
+  }
+
+  PartitionOptions opts;
+  opts.num_stages = S;
+  opts.num_microbatches = M;
+  opts.group_size = D;
+  opts.data_parallel_degree = dp;
+  opts.microbatch_size = micro;
+  opts.self_conditioning = model_.self_conditioning;
+  opts.self_cond_prob = model_.self_cond_prob;
+
+  const DpPartitioner partitioner(report_.db, comm_);
+  const ScheduleBuilder builder(report_.db, comm_);
+  Schedule schedule;
+  if (model_.backbone_ids.size() == 1) {
+    const PartitionResult part =
+        partitioner.partition_single(model_.backbone_ids[0], opts);
+    schedule = builder.build_1f1b(model_.backbone_ids[0], part.stages, opts);
+  } else {
+    if (opts.self_conditioning) {
+      return std::nullopt;  // Not supported for CDMs (§6, Table 5).
+    }
+    const BiPartitionResult part = partition_bidirectional(
+        partitioner, model_.backbone_ids[0], model_.backbone_ids[1], opts);
+    schedule = builder.build_bidirectional(
+        model_.backbone_ids[0], part.down_stages, model_.backbone_ids[1],
+        part.up_stages, opts);
+  }
+
+  if (options_.check_memory) {
+    const MemoryReport memory =
+        estimate_pipeline_memory(report_.db, schedule, opts);
+    if (!memory.fits(cluster_.device.memory_gb)) {
+      Evaluation infeasible;
+      infeasible.config = {S, M, D, dp, 0.0, 0.0, false};
+      infeasible.opts = opts;
+      return infeasible;
+    }
+  }
+
+  FillOptions fill_opts;
+  fill_opts.training_batch = group_batch;
+  fill_opts.enable_fill = options_.enable_fill;
+  fill_opts.enable_partial = options_.enable_partial;
+  Evaluation eval;
+  eval.fill = BubbleFiller(report_.db).fill(schedule, fill_opts);
+  eval.opts = opts;
+  eval.config.num_stages = S;
+  eval.config.num_microbatches = M;
+  eval.config.group_size = D;
+  eval.config.data_parallel_degree = dp;
+  eval.config.predicted_iteration_ms = eval.fill.filled_schedule.makespan_ms;
+  eval.config.planned_bubble_ratio = bubble_ratio(
+      eval.fill.filled_schedule, extract_bubbles(eval.fill.filled_schedule));
+  eval.config.memory_feasible = true;
+  return eval;
+}
+
+Plan Planner::plan() const {
+  Plan plan;
+  plan.profiling_wall_ms = report_.profiling_wall_ms;
+
+  std::optional<Evaluation> best;
+  double fill_time_ms = 0.0;
+  const auto search_start = std::chrono::steady_clock::now();
+  for (const int D : options_.group_candidates) {
+    for (const int S : options_.stage_candidates) {
+      for (const int M : options_.micro_candidates) {
+        const auto fill_probe = std::chrono::steady_clock::now();
+        std::optional<Evaluation> eval = evaluate(S, M, D);
+        if (!eval.has_value()) {
+          continue;
+        }
+        if (eval->config.memory_feasible) {
+          // The fill step dominates evaluate(); attribute its wall time.
+          fill_time_ms += elapsed_ms(fill_probe) * 0.5;
+        }
+        plan.explored.push_back(eval->config);
+        if (!eval->config.memory_feasible) {
+          continue;
+        }
+        if (!best.has_value() || eval->config.predicted_iteration_ms <
+                                     best->config.predicted_iteration_ms) {
+          best = std::move(eval);
+        }
+      }
+    }
+  }
+  ensure(best.has_value(), "no feasible (S, M, D) configuration found");
+  const double total_ms = elapsed_ms(search_start);
+  plan.filling_wall_ms = fill_time_ms;
+  plan.partitioning_wall_ms = std::max(total_ms - fill_time_ms, 0.0);
+
+  plan.config = best->config;
+  plan.partition_opts = best->opts;
+  plan.program = generate_instructions(report_.db, best->fill.filled_schedule,
+                                       best->fill, best->opts);
+  plan.fill = std::move(best->fill);
+  return plan;
+}
+
+}  // namespace dpipe

@@ -1,0 +1,88 @@
+#pragma once
+
+#include "cluster/comm_model.h"
+#include "core/fill/filler.h"
+#include "core/instr/instructions.h"
+#include "core/partition/bidirectional.h"
+#include "core/partition/grouping.h"
+#include "core/schedule/schedule.h"
+#include "engine/memory.h"
+#include "profiler/profiler.h"
+
+namespace dpipe {
+
+/// Options of the front-end workflow (Fig. 7). Candidate lists left empty
+/// are derived from the cluster/model shape.
+struct PlannerOptions {
+  double global_batch = 512.0;  ///< Samples per iteration, whole cluster.
+  std::vector<int> stage_candidates;  ///< S values; default {2, 4, 8}.
+  std::vector<int> micro_candidates;  ///< M values; default {2, 4, 8, 16}.
+  std::vector<int> group_candidates;  ///< D values; default: divisors of
+                                      ///< world size (>= 2).
+  bool enable_fill = true;     ///< Ablation: pipeline bubble filling (§6.3).
+  bool enable_partial = true;  ///< Ablation: partial-batch layers (§6.3).
+  bool check_memory = true;    ///< Skip configurations that exceed HBM.
+  ProfilerOptions profiler;    ///< Step-1 settings.
+};
+
+/// One evaluated hyper-parameter combination (for sweeps and benches).
+struct PlanConfig {
+  int num_stages = 0;
+  int num_microbatches = 0;
+  int group_size = 0;
+  int data_parallel_degree = 0;
+  double predicted_iteration_ms = 0.0;
+  double planned_bubble_ratio = 0.0;  ///< After filling.
+  bool memory_feasible = true;
+};
+
+/// The selected plan plus everything the back-end needs.
+struct Plan {
+  PlanConfig config;
+  PartitionOptions partition_opts;
+  FillResult fill;                  ///< Includes the filled schedule.
+  InstructionProgram program;
+  std::vector<PlanConfig> explored; ///< Every feasible config evaluated.
+  double profiling_wall_ms = 0.0;   ///< Estimated step-1 cluster time.
+  double partitioning_wall_ms = 0.0;  ///< Actual host time in steps 2-3.
+  double filling_wall_ms = 0.0;       ///< Actual host time in step 4.
+};
+
+/// DiffusionPipe's front-end: profiles the model (step 1), searches the
+/// (S, M, D) space with the DP partitioner (steps 2-3), fills bubbles
+/// (step 4), selects the configuration with the minimum predicted iteration
+/// time (step 5), and lowers it to back-end instructions (step 6).
+///
+/// Single-backbone models use FIFO-1F1B; two-backbone cascades use
+/// bidirectional pipelining on the shared device chain (§4.2); cascades
+/// with more than two backbones are first merged into two FLOP-balanced
+/// virtual backbones (group_backbones, the paper's §4.2 extension).
+class Planner {
+ public:
+  Planner(ModelDesc model, ClusterSpec cluster, PlannerOptions options = {});
+
+  [[nodiscard]] Plan plan() const;
+
+  [[nodiscard]] const ProfileDb& db() const { return report_.db; }
+  [[nodiscard]] const CommModel& comm() const { return comm_; }
+  [[nodiscard]] const ModelDesc& model() const { return model_; }
+  [[nodiscard]] const ClusterSpec& cluster() const { return cluster_; }
+  [[nodiscard]] const PlannerOptions& options() const { return options_; }
+
+ private:
+  struct Evaluation {
+    PlanConfig config;
+    PartitionOptions opts;
+    FillResult fill;
+  };
+  [[nodiscard]] std::optional<Evaluation> evaluate(int S, int M,
+                                                   int D) const;
+
+  ModelDesc model_;
+  ClusterSpec cluster_;
+  PlannerOptions options_;
+  CommModel comm_;
+  ProfileReport report_;
+};
+
+}  // namespace dpipe

@@ -1,0 +1,46 @@
+#include "core/schedule/builder_common.h"
+#include "core/schedule/schedule.h"
+
+namespace dpipe {
+
+Schedule ScheduleBuilder::build_1f1b(int backbone_component,
+                                     const std::vector<StagePlan>& stages,
+                                     const PartitionOptions& opts) const {
+  using namespace builder_detail;
+  check_stages(stages, opts);
+  const int S = opts.num_stages;
+  const int M = opts.num_microbatches;
+
+  const std::vector<StageTiming> timings =
+      stage_timings(*db_, *comm_, backbone_component, stages, opts);
+  const double feedback =
+      feedback_lag_ms(*db_, *comm_, backbone_component, stages, opts);
+
+  std::vector<detail::ProtoOp> ops;
+  std::vector<int> executor_of_stage(S);
+  for (int s = 0; s < S; ++s) {
+    executor_of_stage[s] = s;
+  }
+  const BackboneOps ids =
+      append_backbone_ops(ops, 0, timings, executor_of_stage, M, feedback);
+
+  std::vector<std::vector<std::vector<int>>> queues(S);
+  for (int s = 0; s < S; ++s) {
+    queues[s].push_back(one_f_one_b_order(ids, s, S, M));
+  }
+  const std::vector<Span> times = detail::list_schedule(ops, queues);
+
+  const std::vector<int> offsets = stage_chain_offsets(stages);
+  std::vector<std::vector<int>> devices_of_executor(S);
+  for (int s = 0; s < S; ++s) {
+    for (int i = 0; i < stages[s].replicas; ++i) {
+      devices_of_executor[s].push_back(offsets[s] + i);
+    }
+  }
+  Schedule schedule = assemble_schedule(ops, times, devices_of_executor,
+                                        opts.group_size, S, M);
+  schedule.backbone_stages = {stages};
+  return schedule;
+}
+
+}  // namespace dpipe

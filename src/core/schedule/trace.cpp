@@ -1,0 +1,61 @@
+#include "core/schedule/trace.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace dpipe {
+
+namespace {
+
+void write_event(std::ostream& out, bool& first, const std::string& name,
+                 int row, double start_ms, double duration_ms,
+                 const char* category) {
+  if (!first) {
+    out << ",\n";
+  }
+  first = false;
+  out << R"(    {"name": ")" << name << R"(", "cat": ")" << category
+      << R"(", "ph": "X", "pid": 0, "tid": )" << row << R"(, "ts": )"
+      << start_ms * 1000.0 << R"(, "dur": )" << duration_ms * 1000.0 << "}";
+}
+
+std::string op_name(const PipelineOp& op) {
+  std::ostringstream name;
+  name << to_string(op.kind);
+  if (op.micro >= 0) {
+    name << " b" << op.backbone << "/s" << op.stage << "/m" << op.micro;
+  } else if (op.component >= 0) {
+    name << " c" << op.component << "/l" << op.layer;
+  }
+  return name.str();
+}
+
+}  // namespace
+
+void write_chrome_trace(const Schedule& schedule, std::ostream& out) {
+  out << "{\n  \"traceEvents\": [\n";
+  bool first = true;
+  for (int dev = 0; dev < schedule.group_size; ++dev) {
+    for (const PipelineOp& op : schedule.devices[dev].ops) {
+      write_event(out, first, op_name(op), dev, op.start_ms,
+                  op.duration_ms(),
+                  op.kind == OpKind::kForward || op.kind == OpKind::kBackward
+                      ? "compute"
+                      : "frozen");
+    }
+  }
+  // Collectives on a synthetic row after the devices.
+  for (const PipelineOp& op : schedule.link_ops) {
+    write_event(out, first, op_name(op), schedule.group_size, op.start_ms,
+                op.duration_ms(), "collective");
+  }
+  out << "\n  ],\n  \"displayTimeUnit\": \"ms\"\n}\n";
+}
+
+std::string chrome_trace_json(const Schedule& schedule) {
+  std::ostringstream out;
+  write_chrome_trace(schedule, out);
+  return out.str();
+}
+
+}  // namespace dpipe

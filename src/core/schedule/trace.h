@@ -1,0 +1,19 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/schedule/schedule.h"
+
+namespace dpipe {
+
+/// Writes a schedule as a Chrome trace-event JSON document (load it in
+/// chrome://tracing or Perfetto): one row per device, one complete event
+/// per op, link ops (gradient syncs) on a separate "collectives" row.
+/// Times are microseconds in the trace (ms * 1000).
+void write_chrome_trace(const Schedule& schedule, std::ostream& out);
+
+/// Convenience: render to a string (used by tests and examples).
+[[nodiscard]] std::string chrome_trace_json(const Schedule& schedule);
+
+}  // namespace dpipe

@@ -1,0 +1,158 @@
+#include "engine/memory.h"
+
+#include <algorithm>
+
+namespace dpipe {
+
+namespace {
+
+constexpr double kMbPerGb = 1024.0;
+
+double frozen_params_gb(const ModelDesc& model) {
+  double mb = 0.0;
+  for (const ComponentDesc& c : model.components) {
+    if (!c.trainable) {
+      mb += c.total_param_mb();
+    }
+  }
+  return mb / kMbPerGb;
+}
+
+double trainable_params_mb(const ModelDesc& model) {
+  double mb = 0.0;
+  for (const ComponentDesc& c : model.components) {
+    if (c.trainable) {
+      mb += c.total_param_mb();
+    }
+  }
+  return mb;
+}
+
+double trainable_act_mb_per_sample(const ModelDesc& model) {
+  double mb = 0.0;
+  for (const ComponentDesc& c : model.components) {
+    if (!c.trainable) {
+      continue;
+    }
+    for (const LayerDesc& l : c.layers) {
+      mb += l.act_mb;
+    }
+  }
+  return mb;
+}
+
+}  // namespace
+
+MemoryReport estimate_pipeline_memory(const ProfileDb& db,
+                                      const Schedule& schedule,
+                                      const PartitionOptions& opts,
+                                      bool gpipe_style) {
+  const ModelDesc& model = db.model();
+  MemoryReport report;
+  report.devices.resize(schedule.group_size);
+  const double frozen_gb = frozen_params_gb(model);
+  for (DeviceMemory& device : report.devices) {
+    device.frozen_gb = frozen_gb;
+  }
+  for (std::size_t b = 0; b < schedule.backbone_stages.size(); ++b) {
+    const int component = model.backbone_ids[b];
+    const std::vector<StagePlan>& stages = schedule.backbone_stages[b];
+    const int S = static_cast<int>(stages.size());
+    for (int s = 0; s < S; ++s) {
+      const StagePlan& stage = stages[s];
+      ensure(*std::max_element(stage.device_ranks.begin(),
+                               stage.device_ranks.end()) <
+                 schedule.group_size,
+             "stage device ranks must be chain positions of the group");
+      const double params_mb =
+          db.param_range_mb(component, stage.layer_begin, stage.layer_end);
+      const double act_mb_per_sample =
+          db.act_range_mb(component, stage.layer_begin, stage.layer_end);
+      const double local_micro = opts.microbatch_size / stage.replicas;
+      const int in_flight =
+          gpipe_style ? opts.num_microbatches
+                      : std::min(opts.num_microbatches, S - s);
+      for (const int position : stage.device_ranks) {
+        DeviceMemory& device = report.devices[position];
+        device.params_gb += params_mb / kMbPerGb;
+        // Frozen-in-pipeline layers (grad_mb = 0) carry no optimizer state.
+        device.optimizer_gb +=
+            kOptimizerStateMultiplier *
+            db.grad_range_mb(component, stage.layer_begin, stage.layer_end) /
+            kMbPerGb;
+        device.activations_gb +=
+            act_mb_per_sample * local_micro * in_flight / kMbPerGb;
+      }
+    }
+  }
+  for (const DeviceMemory& device : report.devices) {
+    report.peak_gb = std::max(report.peak_gb, device.total_gb());
+  }
+  return report;
+}
+
+MemoryReport estimate_data_parallel_memory(const ProfileDb& db,
+                                           double local_batch,
+                                           int num_devices) {
+  require(local_batch >= 0.0, "local batch must be non-negative");
+  require(num_devices >= 1, "need at least one device");
+  const ModelDesc& model = db.model();
+  const double params_mb = trainable_params_mb(model);
+  DeviceMemory device;
+  device.params_gb = params_mb / kMbPerGb;
+  device.optimizer_gb = kOptimizerStateMultiplier * params_mb / kMbPerGb;
+  device.activations_gb =
+      trainable_act_mb_per_sample(model) * local_batch / kMbPerGb;
+  device.frozen_gb = frozen_params_gb(model);
+  MemoryReport report;
+  report.devices.assign(num_devices, device);
+  report.peak_gb = device.total_gb();
+  return report;
+}
+
+MemoryReport estimate_zero3_memory(const ProfileDb& db, double local_batch,
+                                   int num_devices) {
+  require(num_devices >= 1, "need at least one device");
+  const ModelDesc& model = db.model();
+  const double params_mb = trainable_params_mb(model);
+  DeviceMemory device;
+  // Weights, grads and optimizer states sharded N ways (ZeRO stage 3);
+  // a working buffer of the largest layer's weights stays unsharded.
+  double largest_layer_mb = 0.0;
+  for (const ComponentDesc& c : model.components) {
+    if (!c.trainable) {
+      continue;
+    }
+    for (const LayerDesc& l : c.layers) {
+      largest_layer_mb = std::max(largest_layer_mb, l.param_mb);
+    }
+  }
+  device.params_gb =
+      (params_mb / num_devices + largest_layer_mb) / kMbPerGb;
+  device.optimizer_gb =
+      kOptimizerStateMultiplier * params_mb / num_devices / kMbPerGb;
+  device.activations_gb =
+      trainable_act_mb_per_sample(model) * local_batch / kMbPerGb;
+  device.frozen_gb = frozen_params_gb(model);
+  MemoryReport report;
+  report.devices.assign(num_devices, device);
+  report.peak_gb = device.total_gb();
+  return report;
+}
+
+double max_feasible_local_batch(const ProfileDb& db, double capacity_gb,
+                                const std::vector<double>& candidates,
+                                int num_devices, bool zero3) {
+  double best = 0.0;
+  for (const double batch : candidates) {
+    const MemoryReport report =
+        zero3 ? estimate_zero3_memory(db, batch, num_devices)
+              : estimate_data_parallel_memory(db, batch, num_devices);
+    if (report.fits(capacity_gb)) {
+      best = std::max(best, batch);
+    }
+  }
+  return best;
+}
+
+}  // namespace dpipe

@@ -1,0 +1,60 @@
+#pragma once
+
+#include "core/schedule/schedule.h"
+#include "profiler/profile_db.h"
+
+namespace dpipe {
+
+/// Per-device memory breakdown, in GB.
+struct DeviceMemory {
+  double params_gb = 0.0;      ///< fp16 weights of hosted stage(s).
+  double optimizer_gb = 0.0;   ///< fp16 grads + fp32 master/momentum/var.
+  double activations_gb = 0.0; ///< Stashed activations of in-flight micros.
+  double frozen_gb = 0.0;      ///< Non-trainable component weights.
+
+  [[nodiscard]] double total_gb() const {
+    return params_gb + optimizer_gb + activations_gb + frozen_gb;
+  }
+};
+
+struct MemoryReport {
+  std::vector<DeviceMemory> devices;
+  double peak_gb = 0.0;
+
+  [[nodiscard]] bool fits(double capacity_gb) const {
+    return peak_gb <= capacity_gb;
+  }
+};
+
+/// Mixed-precision optimizer state per MB of fp16 weights: fp16 gradients
+/// (1x) plus fp32 master weights, momentum and variance (3 x 2x) = 7x.
+inline constexpr double kOptimizerStateMultiplier = 7.0;
+
+/// Static memory estimate of a pipeline schedule. 1F1B keeps at most
+/// (S - stage) micro-batches of activations in flight per stage;
+/// GPipe-style scheduling keeps all M (the reason DiffusionPipe sustains
+/// larger batches than data parallelism, §6.1). Frozen components reside on
+/// every device (they execute data-parallel during bubble filling).
+[[nodiscard]] MemoryReport estimate_pipeline_memory(
+    const ProfileDb& db, const Schedule& schedule,
+    const PartitionOptions& opts, bool gpipe_style = false);
+
+/// Memory of plain data-parallel training at `local_batch` samples per
+/// device: the full model replicated everywhere.
+[[nodiscard]] MemoryReport estimate_data_parallel_memory(const ProfileDb& db,
+                                                         double local_batch,
+                                                         int num_devices);
+
+/// ZeRO-3: parameters, gradients and optimizer states sharded over all
+/// devices; activations stay local.
+[[nodiscard]] MemoryReport estimate_zero3_memory(const ProfileDb& db,
+                                                 double local_batch,
+                                                 int num_devices);
+
+/// Largest local batch (from `candidates`, ascending) that fits
+/// `capacity_gb` under the given estimator; 0 if none fit.
+[[nodiscard]] double max_feasible_local_batch(
+    const ProfileDb& db, double capacity_gb,
+    const std::vector<double>& candidates, int num_devices, bool zero3);
+
+}  // namespace dpipe

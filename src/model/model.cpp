@@ -1,0 +1,139 @@
+#include "model/model.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace dpipe {
+
+const char* to_string(LayerKind kind) {
+  switch (kind) {
+    case LayerKind::kConv:
+      return "conv";
+    case LayerKind::kHighResConv:
+      return "highres_conv";
+    case LayerKind::kResBlock:
+      return "res_block";
+    case LayerKind::kAttention:
+      return "attention";
+    case LayerKind::kTransformerBlock:
+      return "transformer_block";
+    case LayerKind::kLinear:
+      return "linear";
+    case LayerKind::kNorm:
+      return "norm";
+    case LayerKind::kEmbedding:
+      return "embedding";
+    case LayerKind::kUpsample:
+      return "upsample";
+    case LayerKind::kDownsample:
+      return "downsample";
+    case LayerKind::kOther:
+      return "other";
+  }
+  return "unknown";
+}
+
+double ComponentDesc::total_param_mb() const {
+  return std::accumulate(
+      layers.begin(), layers.end(), 0.0,
+      [](double acc, const LayerDesc& l) { return acc + l.param_mb; });
+}
+
+double ComponentDesc::total_fwd_gflop() const {
+  return std::accumulate(
+      layers.begin(), layers.end(), 0.0,
+      [](double acc, const LayerDesc& l) { return acc + l.fwd_gflop; });
+}
+
+const ComponentDesc& ModelDesc::backbone(int cascade_index) const {
+  require(cascade_index >= 0 &&
+              cascade_index < static_cast<int>(backbone_ids.size()),
+          "cascade index out of range");
+  return components[backbone_ids[cascade_index]];
+}
+
+std::vector<int> ModelDesc::non_trainable_topo_order() const {
+  // Kahn's algorithm restricted to non-trainable components. Dependencies on
+  // trainable components are ignored here: by cross-iteration pipelining the
+  // non-trainable part of iteration i+1 only needs iteration i+1's *inputs*.
+  const int n = static_cast<int>(components.size());
+  std::vector<int> indegree(n, 0);
+  std::vector<std::vector<int>> children(n);
+  for (int i = 0; i < n; ++i) {
+    if (components[i].trainable) {
+      continue;
+    }
+    for (const int dep : components[i].deps) {
+      if (!components[dep].trainable) {
+        ++indegree[i];
+        children[dep].push_back(i);
+      }
+    }
+  }
+  std::vector<int> ready;
+  for (int i = 0; i < n; ++i) {
+    if (!components[i].trainable && indegree[i] == 0) {
+      ready.push_back(i);
+    }
+  }
+  std::vector<int> order;
+  while (!ready.empty()) {
+    // Pop the smallest index for determinism.
+    const auto it = std::min_element(ready.begin(), ready.end());
+    const int node = *it;
+    ready.erase(it);
+    order.push_back(node);
+    for (const int child : children[node]) {
+      if (--indegree[child] == 0) {
+        ready.push_back(child);
+      }
+    }
+  }
+  int non_trainable_count = 0;
+  for (const ComponentDesc& c : components) {
+    if (!c.trainable) {
+      ++non_trainable_count;
+    }
+  }
+  ensure(static_cast<int>(order.size()) == non_trainable_count,
+         "non-trainable component dependencies contain a cycle");
+  return order;
+}
+
+double ModelDesc::trainable_param_mb() const {
+  double sum = 0.0;
+  for (const ComponentDesc& c : components) {
+    if (c.trainable) {
+      sum += c.total_param_mb();
+    }
+  }
+  return sum;
+}
+
+void validate(const ModelDesc& model) {
+  require(!model.components.empty(), "model has no components");
+  require(!model.backbone_ids.empty(), "model has no backbone");
+  const int n = static_cast<int>(model.components.size());
+  for (const int id : model.backbone_ids) {
+    require(id >= 0 && id < n, "backbone id out of range");
+    require(model.components[id].trainable, "backbone must be trainable");
+    require(!model.components[id].layers.empty(), "backbone has no layers");
+  }
+  for (const ComponentDesc& c : model.components) {
+    for (const int dep : c.deps) {
+      require(dep >= 0 && dep < n, "component dependency out of range");
+    }
+    for (const LayerDesc& l : c.layers) {
+      require(l.fwd_gflop >= 0.0 && l.param_mb >= 0.0 && l.output_mb >= 0.0 &&
+                  l.act_mb >= 0.0,
+              "layer sizes must be non-negative");
+      require(l.bwd_flop_factor >= 0.0, "bwd_flop_factor must be >= 0");
+    }
+  }
+  require(model.self_cond_prob >= 0.0 && model.self_cond_prob <= 1.0,
+          "self_cond_prob must be a probability");
+  // Throws if the non-trainable dependency graph is cyclic.
+  (void)model.non_trainable_topo_order();
+}
+
+}  // namespace dpipe

@@ -1,0 +1,39 @@
+#pragma once
+
+#include "cluster/cluster.h"
+#include "common/noise.h"
+#include "model/model.h"
+
+namespace dpipe {
+
+/// Analytic per-layer execution time model: a roofline-style estimate
+///   time(batch) = batch * gflop / (efficiency * peak_tflops) + overhead
+/// with deterministic multiplicative noise. Two instances with different
+/// seeds model "profiled" vs "actual" kernel times (see DESIGN.md §3).
+class AnalyticCostModel {
+ public:
+  AnalyticCostModel(DeviceSpec device, NoiseSource noise);
+
+  /// Forward time of one layer at `batch` samples, in ms. `batch` may be
+  /// fractional (replicated stages process B/r samples).
+  [[nodiscard]] double fwd_ms(const LayerDesc& layer, double batch) const;
+
+  /// Backward time (bwd_flop_factor x forward FLOPs + backward overhead).
+  [[nodiscard]] double bwd_ms(const LayerDesc& layer, double batch) const;
+
+  /// Default fraction of device peak attained by a layer kind's kernels.
+  [[nodiscard]] static double default_efficiency(LayerKind kind);
+
+  [[nodiscard]] const DeviceSpec& device() const { return device_; }
+  [[nodiscard]] const NoiseSource& noise() const { return noise_; }
+
+ private:
+  [[nodiscard]] double rate_gflop_per_ms(const LayerDesc& layer) const;
+  [[nodiscard]] double jitter(const LayerDesc& layer, double batch,
+                              bool backward) const;
+
+  DeviceSpec device_;
+  NoiseSource noise_;
+};
+
+}  // namespace dpipe

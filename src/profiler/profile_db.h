@@ -1,0 +1,76 @@
+#pragma once
+
+#include <vector>
+
+#include "model/model.h"
+#include "profiler/cost_model.h"
+
+namespace dpipe {
+
+/// The profile database produced by step 1 of the paper's workflow (Fig. 7):
+/// per-layer forward/backward times sampled on a batch-size grid, plus the
+/// static layer sizes. All planning algorithms (partitioner, schedule
+/// builder, bubble filler) read exclusively from this class.
+///
+/// Times at off-grid batch sizes are piecewise-linear interpolations of the
+/// sampled grid (linear extrapolation beyond the ends), matching how real
+/// profilers are consulted. Range sums use per-grid-point prefix sums, so a
+/// [lo, hi) stage query is O(1).
+class ProfileDb {
+ public:
+  /// Samples `cost` on `batch_grid` (strictly increasing, non-empty) for
+  /// every layer of `model`.
+  ProfileDb(const ModelDesc& model, const AnalyticCostModel& cost,
+            std::vector<double> batch_grid);
+
+  [[nodiscard]] double fwd_ms(int component, int layer, double batch) const;
+  [[nodiscard]] double bwd_ms(int component, int layer, double batch) const;
+
+  /// Sum of forward times of layers [lo, hi) of `component` at `batch`.
+  [[nodiscard]] double fwd_range_ms(int component, int lo, int hi,
+                                    double batch) const;
+  [[nodiscard]] double bwd_range_ms(int component, int lo, int hi,
+                                    double batch) const;
+
+  /// Sum of gradient sizes (MB) of layers [lo, hi) of `component`.
+  [[nodiscard]] double grad_range_mb(int component, int lo, int hi) const;
+  /// Sum of parameter sizes (MB) of layers [lo, hi).
+  [[nodiscard]] double param_range_mb(int component, int lo, int hi) const;
+  /// Sum of stashed-activation sizes (MB per sample) of layers [lo, hi).
+  [[nodiscard]] double act_range_mb(int component, int lo, int hi) const;
+
+  [[nodiscard]] const LayerDesc& layer(int component, int layer) const;
+  [[nodiscard]] const ModelDesc& model() const { return model_; }
+  [[nodiscard]] const std::vector<double>& batch_grid() const {
+    return batch_grid_;
+  }
+
+ private:
+  struct LayerSamples {
+    std::vector<double> fwd_ms;  ///< Indexed by batch-grid position.
+    std::vector<double> bwd_ms;
+  };
+  struct ComponentProfile {
+    std::vector<LayerSamples> layers;
+    /// prefix_fwd[g][l] = sum of fwd_ms[g] over layers [0, l).
+    std::vector<std::vector<double>> prefix_fwd;
+    std::vector<std::vector<double>> prefix_bwd;
+    std::vector<double> prefix_grad_mb;   ///< length L+1
+    std::vector<double> prefix_param_mb;  ///< length L+1
+    std::vector<double> prefix_act_mb;    ///< length L+1
+  };
+
+  [[nodiscard]] double interpolate(const std::vector<double>& samples,
+                                   double batch) const;
+  void check_range(int component, int lo, int hi) const;
+
+  ModelDesc model_;
+  std::vector<double> batch_grid_;
+  std::vector<ComponentProfile> components_;
+};
+
+/// The default batch grid used by the profiler (covers the paper's partial
+/// batch candidates {4,...,96} plus the micro-batch sizes that occur).
+[[nodiscard]] std::vector<double> default_batch_grid();
+
+}  // namespace dpipe

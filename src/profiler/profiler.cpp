@@ -1,0 +1,41 @@
+#include "profiler/profiler.h"
+
+namespace dpipe {
+
+Profiler::Profiler(ProfilerOptions options) : options_(std::move(options)) {
+  require(options_.repeats >= 1, "repeats must be >= 1");
+  require(options_.warmup_repeats >= 0, "warmup_repeats must be >= 0");
+}
+
+ProfileReport Profiler::profile(const ModelDesc& model,
+                                const ClusterSpec& cluster) const {
+  validate(model);
+  validate(cluster);
+  const AnalyticCostModel cost(cluster.device,
+                               NoiseSource(options_.noise_seed,
+                                           options_.noise_amplitude));
+  ProfileDb db(model, cost, options_.batch_grid);
+
+  // Wall-clock estimate: each (layer, batch) cell is measured
+  // warmup + repeats times; cells are distributed over all devices.
+  double total_measurement_ms = 0.0;
+  const int runs = options_.repeats + options_.warmup_repeats;
+  for (std::size_t ci = 0; ci < model.components.size(); ++ci) {
+    const ComponentDesc& comp = model.components[ci];
+    for (int li = 0; li < comp.num_layers(); ++li) {
+      for (const double batch : options_.batch_grid) {
+        double per_run = db.fwd_ms(static_cast<int>(ci), li, batch);
+        if (comp.trainable) {
+          per_run += db.bwd_ms(static_cast<int>(ci), li, batch);
+        }
+        // ~1 ms fixed cost per measurement (launch, sync, record).
+        total_measurement_ms += runs * (per_run + 1.0);
+      }
+    }
+  }
+  ProfileReport report{std::move(db),
+                       total_measurement_ms / cluster.world_size()};
+  return report;
+}
+
+}  // namespace dpipe

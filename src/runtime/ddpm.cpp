@@ -1,0 +1,129 @@
+#include "runtime/ddpm.h"
+
+#include <cmath>
+
+namespace dpipe::rt {
+
+namespace {
+
+Rng encoder_rng(std::uint64_t seed) { return Rng(seed ^ 0xE4C0DEull); }
+
+}  // namespace
+
+DdpmProblem::DdpmProblem(DdpmConfig config)
+    : config_(config),
+      encoder_([&] {
+        Rng rng = encoder_rng(config.seed);
+        return FrozenEncoder(config.cond_raw_dim, config.cond_dim, rng);
+      }()) {
+  require(config_.data_dim >= 1 && config_.hidden >= 1 && config_.depth >= 1,
+          "invalid DDPM config");
+  require(config_.timesteps >= 2, "need at least 2 timesteps");
+  require(config_.self_cond_prob >= 0.0 && config_.self_cond_prob <= 1.0,
+          "self_cond_prob must be a probability");
+}
+
+DdpmProblem::Batch DdpmProblem::make_batch(int iteration,
+                                           int batch_size) const {
+  require(iteration >= 0 && batch_size >= 1, "invalid batch request");
+  Rng rng(config_.seed + 0x9E3779B9ull * (iteration + 1));
+  Batch batch;
+  batch.x0 = Tensor({batch_size, config_.data_dim});
+  batch.cond_raw = Tensor({batch_size, config_.cond_raw_dim});
+  batch.noise = Tensor({batch_size, config_.data_dim});
+  batch.t_feat = Tensor({batch_size, config_.time_dim});
+  batch.alpha_bar = Tensor({batch_size, 1});
+  for (int i = 0; i < batch_size; ++i) {
+    // Gaussian mixture: component chosen by conditioning.
+    const int component = static_cast<int>(rng.next_u64() % 4);
+    for (int j = 0; j < config_.data_dim; ++j) {
+      const float center = (component == (j % 4)) ? 2.0f : -1.0f;
+      batch.x0.at(i, j) = center + 0.3f * rng.normal();
+    }
+    for (int j = 0; j < config_.cond_raw_dim; ++j) {
+      batch.cond_raw.at(i, j) =
+          (j % 4 == component ? 1.0f : 0.0f) + 0.05f * rng.normal();
+    }
+    for (int j = 0; j < config_.data_dim; ++j) {
+      batch.noise.at(i, j) = rng.normal();
+    }
+    const int t =
+        1 + static_cast<int>(rng.next_u64() %
+                             static_cast<std::uint64_t>(config_.timesteps - 1));
+    // Cosine-ish cumulative schedule.
+    const float frac =
+        static_cast<float>(t) / static_cast<float>(config_.timesteps);
+    batch.alpha_bar.at(i, 0) =
+        std::cos(frac * 1.5707963f) * std::cos(frac * 1.5707963f);
+    for (int j = 0; j < config_.time_dim; ++j) {
+      const float freq = std::pow(10.0f, static_cast<float>(j) -
+                                             config_.time_dim / 2.0f);
+      batch.t_feat.at(i, j) =
+          (j % 2 == 0) ? std::sin(freq * t) : std::cos(freq * t);
+    }
+  }
+  return batch;
+}
+
+Tensor DdpmProblem::encode_condition(const Tensor& cond_raw) const {
+  return encoder_.encode(cond_raw);
+}
+
+Tensor DdpmProblem::make_input(const Batch& batch, const Tensor& cond,
+                               const Tensor* self_cond_pred) const {
+  require(cond.rows() == batch.x0.rows(), "condition batch mismatch");
+  // x_t = sqrt(alpha_bar) x0 + sqrt(1 - alpha_bar) eps.
+  Tensor x_t(batch.x0.shape());
+  for (int i = 0; i < batch.x0.rows(); ++i) {
+    const float a = batch.alpha_bar.at(i, 0);
+    for (int j = 0; j < batch.x0.cols(); ++j) {
+      x_t.at(i, j) = std::sqrt(a) * batch.x0.at(i, j) +
+                     std::sqrt(1.0f - a) * batch.noise.at(i, j);
+    }
+  }
+  Tensor input = concat_cols(concat_cols(x_t, batch.t_feat), cond);
+  const Tensor sc = self_cond_pred != nullptr
+                        ? *self_cond_pred
+                        : Tensor::zeros({batch.x0.rows(), config_.data_dim});
+  return concat_cols(input, sc);
+}
+
+Tensor DdpmProblem::loss_grad(const Tensor& pred, const Tensor& target,
+                              int global_batch) const {
+  require(pred.shape() == target.shape(), "pred/target shape mismatch");
+  require(global_batch >= 1, "global batch must be positive");
+  const float norm =
+      2.0f / (static_cast<float>(global_batch) * pred.cols());
+  return scale(sub(pred, target), norm);
+}
+
+double DdpmProblem::loss(const Tensor& pred, const Tensor& target) const {
+  const Tensor diff = sub(pred, target);
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < diff.numel(); ++i) {
+    acc += static_cast<double>(diff.data()[i]) * diff.data()[i];
+  }
+  return acc / static_cast<double>(diff.numel());
+}
+
+bool DdpmProblem::self_cond_active(int iteration) const {
+  if (!config_.self_conditioning) {
+    return false;
+  }
+  Rng rng(config_.seed ^ (0xC0FFEEull + iteration));
+  (void)rng.next_u64();
+  return rng.uniform() < static_cast<float>(config_.self_cond_prob);
+}
+
+int DdpmProblem::input_dim() const {
+  return config_.data_dim + config_.time_dim + config_.cond_dim +
+         config_.data_dim;  // self-cond slot always present
+}
+
+std::unique_ptr<Sequential> DdpmProblem::make_backbone() const {
+  Rng rng(config_.seed ^ 0xBAC0BACull);
+  return make_mlp_backbone(input_dim(), config_.hidden, config_.depth,
+                           config_.data_dim, rng);
+}
+
+}  // namespace dpipe::rt

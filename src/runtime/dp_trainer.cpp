@@ -1,0 +1,53 @@
+#include "runtime/dp_trainer.h"
+
+namespace dpipe::rt {
+
+ReferenceTrainer::ReferenceTrainer(const DdpmProblem& problem,
+                                   int global_batch, float lr, bool use_adam)
+    : problem_(&problem),
+      global_batch_(global_batch),
+      net_(problem.make_backbone()),
+      sgd_(lr),
+      adam_(use_adam ? std::make_unique<Adam>(lr) : nullptr) {
+  require(global_batch >= 1, "global batch must be positive");
+}
+
+void ReferenceTrainer::train(int iterations) {
+  for (int k = 0; k < iterations; ++k, ++iteration_) {
+    const DdpmProblem::Batch batch =
+        problem_->make_batch(iteration_, global_batch_);
+    const Tensor cond = problem_->encode_condition(batch.cond_raw);
+
+    const Tensor* self_cond = nullptr;
+    Tensor sc_pred;
+    if (problem_->self_cond_active(iteration_)) {
+      // First (no-grad) pass with a zero self-conditioning slot.
+      const Tensor input0 = problem_->make_input(batch, cond, nullptr);
+      sc_pred = net_->forward(input0);
+      net_->drop_context();
+      self_cond = &sc_pred;
+    }
+    const Tensor input = problem_->make_input(batch, cond, self_cond);
+    const Tensor pred = net_->forward(input);
+    losses_.push_back(problem_->loss(pred, batch.noise));
+    const Tensor grad =
+        problem_->loss_grad(pred, batch.noise, global_batch_);
+    (void)net_->backward(grad);
+    if (adam_ != nullptr) {
+      adam_->step(net_->params(), net_->grads());
+    } else {
+      sgd_.step(net_->params(), net_->grads());
+    }
+    net_->zero_grad();
+  }
+}
+
+std::vector<Tensor> ReferenceTrainer::snapshot_params() const {
+  std::vector<Tensor> out;
+  for (Tensor* p : const_cast<Sequential&>(*net_).params()) {
+    out.push_back(*p);
+  }
+  return out;
+}
+
+}  // namespace dpipe::rt

@@ -1,0 +1,31 @@
+#pragma once
+
+#include "runtime/ddpm.h"
+#include "runtime/optim.h"
+
+namespace dpipe::rt {
+
+/// Single-process full-batch reference trainer: the ground truth that
+/// data-parallel *and* pipeline-parallel synchronous training must
+/// reproduce (both compute exactly the full-batch gradient).
+class ReferenceTrainer {
+ public:
+  ReferenceTrainer(const DdpmProblem& problem, int global_batch, float lr,
+                   bool use_adam = false);
+
+  void train(int iterations);
+
+  [[nodiscard]] std::vector<Tensor> snapshot_params() const;
+  [[nodiscard]] const std::vector<double>& losses() const { return losses_; }
+
+ private:
+  const DdpmProblem* problem_;
+  int global_batch_;
+  std::unique_ptr<Sequential> net_;
+  Sgd sgd_;
+  std::unique_ptr<Adam> adam_;  ///< Non-null when Adam was requested.
+  std::vector<double> losses_;
+  int iteration_ = 0;
+};
+
+}  // namespace dpipe::rt

@@ -1,0 +1,180 @@
+#include "runtime/modules.h"
+
+#include <cmath>
+
+namespace dpipe::rt {
+
+Linear::Linear(int in_features, int out_features, Rng& rng)
+    : weight(rng.randn({in_features, out_features},
+                       1.0f / std::sqrt(static_cast<float>(in_features)))),
+      bias(Tensor::zeros({1, out_features})),
+      grad_weight(Tensor::zeros({in_features, out_features})),
+      grad_bias(Tensor::zeros({1, out_features})) {}
+
+Tensor Linear::forward(const Tensor& x) {
+  inputs_.push_back(x);
+  Tensor y = matmul(x, weight);
+  for (int i = 0; i < y.rows(); ++i) {
+    for (int j = 0; j < y.cols(); ++j) {
+      y.at(i, j) += bias.at(0, j);
+    }
+  }
+  return y;
+}
+
+Tensor Linear::backward(const Tensor& grad_out) {
+  ensure(!inputs_.empty(), "Linear::backward without stashed forward");
+  const Tensor x = std::move(inputs_.front());
+  inputs_.pop_front();
+  grad_weight = add(grad_weight, matmul_tn(x, grad_out));
+  grad_bias = add(grad_bias, sum_rows(grad_out));
+  return matmul_nt(grad_out, weight);
+}
+
+std::vector<Tensor*> Linear::params() { return {&weight, &bias}; }
+std::vector<Tensor*> Linear::grads() { return {&grad_weight, &grad_bias}; }
+
+void Linear::zero_grad() {
+  grad_weight = Tensor::zeros(grad_weight.shape());
+  grad_bias = Tensor::zeros(grad_bias.shape());
+}
+
+namespace {
+
+float sigmoid(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+}  // namespace
+
+Tensor SiLU::forward(const Tensor& x) {
+  inputs_.push_back(x);
+  Tensor y(x.shape());
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    y.data()[i] = x.data()[i] * sigmoid(x.data()[i]);
+  }
+  return y;
+}
+
+Tensor SiLU::backward(const Tensor& grad_out) {
+  ensure(!inputs_.empty(), "SiLU::backward without stashed forward");
+  const Tensor x = std::move(inputs_.front());
+  inputs_.pop_front();
+  Tensor grad_in(x.shape());
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    const float s = sigmoid(x.data()[i]);
+    grad_in.data()[i] =
+        grad_out.data()[i] * (s + x.data()[i] * s * (1.0f - s));
+  }
+  return grad_in;
+}
+
+void Sequential::push(std::unique_ptr<Module> module) {
+  modules_.push_back(std::move(module));
+}
+
+Tensor Sequential::forward(const Tensor& x) {
+  return forward_range(x, 0, size());
+}
+
+Tensor Sequential::backward(const Tensor& grad_out) {
+  return backward_range(grad_out, 0, size());
+}
+
+Tensor Sequential::forward_range(const Tensor& x, int begin, int end) {
+  require(begin >= 0 && begin <= end && end <= size(),
+          "module range out of bounds");
+  Tensor y = x;
+  for (int i = begin; i < end; ++i) {
+    y = modules_[i]->forward(y);
+  }
+  return y;
+}
+
+Tensor Sequential::backward_range(const Tensor& grad_out, int begin,
+                                  int end) {
+  require(begin >= 0 && begin <= end && end <= size(),
+          "module range out of bounds");
+  Tensor g = grad_out;
+  for (int i = end - 1; i >= begin; --i) {
+    g = modules_[i]->backward(g);
+  }
+  return g;
+}
+
+std::vector<Tensor*> Sequential::params() {
+  std::vector<Tensor*> out;
+  for (const auto& m : modules_) {
+    for (Tensor* p : m->params()) {
+      out.push_back(p);
+    }
+  }
+  return out;
+}
+
+std::vector<Tensor*> Sequential::grads() {
+  std::vector<Tensor*> out;
+  for (const auto& m : modules_) {
+    for (Tensor* g : m->grads()) {
+      out.push_back(g);
+    }
+  }
+  return out;
+}
+
+void Sequential::zero_grad() {
+  for (const auto& m : modules_) {
+    m->zero_grad();
+  }
+}
+
+void Sequential::drop_context() { drop_context_range(0, size()); }
+
+void Sequential::drop_context_range(int begin, int end) {
+  require(begin >= 0 && begin <= end && end <= size(),
+          "module range out of bounds");
+  for (int i = begin; i < end; ++i) {
+    modules_[i]->drop_context();
+  }
+}
+
+int Sequential::pending_contexts() const {
+  int total = 0;
+  for (const auto& m : modules_) {
+    total += m->pending_contexts();
+  }
+  return total;
+}
+
+std::unique_ptr<Sequential> make_mlp_backbone(int in_features, int hidden,
+                                              int depth, int out_features,
+                                              Rng& rng) {
+  require(depth >= 1, "backbone needs at least one block");
+  auto net = std::make_unique<Sequential>();
+  int width = in_features;
+  for (int d = 0; d < depth; ++d) {
+    net->push(std::make_unique<Linear>(width, hidden, rng));
+    net->push(std::make_unique<SiLU>());
+    width = hidden;
+  }
+  net->push(std::make_unique<Linear>(width, out_features, rng));
+  return net;
+}
+
+FrozenEncoder::FrozenEncoder(int in_features, int out_features, Rng& rng)
+    : w1_(rng.randn({in_features, 2 * out_features},
+                    1.0f / std::sqrt(static_cast<float>(in_features)))),
+      b1_(Tensor::zeros({1, 2 * out_features})),
+      w2_(rng.randn({2 * out_features, out_features},
+                    1.0f /
+                        std::sqrt(static_cast<float>(2 * out_features)))),
+      b2_(Tensor::zeros({1, out_features})) {}
+
+Tensor FrozenEncoder::encode(const Tensor& x) const {
+  Tensor h = matmul(x, w1_);
+  for (std::int64_t i = 0; i < h.numel(); ++i) {
+    const float v = h.data()[i];
+    h.data()[i] = v * (1.0f / (1.0f + std::exp(-v)));
+  }
+  return matmul(h, w2_);
+}
+
+}  // namespace dpipe::rt

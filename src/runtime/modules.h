@@ -1,0 +1,117 @@
+#pragma once
+
+#include <deque>
+#include <memory>
+
+#include "runtime/tensor.h"
+
+namespace dpipe::rt {
+
+/// Layer-wise autograd module. Forward pushes a context onto a FIFO;
+/// backward pops the oldest. This matches FIFO-1F1B execution, where each
+/// stage backward-processes micro-batches in the same order it
+/// forward-processed them (Fig. 2); gradients accumulate across
+/// micro-batches until zero_grad().
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  [[nodiscard]] virtual Tensor forward(const Tensor& x) = 0;
+  /// Returns dL/dx; accumulates dL/dW internally.
+  [[nodiscard]] virtual Tensor backward(const Tensor& grad_out) = 0;
+
+  [[nodiscard]] virtual std::vector<Tensor*> params() { return {}; }
+  [[nodiscard]] virtual std::vector<Tensor*> grads() { return {}; }
+  virtual void zero_grad() {}
+  /// Number of stashed (not yet backward-ed) micro-batch contexts.
+  [[nodiscard]] virtual int pending_contexts() const { return 0; }
+  /// Discards the oldest stashed context without computing gradients.
+  /// Used for no-grad forwards (the self-conditioning first pass).
+  virtual void drop_context() {}
+};
+
+/// y = x W + b.
+class Linear : public Module {
+ public:
+  Linear(int in_features, int out_features, Rng& rng);
+
+  [[nodiscard]] Tensor forward(const Tensor& x) override;
+  [[nodiscard]] Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] std::vector<Tensor*> params() override;
+  [[nodiscard]] std::vector<Tensor*> grads() override;
+  void zero_grad() override;
+  [[nodiscard]] int pending_contexts() const override {
+    return static_cast<int>(inputs_.size());
+  }
+  void drop_context() override { inputs_.pop_front(); }
+
+  Tensor weight;  ///< [in, out]
+  Tensor bias;    ///< [1, out]
+  Tensor grad_weight;
+  Tensor grad_bias;
+
+ private:
+  std::deque<Tensor> inputs_;
+};
+
+/// y = x * sigmoid(x).
+class SiLU : public Module {
+ public:
+  [[nodiscard]] Tensor forward(const Tensor& x) override;
+  [[nodiscard]] Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] int pending_contexts() const override {
+    return static_cast<int>(inputs_.size());
+  }
+  void drop_context() override { inputs_.pop_front(); }
+
+ private:
+  std::deque<Tensor> inputs_;
+};
+
+/// Chain of modules; supports forward/backward over a sub-range so a
+/// pipeline stage can own layers [begin, end).
+class Sequential : public Module {
+ public:
+  Sequential() = default;
+  void push(std::unique_ptr<Module> module);
+
+  [[nodiscard]] Tensor forward(const Tensor& x) override;
+  [[nodiscard]] Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] Tensor forward_range(const Tensor& x, int begin, int end);
+  [[nodiscard]] Tensor backward_range(const Tensor& grad_out, int begin,
+                                      int end);
+  [[nodiscard]] std::vector<Tensor*> params() override;
+  [[nodiscard]] std::vector<Tensor*> grads() override;
+  void zero_grad() override;
+  [[nodiscard]] int size() const { return static_cast<int>(modules_.size()); }
+  [[nodiscard]] int pending_contexts() const override;
+  void drop_context() override;
+  /// Discards one context from every module in [begin, end).
+  void drop_context_range(int begin, int end);
+  [[nodiscard]] Module& module(int index) { return *modules_.at(index); }
+
+ private:
+  std::vector<std::unique_ptr<Module>> modules_;
+};
+
+/// An MLP denoiser backbone: `depth` [Linear -> SiLU] blocks plus an output
+/// projection. 2*depth + 1 schedulable modules.
+[[nodiscard]] std::unique_ptr<Sequential> make_mlp_backbone(int in_features,
+                                                            int hidden,
+                                                            int depth,
+                                                            int out_features,
+                                                            Rng& rng);
+
+/// Frozen encoder: a fixed random MLP used as the non-trainable component
+/// (its outputs do not depend on trainable parameters, so they can be
+/// computed one iteration ahead — the premise of cross-iteration filling).
+class FrozenEncoder {
+ public:
+  FrozenEncoder(int in_features, int out_features, Rng& rng);
+  [[nodiscard]] Tensor encode(const Tensor& x) const;
+
+ private:
+  Tensor w1_, b1_, w2_, b2_;
+};
+
+}  // namespace dpipe::rt

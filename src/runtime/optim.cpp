@@ -1,0 +1,52 @@
+#include "runtime/optim.h"
+
+#include <cmath>
+
+namespace dpipe::rt {
+
+void Sgd::step(const std::vector<Tensor*>& params,
+               const std::vector<Tensor*>& grads) const {
+  require(params.size() == grads.size(), "param/grad count mismatch");
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    Tensor& p = *params[i];
+    const Tensor& g = *grads[i];
+    require(p.shape() == g.shape(), "param/grad shape mismatch");
+    for (std::int64_t j = 0; j < p.numel(); ++j) {
+      p.data()[j] -= lr_ * g.data()[j];
+    }
+  }
+}
+
+Adam::Adam(float lr, float beta1, float beta2, float eps)
+    : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {
+  require(lr > 0.0f, "lr must be > 0");
+}
+
+void Adam::step(const std::vector<Tensor*>& params,
+                const std::vector<Tensor*>& grads) {
+  require(params.size() == grads.size(), "param/grad count mismatch");
+  if (m_.empty()) {
+    for (Tensor* p : params) {
+      m_.emplace_back(Tensor::zeros(p->shape()));
+      v_.emplace_back(Tensor::zeros(p->shape()));
+    }
+  }
+  require(m_.size() == params.size(), "optimizer state mismatch");
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    Tensor& p = *params[i];
+    const Tensor& g = *grads[i];
+    for (std::int64_t j = 0; j < p.numel(); ++j) {
+      m_[i].data()[j] = beta1_ * m_[i].data()[j] + (1 - beta1_) * g.data()[j];
+      v_[i].data()[j] =
+          beta2_ * v_[i].data()[j] + (1 - beta2_) * g.data()[j] * g.data()[j];
+      const float mhat = m_[i].data()[j] / bc1;
+      const float vhat = v_[i].data()[j] / bc2;
+      p.data()[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+}  // namespace dpipe::rt

@@ -1,0 +1,38 @@
+#pragma once
+
+#include "runtime/tensor.h"
+
+namespace dpipe::rt {
+
+/// Plain SGD: p -= lr * g. Deterministic, no internal state — ideal for
+/// bit-level trajectory comparisons between trainers.
+class Sgd {
+ public:
+  explicit Sgd(float lr) : lr_(lr) { require(lr > 0.0f, "lr must be > 0"); }
+
+  void step(const std::vector<Tensor*>& params,
+            const std::vector<Tensor*>& grads) const;
+
+  [[nodiscard]] float lr() const { return lr_; }
+
+ private:
+  float lr_;
+};
+
+/// Adam with bias correction. One instance per parameter set; `step` must
+/// be called with the same param/grad lists every time.
+class Adam {
+ public:
+  explicit Adam(float lr, float beta1 = 0.9f, float beta2 = 0.999f,
+                float eps = 1e-8f);
+
+  void step(const std::vector<Tensor*>& params,
+            const std::vector<Tensor*>& grads);
+
+ private:
+  float lr_, beta1_, beta2_, eps_;
+  int t_ = 0;
+  std::vector<Tensor> m_, v_;
+};
+
+}  // namespace dpipe::rt

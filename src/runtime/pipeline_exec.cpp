@@ -1,0 +1,278 @@
+#include "runtime/pipeline_exec.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace dpipe::rt {
+
+namespace {
+
+DdpmProblem::Batch slice_batch(const DdpmProblem::Batch& batch, int lo,
+                               int hi) {
+  DdpmProblem::Batch out;
+  out.x0 = batch.x0.slice_rows(lo, hi);
+  out.cond_raw = batch.cond_raw.slice_rows(lo, hi);
+  out.noise = batch.noise.slice_rows(lo, hi);
+  out.t_feat = batch.t_feat.slice_rows(lo, hi);
+  out.alpha_bar = batch.alpha_bar.slice_rows(lo, hi);
+  return out;
+}
+
+/// FIFO-1F1B per-stage op order: +m = forward micro m, -(m+1) = backward m.
+std::vector<int> one_f_one_b_order(int stage, int num_stages, int micros) {
+  const int warmup = std::min(num_stages - 1 - stage, micros);
+  std::vector<int> order;
+  for (int m = 0; m < warmup; ++m) {
+    order.push_back(m);
+  }
+  for (int i = 0; i + warmup < micros; ++i) {
+    order.push_back(warmup + i);
+    order.push_back(-(i + 1));
+  }
+  for (int m = micros - warmup; m < micros; ++m) {
+    order.push_back(-(m + 1));
+  }
+  return order;
+}
+
+}  // namespace
+
+PipelineTrainer::PipelineTrainer(const DdpmProblem& problem,
+                                 PipelineRtConfig config)
+    : problem_(&problem), config_(config), optimizer_(config.lr) {
+  require(config_.num_stages >= 1, "need at least one stage");
+  require(config_.num_microbatches >= 1, "need at least one micro-batch");
+  require(config_.data_parallel_degree >= 1, "need at least one replica");
+  require(config_.global_batch % (config_.data_parallel_degree *
+                                  config_.num_microbatches) ==
+              0,
+          "global batch must divide into replicas x micro-batches");
+  for (int g = 0; g < config_.data_parallel_degree; ++g) {
+    Replica replica;
+    replica.net = problem.make_backbone();  // Same seed: identical weights.
+    if (config_.use_adam) {
+      replica.adam = std::make_unique<Adam>(config_.lr);
+    }
+    const int modules = replica.net->size();
+    require(config_.num_stages <= modules, "more stages than modules");
+    for (int s = 0; s < config_.num_stages; ++s) {
+      replica.stage_begin.push_back(s * modules / config_.num_stages);
+    }
+    replica.stage_begin.push_back(modules);
+    replicas_.push_back(std::move(replica));
+  }
+}
+
+std::vector<Tensor> PipelineTrainer::forward_wave(
+    Replica& replica, const std::vector<Tensor>& micro_inputs) {
+  const int S = config_.num_stages;
+  const int M = static_cast<int>(micro_inputs.size());
+  std::vector<Channel<Tensor>> act(S);  // act[s]: stage s -> s+1.
+  std::vector<Tensor> outputs(M);
+  std::vector<std::thread> threads;
+  threads.reserve(S);
+  for (int s = 0; s < S; ++s) {
+    threads.emplace_back([&, s] {
+      for (int m = 0; m < M; ++m) {
+        Tensor x = s == 0 ? micro_inputs[m] : act[s - 1].pop();
+        Tensor y = replica.net->forward_range(x, replica.stage_begin[s],
+                                              replica.stage_begin[s + 1]);
+        if (s < S - 1) {
+          act[s].push(std::move(y));
+        } else {
+          outputs[m] = std::move(y);
+        }
+      }
+      // No-grad wave: discard the stashed contexts.
+      for (int m = 0; m < M; ++m) {
+        replica.net->drop_context_range(replica.stage_begin[s],
+                                        replica.stage_begin[s + 1]);
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  return outputs;
+}
+
+double PipelineTrainer::train_wave(Replica& replica,
+                                   const std::vector<Tensor>& micro_inputs,
+                                   const std::vector<Tensor>& micro_targets) {
+  const int S = config_.num_stages;
+  const int M = static_cast<int>(micro_inputs.size());
+  std::vector<Channel<Tensor>> act(S);   // stage s -> s+1 activations.
+  std::vector<Channel<Tensor>> grad(S);  // stage s+1 -> s gradients.
+  std::vector<Tensor> preds(M);
+  std::vector<std::thread> threads;
+  threads.reserve(S);
+  for (int s = 0; s < S; ++s) {
+    threads.emplace_back([&, s] {
+      std::vector<Tensor> local_grads(M);  // Last stage's loss gradients.
+      for (const int step : one_f_one_b_order(s, S, M)) {
+        if (step >= 0) {
+          const int m = step;
+          Tensor x = s == 0 ? micro_inputs[m] : act[s - 1].pop();
+          Tensor y = replica.net->forward_range(x, replica.stage_begin[s],
+                                                replica.stage_begin[s + 1]);
+          if (s < S - 1) {
+            act[s].push(std::move(y));
+          } else {
+            local_grads[m] = problem_->loss_grad(y, micro_targets[m],
+                                                 config_.global_batch);
+            preds[m] = std::move(y);
+          }
+        } else {
+          const int m = -step - 1;
+          Tensor g = s == S - 1 ? std::move(local_grads[m]) : grad[s].pop();
+          Tensor gi = replica.net->backward_range(
+              g, replica.stage_begin[s], replica.stage_begin[s + 1]);
+          if (s > 0) {
+            grad[s - 1].push(std::move(gi));
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  double sse = 0.0;
+  for (int m = 0; m < M; ++m) {
+    const Tensor diff = sub(preds[m], micro_targets[m]);
+    for (std::int64_t i = 0; i < diff.numel(); ++i) {
+      sse += static_cast<double>(diff.data()[i]) * diff.data()[i];
+    }
+  }
+  return sse;  // Caller normalizes over the global batch.
+}
+
+void PipelineTrainer::train_one_iteration() {
+  const int G = config_.data_parallel_degree;
+  const int M = config_.num_microbatches;
+  const int B = config_.global_batch;
+  const int per_replica = B / G;
+  const int per_micro = per_replica / M;
+
+  const DdpmProblem::Batch batch = problem_->make_batch(iteration_, B);
+
+  // Frozen-encoder outputs for THIS iteration: in cross-iteration mode
+  // they were produced during the previous iteration (or the iteration-0
+  // preamble); otherwise compute them now. Identical values either way.
+  Tensor cond;
+  if (config_.cross_iteration) {
+    if (pending_cond_.empty()) {
+      pending_cond_.push_back(
+          problem_->encode_condition(batch.cond_raw));  // Preamble.
+    }
+    cond = std::move(pending_cond_.front());
+    pending_cond_.clear();
+  } else {
+    cond = problem_->encode_condition(batch.cond_raw);
+  }
+
+  const bool sc_active = problem_->self_cond_active(iteration_);
+  double sse = 0.0;
+  for (int g = 0; g < G; ++g) {
+    const int lo = g * per_replica;
+    const DdpmProblem::Batch shard = slice_batch(batch, lo, lo + per_replica);
+    const Tensor cond_shard = cond.slice_rows(lo, lo + per_replica);
+
+    // Optional self-conditioning: a no-grad pipeline wave whose last-stage
+    // outputs feed back into the trainable wave's inputs (Fig. 10).
+    Tensor sc_pred;
+    if (sc_active) {
+      std::vector<Tensor> sc_inputs;
+      for (int m = 0; m < M; ++m) {
+        const DdpmProblem::Batch micro =
+            slice_batch(shard, m * per_micro, (m + 1) * per_micro);
+        sc_inputs.push_back(problem_->make_input(
+            micro, cond_shard.slice_rows(m * per_micro, (m + 1) * per_micro),
+            nullptr));
+      }
+      const std::vector<Tensor> outputs =
+          forward_wave(replicas_[g], sc_inputs);
+      Tensor stacked;
+      for (const Tensor& out : outputs) {
+        stacked = concat_rows(stacked, out);
+      }
+      sc_pred = std::move(stacked);
+    }
+
+    std::vector<Tensor> inputs;
+    std::vector<Tensor> targets;
+    for (int m = 0; m < M; ++m) {
+      const int mlo = m * per_micro;
+      const int mhi = (m + 1) * per_micro;
+      const DdpmProblem::Batch micro = slice_batch(shard, mlo, mhi);
+      const Tensor micro_sc =
+          sc_active ? sc_pred.slice_rows(mlo, mhi) : Tensor();
+      inputs.push_back(problem_->make_input(
+          micro, cond_shard.slice_rows(mlo, mhi),
+          sc_active ? &micro_sc : nullptr));
+      targets.push_back(micro.noise);
+    }
+    sse += train_wave(replicas_[g], inputs, targets);
+  }
+  losses_.push_back(sse /
+                    (static_cast<double>(B) * problem_->config().data_dim));
+
+  // Gradient "allreduce": average across replicas, then identical steps.
+  std::vector<std::vector<Tensor*>> grads;
+  grads.reserve(replicas_.size());
+  for (Replica& r : replicas_) {
+    grads.push_back(r.net->grads());
+  }
+  for (std::size_t i = 0; i < grads[0].size(); ++i) {
+    Tensor avg = *grads[0][i];
+    for (int g = 1; g < G; ++g) {
+      avg = add(avg, *grads[g][i]);
+    }
+    // Micro gradients were normalized by the global batch already, so the
+    // replica sum IS the full-batch gradient: no division needed.
+    for (int g = 0; g < G; ++g) {
+      *grads[g][i] = avg;
+    }
+  }
+  for (Replica& r : replicas_) {
+    if (r.adam != nullptr) {
+      r.adam->step(r.net->params(), r.net->grads());
+    } else {
+      optimizer_.step(r.net->params(), r.net->grads());
+    }
+    r.net->zero_grad();
+  }
+  // Replicas must stay bit-identical.
+  const std::vector<Tensor*> p0 = replicas_[0].net->params();
+  for (int g = 1; g < G; ++g) {
+    const std::vector<Tensor*> pg = replicas_[g].net->params();
+    for (std::size_t i = 0; i < p0.size(); ++i) {
+      replica_divergence_ =
+          std::max(replica_divergence_, max_abs_diff(*p0[i], *pg[i]));
+    }
+  }
+
+  // Cross-iteration: produce the NEXT iteration's encoder outputs now
+  // (in the real system this compute sits in this iteration's bubbles).
+  if (config_.cross_iteration) {
+    const DdpmProblem::Batch next = problem_->make_batch(iteration_ + 1, B);
+    pending_cond_.push_back(problem_->encode_condition(next.cond_raw));
+  }
+  ++iteration_;
+}
+
+void PipelineTrainer::train(int iterations) {
+  for (int k = 0; k < iterations; ++k) {
+    train_one_iteration();
+  }
+}
+
+std::vector<Tensor> PipelineTrainer::snapshot_params() const {
+  std::vector<Tensor> out;
+  for (Tensor* p : const_cast<Sequential&>(*replicas_[0].net).params()) {
+    out.push_back(*p);
+  }
+  return out;
+}
+
+}  // namespace dpipe::rt

@@ -1,0 +1,224 @@
+#include "runtime/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dpipe::rt {
+
+namespace {
+
+std::int64_t shape_numel(const std::vector<int>& shape) {
+  std::int64_t n = 1;
+  for (const int d : shape) {
+    require(d >= 0, "tensor dimensions must be non-negative");
+    n *= d;
+  }
+  return n;
+}
+
+void check_same_shape(const Tensor& a, const Tensor& b) {
+  require(a.shape() == b.shape(), "tensor shape mismatch");
+}
+
+}  // namespace
+
+Tensor::Tensor(std::vector<int> shape) : shape_(std::move(shape)) {
+  data_.assign(static_cast<std::size_t>(shape_numel(shape_)), 0.0f);
+}
+
+Tensor Tensor::zeros(std::vector<int> shape) {
+  return Tensor(std::move(shape));
+}
+
+Tensor Tensor::full(std::vector<int> shape, float value) {
+  Tensor t(std::move(shape));
+  std::fill(t.data_.begin(), t.data_.end(), value);
+  return t;
+}
+
+float& Tensor::at(int r, int c) {
+  require(r >= 0 && r < rows() && c >= 0 && c < cols(),
+          "tensor index out of range");
+  return data_[static_cast<std::size_t>(r) * cols() + c];
+}
+
+float Tensor::at(int r, int c) const {
+  require(r >= 0 && r < rows() && c >= 0 && c < cols(),
+          "tensor index out of range");
+  return data_[static_cast<std::size_t>(r) * cols() + c];
+}
+
+Tensor Tensor::slice_rows(int begin, int end) const {
+  require(begin >= 0 && begin <= end && end <= rows(),
+          "row slice out of range");
+  Tensor out({end - begin, cols()});
+  std::copy(data_.begin() + static_cast<std::ptrdiff_t>(begin) * cols(),
+            data_.begin() + static_cast<std::ptrdiff_t>(end) * cols(),
+            out.data_.begin());
+  return out;
+}
+
+std::uint64_t Rng::next_u64() {
+  state_ ^= state_ << 13;
+  state_ ^= state_ >> 7;
+  state_ ^= state_ << 17;
+  return state_;
+}
+
+float Rng::uniform() {
+  return static_cast<float>((next_u64() >> 11) * 0x1.0p-53);
+}
+
+float Rng::normal() {
+  // Box-Muller; avoid log(0).
+  const float u1 = std::max(uniform(), 1e-12f);
+  const float u2 = uniform();
+  return std::sqrt(-2.0f * std::log(u1)) *
+         std::cos(2.0f * 3.14159265358979f * u2);
+}
+
+Tensor Rng::randn(std::vector<int> shape, float scale) {
+  Tensor t(std::move(shape));
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    t.data()[i] = normal() * scale;
+  }
+  return t;
+}
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b);
+  Tensor out(a.shape());
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    out.data()[i] = a.data()[i] + b.data()[i];
+  }
+  return out;
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b);
+  Tensor out(a.shape());
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    out.data()[i] = a.data()[i] - b.data()[i];
+  }
+  return out;
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b);
+  Tensor out(a.shape());
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    out.data()[i] = a.data()[i] * b.data()[i];
+  }
+  return out;
+}
+
+Tensor scale(const Tensor& a, float s) {
+  Tensor out(a.shape());
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    out.data()[i] = a.data()[i] * s;
+  }
+  return out;
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  require(a.cols() == b.rows(), "matmul inner dimension mismatch");
+  Tensor out({a.rows(), b.cols()});
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int k = 0; k < a.cols(); ++k) {
+      const float av = a.at(i, k);
+      if (av == 0.0f) {
+        continue;
+      }
+      for (int j = 0; j < b.cols(); ++j) {
+        out.at(i, j) += av * b.at(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  require(a.rows() == b.rows(), "matmul_tn outer dimension mismatch");
+  Tensor out({a.cols(), b.cols()});
+  for (int m = 0; m < a.rows(); ++m) {
+    for (int i = 0; i < a.cols(); ++i) {
+      const float av = a.at(m, i);
+      if (av == 0.0f) {
+        continue;
+      }
+      for (int j = 0; j < b.cols(); ++j) {
+        out.at(i, j) += av * b.at(m, j);
+      }
+    }
+  }
+  return out;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  require(a.cols() == b.cols(), "matmul_nt inner dimension mismatch");
+  Tensor out({a.rows(), b.rows()});
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int j = 0; j < b.rows(); ++j) {
+      float acc = 0.0f;
+      for (int k = 0; k < a.cols(); ++k) {
+        acc += a.at(i, k) * b.at(j, k);
+      }
+      out.at(i, j) = acc;
+    }
+  }
+  return out;
+}
+
+Tensor concat_cols(const Tensor& a, const Tensor& b) {
+  require(a.rows() == b.rows(), "concat_cols row mismatch");
+  Tensor out({a.rows(), a.cols() + b.cols()});
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int j = 0; j < a.cols(); ++j) {
+      out.at(i, j) = a.at(i, j);
+    }
+    for (int j = 0; j < b.cols(); ++j) {
+      out.at(i, a.cols() + j) = b.at(i, j);
+    }
+  }
+  return out;
+}
+
+Tensor concat_rows(const Tensor& a, const Tensor& b) {
+  if (!a.defined() || a.rows() == 0) {
+    return b;
+  }
+  require(a.cols() == b.cols(), "concat_rows column mismatch");
+  Tensor out({a.rows() + b.rows(), a.cols()});
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int j = 0; j < a.cols(); ++j) {
+      out.at(i, j) = a.at(i, j);
+    }
+  }
+  for (int i = 0; i < b.rows(); ++i) {
+    for (int j = 0; j < b.cols(); ++j) {
+      out.at(a.rows() + i, j) = b.at(i, j);
+    }
+  }
+  return out;
+}
+
+Tensor sum_rows(const Tensor& a) {
+  Tensor out({1, a.cols()});
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int j = 0; j < a.cols(); ++j) {
+      out.at(0, j) += a.at(i, j);
+    }
+  }
+  return out;
+}
+
+float max_abs_diff(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b);
+  float worst = 0.0f;
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    worst = std::max(worst, std::abs(a.data()[i] - b.data()[i]));
+  }
+  return worst;
+}
+
+}  // namespace dpipe::rt

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.h"
+
+namespace dpipe::rt {
+
+/// Minimal dense float tensor (row-major, rank <= 2 in practice) backing the
+/// functional mini-training runtime. The runtime exists to validate the
+/// *mathematical equivalence* claims of cross-iteration pipelining (§3.2)
+/// with real numbers, not to be fast.
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<int> shape);
+
+  [[nodiscard]] static Tensor zeros(std::vector<int> shape);
+  [[nodiscard]] static Tensor full(std::vector<int> shape, float value);
+
+  [[nodiscard]] const std::vector<int>& shape() const { return shape_; }
+  [[nodiscard]] std::int64_t numel() const {
+    return static_cast<std::int64_t>(data_.size());
+  }
+  [[nodiscard]] int rows() const { return shape_.empty() ? 0 : shape_[0]; }
+  [[nodiscard]] int cols() const {
+    return shape_.size() < 2 ? (shape_.empty() ? 0 : 1) : shape_[1];
+  }
+  [[nodiscard]] bool defined() const { return !shape_.empty(); }
+
+  [[nodiscard]] float* data() { return data_.data(); }
+  [[nodiscard]] const float* data() const { return data_.data(); }
+  [[nodiscard]] float& at(int r, int c);
+  [[nodiscard]] float at(int r, int c) const;
+
+  /// Rows [begin, end) as a new tensor (copy).
+  [[nodiscard]] Tensor slice_rows(int begin, int end) const;
+
+ private:
+  std::vector<int> shape_;
+  std::vector<float> data_;
+};
+
+/// Deterministic xorshift-based normal sampler (Box-Muller).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed ? seed : 1) {}
+  [[nodiscard]] float uniform();        ///< [0, 1)
+  [[nodiscard]] float normal();         ///< N(0, 1)
+  [[nodiscard]] std::uint64_t next_u64();
+  [[nodiscard]] Tensor randn(std::vector<int> shape, float scale = 1.0f);
+
+ private:
+  std::uint64_t state_;
+};
+
+// Element-wise / linear-algebra helpers (shapes must match exactly).
+[[nodiscard]] Tensor add(const Tensor& a, const Tensor& b);
+[[nodiscard]] Tensor sub(const Tensor& a, const Tensor& b);
+[[nodiscard]] Tensor mul(const Tensor& a, const Tensor& b);
+[[nodiscard]] Tensor scale(const Tensor& a, float s);
+/// [m, k] x [k, n] -> [m, n].
+[[nodiscard]] Tensor matmul(const Tensor& a, const Tensor& b);
+/// [m, k]^T x [m, n] -> [k, n] (for weight gradients).
+[[nodiscard]] Tensor matmul_tn(const Tensor& a, const Tensor& b);
+/// [m, k] x [n, k]^T -> [m, n] (for input gradients).
+[[nodiscard]] Tensor matmul_nt(const Tensor& a, const Tensor& b);
+/// Concatenate along columns: [m, a] ++ [m, b] -> [m, a+b].
+[[nodiscard]] Tensor concat_cols(const Tensor& a, const Tensor& b);
+/// Stack along rows: [a, n] ++ [b, n] -> [a+b, n].
+[[nodiscard]] Tensor concat_rows(const Tensor& a, const Tensor& b);
+/// Column-wise sum: [m, n] -> [1, n].
+[[nodiscard]] Tensor sum_rows(const Tensor& a);
+/// max |a - b| over all elements.
+[[nodiscard]] float max_abs_diff(const Tensor& a, const Tensor& b);
+
+}  // namespace dpipe::rt

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "cluster/comm_model.h"
+
+namespace dpipe {
+namespace {
+
+TEST(Cluster, P4deFactoryShape) {
+  const ClusterSpec c = make_p4de_cluster(8);
+  EXPECT_EQ(c.world_size(), 64);
+  EXPECT_EQ(c.machine_of(0), 0);
+  EXPECT_EQ(c.machine_of(7), 0);
+  EXPECT_EQ(c.machine_of(8), 1);
+  EXPECT_EQ(c.machine_of(63), 7);
+  EXPECT_TRUE(c.same_machine(0, 7));
+  EXPECT_FALSE(c.same_machine(7, 8));
+}
+
+TEST(Cluster, RankOutOfRangeThrows) {
+  const ClusterSpec c = make_p4de_cluster(1);
+  EXPECT_THROW((void)c.machine_of(-1), std::invalid_argument);
+  EXPECT_THROW((void)c.machine_of(8), std::invalid_argument);
+}
+
+TEST(Cluster, ValidateRejectsBadSpecs) {
+  ClusterSpec c = make_p4de_cluster(1);
+  c.device.peak_tflops = 0.0;
+  EXPECT_THROW(validate(c), std::invalid_argument);
+  c = make_p4de_cluster(1);
+  c.intra.bandwidth_gbps = -1.0;
+  EXPECT_THROW(validate(c), std::invalid_argument);
+}
+
+TEST(CommModel, P2pIntraVsInter) {
+  const ClusterSpec cluster = make_p4de_cluster(2);
+  const CommModel comm(cluster);
+  const double intra = comm.p2p_ms(600.0, 0, 1);
+  const double inter = comm.p2p_ms(600.0, 7, 8);
+  EXPECT_NEAR(intra,
+              600.0 / cluster.intra.bandwidth_gbps + cluster.intra.latency_ms,
+              1e-9);
+  EXPECT_NEAR(inter,
+              600.0 / cluster.inter.bandwidth_gbps + cluster.inter.latency_ms,
+              1e-9);
+  EXPECT_LT(intra, inter);
+}
+
+TEST(CommModel, HierarchicalAllreduceAcrossMachines) {
+  // Spanning machines uses intra reduce-scatter + inter ring + intra
+  // allgather; the inter phase dominates but scales with machine count,
+  // not flat-ring world size.
+  const ClusterSpec cluster = make_p4de_cluster(8);
+  const CommModel comm(cluster);
+  std::vector<int> two_machines, eight_machines;
+  for (int r = 0; r < 16; ++r) {
+    two_machines.push_back(r);
+  }
+  for (int r = 0; r < 64; ++r) {
+    eight_machines.push_back(r);
+  }
+  const double t2 = comm.allreduce_ms(1000.0, two_machines);
+  const double t8 = comm.allreduce_ms(1000.0, eight_machines);
+  EXPECT_GT(t8, t2);           // Grows with machines...
+  EXPECT_LT(t8, t2 * 2.0);     // ...but saturates (2(m-1)/m factor).
+}
+
+TEST(CommModel, P2pSelfIsFree) {
+  const CommModel comm(make_p4de_cluster(1));
+  EXPECT_DOUBLE_EQ(comm.p2p_ms(100.0, 3, 3), 0.0);
+}
+
+TEST(CommModel, AllreduceSingleRankIsFree) {
+  const CommModel comm(make_p4de_cluster(1));
+  EXPECT_DOUBLE_EQ(comm.allreduce_ms(100.0, {0}), 0.0);
+}
+
+TEST(CommModel, AllreduceRingFormula) {
+  const CommModel comm(make_p4de_cluster(1));
+  const std::vector<int> group = {0, 1, 2, 3};
+  // 2(n-1)/n * 600 MB / 600 GB/s + 2(n-1)*latency.
+  const double expected = 2.0 * 3.0 / 4.0 * 1.0 + 6.0 * 0.003;
+  EXPECT_NEAR(comm.allreduce_ms(600.0, group), expected, 1e-9);
+}
+
+TEST(CommModel, AllreduceSpanningMachinesUsesInterLink) {
+  const CommModel comm(make_p4de_cluster(2));
+  const double within = comm.allreduce_ms(100.0, {0, 1, 2, 3});
+  const double across = comm.allreduce_ms(100.0, {6, 7, 8, 9});
+  EXPECT_GT(across, 10.0 * within);
+}
+
+TEST(CommModel, AllreduceMonotonicInSize) {
+  const CommModel comm(make_p4de_cluster(1));
+  const std::vector<int> group = {0, 1, 2, 3, 4, 5, 6, 7};
+  double prev = 0.0;
+  for (double mb = 0.0; mb <= 2000.0; mb += 250.0) {
+    const double t = comm.allreduce_ms(mb, group);
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(CommModel, AllgatherReduceScatterSymmetry) {
+  const CommModel comm(make_p4de_cluster(1));
+  const std::vector<int> group = {0, 1, 2, 3};
+  EXPECT_DOUBLE_EQ(comm.allgather_ms(400.0, group),
+                   comm.reduce_scatter_ms(400.0, group));
+  // allgather + reduce-scatter of the same payload == allreduce.
+  EXPECT_NEAR(comm.allgather_ms(400.0, group) +
+                  comm.reduce_scatter_ms(400.0, group),
+              comm.allreduce_ms(400.0, group), 1e-9);
+}
+
+TEST(CommModel, BroadcastLogarithmicLatency) {
+  const CommModel comm(make_p4de_cluster(1));
+  const double t2 = comm.broadcast_ms(0.0001, {0, 1});
+  const double t8 = comm.broadcast_ms(0.0001, {0, 1, 2, 3, 4, 5, 6, 7});
+  EXPECT_LT(t2, t8);
+}
+
+TEST(CommModel, NegativeSizeThrows) {
+  const CommModel comm(make_p4de_cluster(1));
+  EXPECT_THROW((void)comm.p2p_ms(-1.0, 0, 1), std::invalid_argument);
+  EXPECT_THROW((void)comm.allreduce_ms(-1.0, {0, 1}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dpipe

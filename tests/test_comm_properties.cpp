@@ -1,0 +1,103 @@
+// Parameterized properties of the communication and cost models across
+// cluster shapes and payload sizes.
+
+#include <gtest/gtest.h>
+
+#include "cluster/comm_model.h"
+#include "model/zoo.h"
+#include "profiler/cost_model.h"
+
+namespace dpipe {
+namespace {
+
+std::vector<int> first_n_ranks(int n) {
+  std::vector<int> ranks(n);
+  for (int i = 0; i < n; ++i) {
+    ranks[i] = i;
+  }
+  return ranks;
+}
+
+class CommShapeSweep
+    : public testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(CommShapeSweep, CollectiveInvariants) {
+  const auto [machines, size_mb] = GetParam();
+  const ClusterSpec cluster = make_p4de_cluster(machines);
+  const CommModel comm(cluster);
+  const std::vector<int> world = first_n_ranks(cluster.world_size());
+
+  // Non-negativity and monotonicity in payload.
+  const double t = comm.allreduce_ms(size_mb, world);
+  EXPECT_GE(t, 0.0);
+  EXPECT_GE(comm.allreduce_ms(size_mb * 2.0, world), t);
+
+  // An allreduce over a subgroup confined to one machine is never slower
+  // than the same payload across the whole multi-machine world.
+  if (machines > 1) {
+    const std::vector<int> one_machine = first_n_ranks(8);
+    EXPECT_LE(comm.allreduce_ms(size_mb, one_machine), t + 1e-9);
+  }
+
+  // allgather == reduce_scatter (ring symmetry) at every shape.
+  EXPECT_DOUBLE_EQ(comm.allgather_ms(size_mb, world),
+                   comm.reduce_scatter_ms(size_mb, world));
+
+  // p2p within a machine is never slower than across machines.
+  if (machines > 1) {
+    EXPECT_LE(comm.p2p_ms(size_mb, 0, 1), comm.p2p_ms(size_mb, 0, 8));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAndSizes, CommShapeSweep,
+    testing::Combine(testing::Values(1, 2, 4, 8),
+                     testing::Values(1.0, 64.0, 1730.0)),
+    [](const testing::TestParamInfo<std::tuple<int, double>>& info) {
+      return "m" + std::to_string(std::get<0>(info.param)) + "_mb" +
+             std::to_string(static_cast<int>(std::get<1>(info.param)));
+    });
+
+class CostModelSweep : public testing::TestWithParam<int> {};
+
+TEST_P(CostModelSweep, TimesAreMonotoneAndSuperposable) {
+  // For every zoo model: layer times grow with batch size, and the
+  // batch-independent overhead means doubling the batch less than doubles
+  // the time (sub-linear per-sample cost).
+  const ModelDesc model = [&] {
+    switch (GetParam()) {
+      case 0:
+        return make_stable_diffusion_v21();
+      case 1:
+        return make_controlnet_v10();
+      case 2:
+        return make_cdm_lsun();
+      default:
+        return make_dit_xl2();
+    }
+  }();
+  const AnalyticCostModel cost(DeviceSpec{}, NoiseSource(0, 0.0));
+  for (const ComponentDesc& comp : model.components) {
+    for (const LayerDesc& layer : comp.layers) {
+      double prev_fwd = 0.0;
+      for (const double batch : {1.0, 4.0, 16.0, 64.0}) {
+        const double fwd = cost.fwd_ms(layer, batch);
+        EXPECT_GT(fwd, prev_fwd) << layer.name;
+        prev_fwd = fwd;
+        // Backward is at least as expensive per overheads + flop factor.
+        if (comp.trainable) {
+          EXPECT_GE(cost.bwd_ms(layer, batch), fwd * 0.99) << layer.name;
+        }
+      }
+      const double t32 = cost.fwd_ms(layer, 32.0);
+      const double t64 = cost.fwd_ms(layer, 64.0);
+      EXPECT_LE(t64, 2.0 * t32 + 1e-9) << layer.name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ZooModels, CostModelSweep,
+                         testing::Values(0, 1, 2, 3));
+
+}  // namespace
+}  // namespace dpipe

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "common/noise.h"
+#include "common/pareto.h"
+#include "common/timeline.h"
+#include "common/units.h"
+
+namespace dpipe {
+namespace {
+
+TEST(Units, TransferAndCompute) {
+  // 600 MB over 600 GB/s = 1 ms; 312 GFLOP at 312 TFLOP/s = 1 ms.
+  EXPECT_DOUBLE_EQ(transfer_ms(600.0, 600.0), 1.0);
+  EXPECT_DOUBLE_EQ(compute_ms(312.0, 312.0), 1.0);
+  EXPECT_DOUBLE_EQ(seconds_to_ms(1.5), 1500.0);
+  EXPECT_DOUBLE_EQ(ms_to_seconds(250.0), 0.25);
+}
+
+TEST(Noise, DeterministicAndBounded) {
+  const NoiseSource noise(42, 0.02);
+  const double m1 = noise.multiplier(123);
+  const double m2 = noise.multiplier(123);
+  EXPECT_DOUBLE_EQ(m1, m2);
+  for (std::uint64_t k = 0; k < 1000; ++k) {
+    const double m = noise.multiplier(k);
+    EXPECT_GE(m, 0.98);
+    EXPECT_LE(m, 1.02);
+  }
+}
+
+TEST(Noise, DifferentSeedsDiffer) {
+  const NoiseSource a(1, 0.02);
+  const NoiseSource b(2, 0.02);
+  int differing = 0;
+  for (std::uint64_t k = 0; k < 100; ++k) {
+    if (a.multiplier(k) != b.multiplier(k)) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 90);
+}
+
+TEST(Noise, ZeroAmplitudeIsIdentity) {
+  const NoiseSource noise(7, 0.0);
+  for (std::uint64_t k = 0; k < 50; ++k) {
+    EXPECT_DOUBLE_EQ(noise.multiplier(k), 1.0);
+  }
+}
+
+TEST(Noise, RejectsBadAmplitude) {
+  EXPECT_THROW(NoiseSource(1, -0.1), std::invalid_argument);
+  EXPECT_THROW(NoiseSource(1, 1.0), std::invalid_argument);
+}
+
+TEST(Noise, HashIsStable) {
+  EXPECT_EQ(NoiseSource::hash("layer_0"), NoiseSource::hash("layer_0"));
+  EXPECT_NE(NoiseSource::hash("layer_0"), NoiseSource::hash("layer_1"));
+}
+
+TEST(Pareto, InsertAndDominance) {
+  ParetoFrontier frontier;
+  EXPECT_TRUE(frontier.insert({2.0, 3.0, 0}));
+  // Dominated point rejected.
+  EXPECT_FALSE(frontier.insert({2.5, 3.5, 1}));
+  EXPECT_EQ(frontier.size(), 1u);
+  // Dominating point replaces.
+  EXPECT_TRUE(frontier.insert({1.0, 1.0, 2}));
+  EXPECT_EQ(frontier.size(), 1u);
+  EXPECT_EQ(frontier.points()[0].tag, 2u);
+}
+
+TEST(Pareto, KeepsIncomparablePoints) {
+  ParetoFrontier frontier;
+  EXPECT_TRUE(frontier.insert({1.0, 5.0, 0}));
+  EXPECT_TRUE(frontier.insert({5.0, 1.0, 1}));
+  EXPECT_TRUE(frontier.insert({3.0, 3.0, 2}));
+  EXPECT_EQ(frontier.size(), 3u);
+}
+
+TEST(Pareto, BestScalarization) {
+  ParetoFrontier frontier;
+  frontier.insert({1.0, 10.0, 0});
+  frontier.insert({4.0, 1.0, 1});
+  // With large coefficient on w, prefer small w.
+  EXPECT_EQ(frontier.best(100.0).tag, 0u);
+  // With small coefficient, prefer small y.
+  EXPECT_EQ(frontier.best(0.1).tag, 1u);
+}
+
+TEST(Pareto, BestOnEmptyThrows) {
+  const ParetoFrontier frontier;
+  EXPECT_THROW((void)frontier.best(1.0), std::logic_error);
+}
+
+TEST(Timeline, NormalizeMergesOverlaps) {
+  const auto merged =
+      normalize_spans({{5.0, 7.0}, {0.0, 2.0}, {1.5, 3.0}, {3.0, 4.0}});
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0], (Span{0.0, 4.0}));
+  EXPECT_EQ(merged[1], (Span{5.0, 7.0}));
+}
+
+TEST(Timeline, TotalLengthCountsOverlapsOnce) {
+  EXPECT_DOUBLE_EQ(total_length({{0.0, 2.0}, {1.0, 3.0}}), 3.0);
+}
+
+TEST(Timeline, ComplementBasic) {
+  const auto idle = complement_spans({{1.0, 2.0}, {3.0, 4.0}}, 5.0);
+  ASSERT_EQ(idle.size(), 3u);
+  EXPECT_EQ(idle[0], (Span{0.0, 1.0}));
+  EXPECT_EQ(idle[1], (Span{2.0, 3.0}));
+  EXPECT_EQ(idle[2], (Span{4.0, 5.0}));
+}
+
+TEST(Timeline, ComplementOfEmptyIsWholeHorizon) {
+  const auto idle = complement_spans({}, 3.0);
+  ASSERT_EQ(idle.size(), 1u);
+  EXPECT_EQ(idle[0], (Span{0.0, 3.0}));
+}
+
+TEST(Timeline, ComplementFullyBusy) {
+  EXPECT_TRUE(complement_spans({{0.0, 3.0}}, 3.0).empty());
+}
+
+TEST(Timeline, SweepProducesConstantIdleSets) {
+  // Device 0 idle [0,2), device 1 idle [1,3). Expect three intervals:
+  // [0,1) {0}, [1,2) {0,1}, [2,3) {1}.
+  const auto intervals =
+      sweep_idle_intervals({{{0.0, 2.0}}, {{1.0, 3.0}}}, 4.0);
+  ASSERT_EQ(intervals.size(), 3u);
+  EXPECT_EQ(intervals[0].span, (Span{0.0, 1.0}));
+  EXPECT_EQ(intervals[0].idle_devices, (std::vector<int>{0}));
+  EXPECT_EQ(intervals[1].span, (Span{1.0, 2.0}));
+  EXPECT_EQ(intervals[1].idle_devices, (std::vector<int>{0, 1}));
+  EXPECT_EQ(intervals[2].span, (Span{2.0, 3.0}));
+  EXPECT_EQ(intervals[2].idle_devices, (std::vector<int>{1}));
+}
+
+TEST(Timeline, SweepConservesIdleTime) {
+  // Property: sum over intervals of length * |idle set| equals the sum of
+  // per-device idle time.
+  const std::vector<std::vector<Span>> idle = {
+      {{0.0, 2.5}, {3.0, 4.0}}, {{1.0, 3.5}}, {}, {{0.5, 0.9}, {2.0, 4.0}}};
+  const double horizon = 4.0;
+  double expected = 0.0;
+  for (const auto& spans : idle) {
+    expected += total_length(spans);
+  }
+  double actual = 0.0;
+  for (const auto& iv : sweep_idle_intervals(idle, horizon)) {
+    actual += iv.span.length() * static_cast<double>(iv.idle_devices.size());
+  }
+  EXPECT_NEAR(actual, expected, 1e-9);
+}
+
+}  // namespace
+}  // namespace dpipe

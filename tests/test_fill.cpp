@@ -1,0 +1,388 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/fill/filler.h"
+#include "model/zoo.h"
+
+namespace dpipe {
+namespace {
+
+// Builds a model whose frozen layers have exactly `ms_per_local_sample[i]`
+// milliseconds per sample per layer (noiseless, zero overhead), so Alg. 1/2
+// behaviour can be verified by hand. One trivial trainable backbone.
+ModelDesc exact_time_model(
+    const std::vector<std::vector<double>>& component_layer_ms,
+    const std::vector<std::vector<int>>& deps = {}) {
+  ModelDesc m;
+  m.name = "exact";
+  // Efficiency 1.0 on a 1 TFLOP/s device would be neat, but the device is
+  // fixed; instead use gflop = ms_per_sample * eff * peak = ms * 312 * eff.
+  for (std::size_t c = 0; c < component_layer_ms.size(); ++c) {
+    ComponentDesc comp;
+    comp.name = "frozen" + std::to_string(c);
+    comp.trainable = false;
+    if (c < deps.size()) {
+      comp.deps = deps[c];
+    }
+    for (std::size_t l = 0; l < component_layer_ms[c].size(); ++l) {
+      LayerDesc layer;
+      layer.name = comp.name + "_l" + std::to_string(l);
+      layer.kind = LayerKind::kConv;
+      layer.efficiency = 0.5;
+      layer.fwd_gflop = component_layer_ms[c][l] * 0.5 * 312.0;
+      layer.overhead_fwd_ms = 0.0;
+      comp.layers.push_back(std::move(layer));
+    }
+    m.components.push_back(std::move(comp));
+  }
+  ComponentDesc backbone;
+  backbone.name = "backbone";
+  backbone.trainable = true;
+  LayerDesc layer;
+  layer.name = "b0";
+  layer.kind = LayerKind::kResBlock;
+  layer.fwd_gflop = 93.6;
+  layer.overhead_fwd_ms = 0.0;
+  backbone.layers.push_back(layer);
+  m.components.push_back(std::move(backbone));
+  m.backbone_ids = {static_cast<int>(m.components.size()) - 1};
+  validate(m);
+  return m;
+}
+
+ProfileDb exact_db(const ModelDesc& m) {
+  return ProfileDb(m, AnalyticCostModel(DeviceSpec{}, NoiseSource(0, 0.0)),
+                   default_batch_grid());
+}
+
+TEST(FrozenLayerTime, ScalesWithSamplesAndDevices) {
+  const ModelDesc m = exact_time_model({{2.0}});  // 2 ms per sample
+  const ProfileDb db = exact_db(m);
+  // 8 samples over 4 devices = local batch 2 -> 4 ms.
+  EXPECT_NEAR(frozen_layer_ms(db, 0, 0, 8.0, 4), 4.0, 1e-9);
+  // Doubling devices halves the time.
+  EXPECT_NEAR(frozen_layer_ms(db, 0, 0, 8.0, 8), 2.0, 1e-9);
+  EXPECT_DOUBLE_EQ(frozen_layer_ms(db, 0, 0, 0.0, 4), 0.0);
+}
+
+TEST(Ffc, SingleComponentTakesMaximalPrefix) {
+  // Layers cost 1,1,1,1 ms/sample; batch 4 on 4 devices -> 1 ms each.
+  const ModelDesc m = exact_time_model({{1.0, 1.0, 1.0, 1.0}});
+  const ProfileDb db = exact_db(m);
+  FfcInput input;
+  input.ready = {{0, 0, 4.0}};
+  input.bubble_ms = 2.5;
+  input.idle_devices = 4;
+  input.training_batch = 4.0;
+  const auto candidates = full_batch_candidates(db, input);
+  // Single (= last) component: exactly one candidate, the maximal prefix.
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0], (std::vector<int>{2}));
+}
+
+TEST(Ffc, TwoComponentsEnumerateTradeoffs) {
+  // Component 0 layers: 1 ms each (batch 4 / 4 devices); component 1: same.
+  const ModelDesc m = exact_time_model({{1.0, 1.0}, {1.0, 1.0}});
+  const ProfileDb db = exact_db(m);
+  FfcInput input;
+  input.ready = {{0, 0, 4.0}, {1, 0, 4.0}};
+  input.bubble_ms = 3.0;
+  input.idle_devices = 4;
+  input.training_batch = 4.0;
+  const auto candidates = full_batch_candidates(db, input);
+  // k0 for comp 0 is 2; candidates: [2,1], [1,2], [0,2].
+  ASSERT_EQ(candidates.size(), 3u);
+  EXPECT_EQ(candidates[0], (std::vector<int>{2, 1}));
+  EXPECT_EQ(candidates[1], (std::vector<int>{1, 2}));
+  EXPECT_EQ(candidates[2], (std::vector<int>{0, 2}));
+}
+
+TEST(Ffc, CandidatesNeverExceedBubble) {
+  const ModelDesc m = make_controlnet_v10();
+  const ProfileDb db = exact_db(m);
+  FfcInput input;
+  input.ready = {{0, 0, 64.0}, {1, 0, 64.0}, {2, 0, 64.0}};
+  input.bubble_ms = 120.0;
+  input.idle_devices = 4;
+  input.training_batch = 64.0;
+  for (const auto& k : full_batch_candidates(db, input)) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < k.size(); ++i) {
+      for (int j = 0; j < k[i]; ++j) {
+        total += frozen_layer_ms(db, input.ready[i].component,
+                                 input.ready[i].next_layer + j, 64.0, 4);
+      }
+    }
+    EXPECT_LE(total, input.bubble_ms + 1e-9);
+  }
+}
+
+TEST(Alg1, PartialLayerExtendsOccupancy) {
+  // One component: first layer 1 ms/sample, second layer 1 ms/sample.
+  // Bubble 1.9 ms, batch 4 over 4 devices: full-batch takes layer 0 (1 ms);
+  // a partial batch of 4 local samples on layer 1 would take 4 ms — too
+  // big; but a smaller grid value is not available above the remaining
+  // budget, so test with grid {0.5}: 0.5 local samples -> 0.5 ms + 0.2
+  // overhead = fits.
+  const ModelDesc m = exact_time_model({{1.0, 1.0}});
+  const ProfileDb db = exact_db(m);
+  FfcInput input;
+  input.ready = {{0, 0, 4.0}};
+  input.bubble_ms = 1.9;
+  input.idle_devices = 4;
+  input.training_batch = 4.0;
+  const auto no_partial = fill_one_bubble(db, input, {0.5}, 0.2, false);
+  ASSERT_TRUE(no_partial.has_value());
+  EXPECT_FALSE(no_partial->partial.has_value());
+  EXPECT_NEAR(no_partial->exec_ms, 1.0, 1e-9);
+  const auto with_partial = fill_one_bubble(db, input, {0.5}, 0.2, true);
+  ASSERT_TRUE(with_partial.has_value());
+  ASSERT_TRUE(with_partial->partial.has_value());
+  EXPECT_EQ(with_partial->partial->layer, 1);
+  EXPECT_NEAR(with_partial->partial->samples, 2.0, 1e-9);  // 0.5 x 4 devices
+  EXPECT_NEAR(with_partial->exec_ms, 1.0 + 0.5 + 0.2, 1e-9);
+}
+
+TEST(Alg1, PicksLongestCandidate) {
+  // Two components; comp 0 layer is 0.4 ms/sample, comp 1 layer 1 ms/sample
+  // (local batch 1). Bubble 1.2 ms: candidates {1,0} (0.4), {0,1} (1.0);
+  // the longest wins.
+  const ModelDesc m = exact_time_model({{0.4}, {1.0}});
+  const ProfileDb db = exact_db(m);
+  FfcInput input;
+  input.ready = {{0, 0, 4.0}, {1, 0, 4.0}};
+  input.bubble_ms = 1.2;
+  input.idle_devices = 4;
+  input.training_batch = 4.0;
+  const auto best = fill_one_bubble(db, input, {}, 0.0, false);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->full_layers, (std::vector<int>{0, 1}));
+  EXPECT_NEAR(best->exec_ms, 1.0, 1e-9);
+}
+
+TEST(Alg1, RespectsRemainingSamplesForPartial) {
+  const ModelDesc m = exact_time_model({{1.0, 1.0}});
+  const ProfileDb db = exact_db(m);
+  FfcInput input;
+  // Head layer has only 2 remaining samples; a grid value of 1 local
+  // sample x 4 devices = 4 samples would exceed it.
+  input.ready = {{0, 0, 2.0}};
+  input.bubble_ms = 10.0;
+  input.idle_devices = 4;
+  input.training_batch = 4.0;
+  const auto best = fill_one_bubble(db, input, {1.0}, 0.0, true);
+  ASSERT_TRUE(best.has_value());
+  // Full-batch: head layer on its 2 remaining samples (0.5 ms) + layer 1
+  // full batch (1 ms); partial would need 4 samples of... layer 1 is taken
+  // full, so no further layer exists -> no partial possible.
+  EXPECT_EQ(best->full_layers, (std::vector<int>{2}));
+  EXPECT_FALSE(best->partial.has_value());
+}
+
+// --- End-to-end filling over real schedules --------------------------------
+
+#include "core/partition/partitioner.h"
+
+struct FillFixture {
+  ModelDesc model;
+  ClusterSpec cluster;
+  CommModel comm;
+  ProfileDb db;
+  DpPartitioner partitioner;
+  ScheduleBuilder builder;
+
+  explicit FillFixture(ModelDesc m)
+      : model(std::move(m)),
+        cluster(make_p4de_cluster(1)),
+        comm(cluster),
+        db(model, AnalyticCostModel(cluster.device, NoiseSource(0, 0.0)),
+           default_batch_grid()),
+        partitioner(db, comm),
+        builder(db, comm) {}
+
+  Schedule make_schedule(int backbone, int stages, int micro,
+                         double batch) const {
+    PartitionOptions opts;
+    opts.num_stages = stages;
+    opts.num_microbatches = micro;
+    opts.group_size = 8;
+    opts.microbatch_size = batch / micro;
+    const PartitionResult part =
+        partitioner.partition_single(backbone, opts);
+    return builder.build_1f1b(backbone, part.stages, opts);
+  }
+};
+
+FillOptions fill_options(double batch) {
+  FillOptions opts;
+  opts.training_batch = batch;
+  return opts;
+}
+
+TEST(Filler, PlacedOpsStayInsideTheirBubbles) {
+  const FillFixture f(make_stable_diffusion_v21());
+  const Schedule schedule = f.make_schedule(2, 4, 4, 64.0);
+  const std::vector<Bubble> bubbles = extract_bubbles(schedule);
+  const FillResult result =
+      BubbleFiller(f.db).fill(schedule, fill_options(64.0));
+  for (const PlacedFrozenOp& op : result.placed) {
+    ASSERT_GE(op.bubble_index, 0);
+    ASSERT_LT(op.bubble_index, static_cast<int>(bubbles.size()));
+    const Bubble& bubble = bubbles[op.bubble_index];
+    EXPECT_GE(op.start_ms, bubble.span.start - 1e-9);
+    EXPECT_LE(op.end_ms, bubble.span.end + 1e-9);
+    EXPECT_EQ(op.devices, bubble.devices);
+  }
+}
+
+TEST(Filler, EveryLayerProcessesExactlyTheFullBatch) {
+  const FillFixture f(make_stable_diffusion_v21());
+  const Schedule schedule = f.make_schedule(2, 4, 4, 64.0);
+  const FillResult result =
+      BubbleFiller(f.db).fill(schedule, fill_options(64.0));
+  std::map<std::pair<int, int>, double> samples;
+  for (const PlacedFrozenOp& op : result.placed) {
+    samples[{op.component, op.layer}] += op.samples;
+  }
+  for (const PlacedFrozenOp& op : result.leftover) {
+    samples[{op.component, op.layer}] += op.samples;
+  }
+  for (std::size_t ci = 0; ci < f.model.components.size(); ++ci) {
+    if (f.model.components[ci].trainable) {
+      continue;
+    }
+    for (int li = 0; li < f.model.components[ci].num_layers(); ++li) {
+      const double got = samples[{static_cast<int>(ci), li}];
+      EXPECT_NEAR(got, 64.0, 1e-6) << "component " << ci << " layer " << li;
+    }
+  }
+}
+
+TEST(Filler, LayersOfAComponentAreScheduledInOrder) {
+  const FillFixture f(make_controlnet_v10());
+  const Schedule schedule = f.make_schedule(4, 4, 4, 64.0);
+  const FillResult result =
+      BubbleFiller(f.db).fill(schedule, fill_options(64.0));
+  std::map<int, std::pair<int, double>> last;  // comp -> (layer, end time)
+  std::vector<PlacedFrozenOp> all = result.placed;
+  all.insert(all.end(), result.leftover.begin(), result.leftover.end());
+  for (const PlacedFrozenOp& op : all) {
+    const auto it = last.find(op.component);
+    if (it != last.end()) {
+      EXPECT_GE(op.layer, it->second.first);
+    }
+    last[op.component] = {op.layer, op.end_ms};
+  }
+}
+
+TEST(Filler, DependentComponentWaitsForItsInputs) {
+  // ControlNet: locked U-Net encoder (component 3) depends on 0, 1, 2.
+  const FillFixture f(make_controlnet_v10());
+  const Schedule schedule = f.make_schedule(4, 4, 4, 64.0);
+  const FillResult result =
+      BubbleFiller(f.db).fill(schedule, fill_options(64.0));
+  double deps_done = 0.0;
+  double locked_enc_first = 1e18;
+  for (const PlacedFrozenOp& op : result.placed) {
+    if (op.component == 3) {
+      locked_enc_first = std::min(locked_enc_first, op.start_ms);
+    } else {
+      deps_done = std::max(deps_done, op.end_ms);
+    }
+  }
+  // If the locked encoder ever entered a bubble, every dependency layer
+  // scheduled in bubbles must have been placed no later than it started...
+  for (const PlacedFrozenOp& op : result.placed) {
+    if (op.component != 3) {
+      EXPECT_LE(op.start_ms, locked_enc_first + 1e-9);
+    }
+  }
+}
+
+TEST(Filler, DependentComponentEntersTheSameBubbleOnceReady) {
+  // Paper §5: "Whenever a component becomes ready, we add it to the set of
+  // ready components" — including mid-bubble. Component 1 depends on
+  // component 0; a single long bubble must host both.
+  const ModelDesc m =
+      exact_time_model({{1.0}, {1.0, 1.0}}, {{}, {0}});
+  const ProfileDb db = exact_db(m);
+  Schedule schedule;
+  schedule.group_size = 2;
+  schedule.num_stages = 1;
+  schedule.num_microbatches = 1;
+  schedule.makespan_ms = 50.0;
+  schedule.compute_makespan_ms = 50.0;
+  schedule.devices.resize(2);
+  PipelineOp busy;
+  busy.kind = OpKind::kForward;
+  busy.stage = 0;
+  busy.micro = 0;
+  busy.start_ms = 0.0;
+  busy.end_ms = 50.0;
+  schedule.devices[0].ops.push_back(busy);  // Device 1 idle: one big bubble.
+  FillOptions opts;
+  opts.training_batch = 4.0;
+  const FillResult result = BubbleFiller(db).fill(schedule, opts);
+  // All three layers (1 of comp 0, 2 of comp 1) fit in the single bubble;
+  // nothing is left over.
+  EXPECT_EQ(result.placed.size(), 3u);
+  EXPECT_TRUE(result.leftover.empty());
+  for (const PlacedFrozenOp& op : result.placed) {
+    EXPECT_EQ(op.bubble_index, 0);
+  }
+  // Component 1 starts only after component 0 finished.
+  EXPECT_EQ(result.placed[0].component, 0);
+  EXPECT_GE(result.placed[1].start_ms, result.placed[0].end_ms - 1e-9);
+}
+
+TEST(Filler, FillingReducesBubbleRatioDramatically) {
+  // Paper Fig. 14: DiffusionPipe reduces the bubble ratio to < 5% while the
+  // unfilled pipeline sits far higher.
+  const FillFixture f(make_stable_diffusion_v21());
+  const Schedule schedule = f.make_schedule(2, 4, 4, 64.0);
+  const double before = bubble_ratio(schedule, extract_bubbles(schedule));
+  const FillResult result =
+      BubbleFiller(f.db).fill(schedule, fill_options(64.0));
+  const double after = bubble_ratio(result.filled_schedule,
+                                    extract_bubbles(result.filled_schedule));
+  EXPECT_GT(before, 0.15);
+  EXPECT_LT(after, before * 0.6);
+}
+
+TEST(Filler, DisablingPartialReducesFilledTime) {
+  const FillFixture f(make_controlnet_v10());
+  const Schedule schedule = f.make_schedule(4, 4, 4, 64.0);
+  FillOptions with = fill_options(64.0);
+  FillOptions without = fill_options(64.0);
+  without.enable_partial = false;
+  const FillResult a = BubbleFiller(f.db).fill(schedule, with);
+  const FillResult b = BubbleFiller(f.db).fill(schedule, without);
+  EXPECT_GE(a.filled_device_ms, b.filled_device_ms);
+  EXPECT_LE(a.leftover_ms, b.leftover_ms + 1e-9);
+}
+
+TEST(Filler, DisablingFillMovesEverythingToLeftover) {
+  const FillFixture f(make_stable_diffusion_v21());
+  const Schedule schedule = f.make_schedule(2, 4, 4, 64.0);
+  FillOptions opts = fill_options(64.0);
+  opts.enable_fill = false;
+  const FillResult result = BubbleFiller(f.db).fill(schedule, opts);
+  EXPECT_TRUE(result.placed.empty());
+  EXPECT_FALSE(result.leftover.empty());
+  EXPECT_GT(result.leftover_ms, 0.0);
+  EXPECT_NEAR(result.filled_schedule.makespan_ms,
+              schedule.makespan_ms + result.leftover_ms, 1e-6);
+}
+
+TEST(Filler, CdmHasAlmostNothingToFill) {
+  const FillFixture f(make_cdm_lsun());
+  const Schedule schedule = f.make_schedule(1, 4, 4, 64.0);
+  const FillResult result =
+      BubbleFiller(f.db).fill(schedule, fill_options(64.0));
+  // Tiny class embedding: the filled + leftover work is < 10 ms total.
+  EXPECT_LT(result.filled_device_ms + result.leftover_ms, 10.0);
+}
+
+}  // namespace
+}  // namespace dpipe

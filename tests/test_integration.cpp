@@ -1,0 +1,76 @@
+// End-to-end integration sweep: every zoo model plans through the full
+// front-end (profile -> partition -> schedule -> fill -> instructions) and
+// executes on the engine, on one 8-GPU machine.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+
+#include "core/planner/planner.h"
+#include "engine/engine.h"
+#include "model/zoo.h"
+
+namespace dpipe {
+namespace {
+
+ModelDesc zoo_model(int index) {
+  switch (index) {
+    case 0:
+      return make_stable_diffusion_v21();
+    case 1:
+      return make_controlnet_v10();
+    case 2:
+      return make_cdm_lsun();
+    case 3:
+      return make_cdm_imagenet();
+    case 4:
+      return make_sdxl_base();
+    case 5:
+      return make_dit_xl2();
+    default:
+      // Three backbones: the planner groups them into two virtual ones.
+      return make_cdm_imagenet_full();
+  }
+}
+
+class ZooEndToEnd : public testing::TestWithParam<int> {};
+
+TEST_P(ZooEndToEnd, PlansAndExecutes) {
+  const ModelDesc model = zoo_model(GetParam());
+  PlannerOptions options;
+  options.global_batch = 128.0;
+  const Planner planner(model, make_p4de_cluster(1), options);
+  const Plan plan = planner.plan();
+  EXPECT_TRUE(plan.config.memory_feasible) << model.name;
+  EXPECT_GT(plan.config.predicted_iteration_ms, 0.0);
+
+  const ExecutionEngine engine(planner.db(), planner.comm());
+  EngineOptions eopts;
+  eopts.iterations = 3;
+  eopts.data_parallel_degree = plan.config.data_parallel_degree;
+  eopts.group_batch = 128.0 / plan.config.data_parallel_degree;
+  const EngineResult result = engine.run(plan.program, eopts);
+  EXPECT_GT(result.samples_per_second, 0.0) << model.name;
+  // Predicted and measured iteration times agree within noise + modeling
+  // slack on every model in the zoo.
+  EXPECT_NEAR(result.steady_iteration_ms, plan.config.predicted_iteration_ms,
+              plan.config.predicted_iteration_ms * 0.25)
+      << model.name;
+  // The headline property: residual bubbles stay small after filling.
+  EXPECT_LT(result.steady_bubble_ratio, 0.30) << model.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllZooModels, ZooEndToEnd,
+                         testing::Values(0, 1, 2, 3, 4, 5, 6),
+                         [](const testing::TestParamInfo<int>& info) {
+                           std::string name = zoo_model(info.param).name;
+                           for (char& ch : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(ch))) {
+                               ch = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace dpipe

@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include "model/zoo.h"
+#include "profiler/profiler.h"
+
+namespace dpipe {
+namespace {
+
+AnalyticCostModel noiseless_cost() {
+  return AnalyticCostModel(DeviceSpec{}, NoiseSource(0, 0.0));
+}
+
+TEST(CostModel, LinearInBatchPlusOverhead) {
+  const AnalyticCostModel cost = noiseless_cost();
+  LayerDesc l;
+  l.name = "x";
+  l.kind = LayerKind::kResBlock;  // eff 0.30 -> 93.6 GFLOP/ms
+  l.fwd_gflop = 93.6;
+  l.overhead_fwd_ms = 0.5;
+  EXPECT_NEAR(cost.fwd_ms(l, 1.0), 1.5, 1e-9);
+  EXPECT_NEAR(cost.fwd_ms(l, 10.0), 10.5, 1e-9);
+  EXPECT_DOUBLE_EQ(cost.fwd_ms(l, 0.0), 0.0);
+}
+
+TEST(CostModel, BackwardUsesFactorAndExtraOverhead) {
+  const AnalyticCostModel cost = noiseless_cost();
+  LayerDesc l;
+  l.name = "x";
+  l.kind = LayerKind::kResBlock;
+  l.fwd_gflop = 93.6;
+  l.bwd_flop_factor = 2.0;
+  l.overhead_fwd_ms = 0.5;
+  l.overhead_bwd_ms = 0.7;
+  EXPECT_NEAR(cost.bwd_ms(l, 1.0), 2.0 + 1.2, 1e-9);
+}
+
+TEST(CostModel, EfficiencyOverride) {
+  const AnalyticCostModel cost = noiseless_cost();
+  LayerDesc l;
+  l.name = "x";
+  l.kind = LayerKind::kResBlock;
+  l.fwd_gflop = 31.2;
+  l.overhead_fwd_ms = 0.0;
+  l.efficiency = 0.10;  // 31.2 GFLOP/ms at eff 1.0 => 1 ms at 0.1 -> 10x
+  EXPECT_NEAR(cost.fwd_ms(l, 1.0), 1.0, 1e-9);
+}
+
+TEST(CostModel, NoiseBoundsRespected) {
+  const AnalyticCostModel noisy(DeviceSpec{}, NoiseSource(99, 0.02));
+  const AnalyticCostModel clean = noiseless_cost();
+  const ModelDesc m = make_stable_diffusion_v21();
+  for (const LayerDesc& l : m.backbone(0).layers) {
+    const double a = noisy.fwd_ms(l, 8.0);
+    const double b = clean.fwd_ms(l, 8.0);
+    EXPECT_GE(a, b * 0.98 - 1e-12);
+    EXPECT_LE(a, b * 1.02 + 1e-12);
+  }
+}
+
+TEST(ProfileDb, MatchesCostModelOnGrid) {
+  const ModelDesc m = make_synthetic_model(6, 2, 3);
+  const AnalyticCostModel cost = noiseless_cost();
+  const ProfileDb db(m, cost, {1, 4, 16, 64});
+  for (int li = 0; li < m.components[1].num_layers(); ++li) {
+    EXPECT_NEAR(db.fwd_ms(1, li, 16.0),
+                cost.fwd_ms(m.components[1].layers[li], 16.0), 1e-9);
+    EXPECT_NEAR(db.bwd_ms(1, li, 16.0),
+                cost.bwd_ms(m.components[1].layers[li], 16.0), 1e-9);
+  }
+}
+
+TEST(ProfileDb, InterpolatesBetweenGridPoints) {
+  const ModelDesc m = make_uniform_model(4, 93.6, 10.0);
+  const AnalyticCostModel cost = noiseless_cost();
+  const ProfileDb db(m, cost, {8, 16});
+  // Time is linear in batch, so the interpolation is exact at batch 12.
+  EXPECT_NEAR(db.fwd_ms(0, 0, 12.0), cost.fwd_ms(m.backbone(0).layers[0], 12.0),
+              1e-9);
+}
+
+TEST(ProfileDb, RangeSumsMatchLayerSums) {
+  const ModelDesc m = make_synthetic_model(10, 0, 5);
+  const AnalyticCostModel cost = noiseless_cost();
+  const ProfileDb db(m, cost, default_batch_grid());
+  double fwd_sum = 0.0;
+  double bwd_sum = 0.0;
+  for (int li = 2; li < 7; ++li) {
+    fwd_sum += db.fwd_ms(0, li, 32.0);
+    bwd_sum += db.bwd_ms(0, li, 32.0);
+  }
+  EXPECT_NEAR(db.fwd_range_ms(0, 2, 7, 32.0), fwd_sum, 1e-9);
+  EXPECT_NEAR(db.bwd_range_ms(0, 2, 7, 32.0), bwd_sum, 1e-9);
+  EXPECT_DOUBLE_EQ(db.fwd_range_ms(0, 3, 3, 32.0), 0.0);
+}
+
+TEST(ProfileDb, SizePrefixSums) {
+  const ModelDesc m = make_stable_diffusion_v21();
+  const AnalyticCostModel cost = noiseless_cost();
+  const ProfileDb db(m, cost, {8});
+  const int backbone = m.backbone_ids[0];
+  const int L = m.backbone(0).num_layers();
+  EXPECT_NEAR(db.param_range_mb(backbone, 0, L), 1730.0, 1.0);
+  EXPECT_NEAR(db.grad_range_mb(backbone, 0, L), 1730.0, 1.0);
+  EXPECT_NEAR(db.act_range_mb(backbone, 0, L), 1290.0, 1.0);
+}
+
+TEST(ProfileDb, RejectsBadRanges) {
+  const ModelDesc m = make_uniform_model(4, 10.0, 10.0);
+  const ProfileDb db(m, noiseless_cost(), {8});
+  EXPECT_THROW((void)db.fwd_ms(1, 0, 8.0), std::invalid_argument);
+  EXPECT_THROW((void)db.fwd_ms(0, 4, 8.0), std::invalid_argument);
+  EXPECT_THROW((void)db.fwd_range_ms(0, 3, 2, 8.0), std::invalid_argument);
+}
+
+TEST(ProfileDb, RejectsBadGrid) {
+  const ModelDesc m = make_uniform_model(4, 10.0, 10.0);
+  const AnalyticCostModel cost = noiseless_cost();
+  EXPECT_THROW(ProfileDb(m, cost, {}), std::invalid_argument);
+  EXPECT_THROW(ProfileDb(m, cost, {8, 8}), std::invalid_argument);
+  EXPECT_THROW(ProfileDb(m, cost, {16, 8}), std::invalid_argument);
+}
+
+// --- Calibration against the paper's published measurements ---------------
+
+double non_trainable_fwd_ms(const ModelDesc& m, const ProfileDb& db,
+                            double batch) {
+  double total = 0.0;
+  for (std::size_t ci = 0; ci < m.components.size(); ++ci) {
+    if (m.components[ci].trainable) {
+      continue;
+    }
+    total += db.fwd_range_ms(static_cast<int>(ci), 0,
+                             m.components[ci].num_layers(), batch);
+  }
+  return total;
+}
+
+double trainable_fwd_bwd_ms(const ModelDesc& m, const ProfileDb& db,
+                            double batch) {
+  double total = 0.0;
+  for (const int bi : m.backbone_ids) {
+    const int L = m.components[bi].num_layers();
+    total += db.fwd_range_ms(bi, 0, L, batch) + db.bwd_range_ms(bi, 0, L, batch);
+  }
+  return total;
+}
+
+struct RatioBand {
+  double batch;
+  double lo;
+  double hi;
+};
+
+// Paper Table 1: SD 38/41/43/44 %, ControlNet 76/81/86/89 % at batch
+// 8/16/32/64. Allow +/- ~4 percentage points of calibration slack.
+TEST(Calibration, Table1StableDiffusionRatios) {
+  const ModelDesc m = make_stable_diffusion_v21();
+  const ProfileDb db(m, noiseless_cost(), default_batch_grid());
+  const RatioBand bands[] = {
+      {8, 0.34, 0.42}, {16, 0.37, 0.45}, {32, 0.39, 0.47}, {64, 0.40, 0.48}};
+  for (const RatioBand& band : bands) {
+    const double ratio = non_trainable_fwd_ms(m, db, band.batch) /
+                         trainable_fwd_bwd_ms(m, db, band.batch);
+    EXPECT_GE(ratio, band.lo) << "batch " << band.batch;
+    EXPECT_LE(ratio, band.hi) << "batch " << band.batch;
+  }
+}
+
+TEST(Calibration, Table1ControlNetRatios) {
+  const ModelDesc m = make_controlnet_v10();
+  const ProfileDb db(m, noiseless_cost(), default_batch_grid());
+  const RatioBand bands[] = {
+      {8, 0.72, 0.82}, {16, 0.76, 0.86}, {32, 0.80, 0.91}, {64, 0.83, 0.94}};
+  for (const RatioBand& band : bands) {
+    const double ratio = non_trainable_fwd_ms(m, db, band.batch) /
+                         trainable_fwd_bwd_ms(m, db, band.batch);
+    EXPECT_GE(ratio, band.lo) << "batch " << band.batch;
+    EXPECT_LE(ratio, band.hi) << "batch " << band.batch;
+  }
+}
+
+// Paper Fig. 5: text-encoder layers are short (< 5 ms at batch 64), most
+// image-encoder layers are moderate, and a few are extra-long (> 400 ms).
+TEST(Calibration, Fig5LayerTimeDistribution) {
+  const ModelDesc m = make_stable_diffusion_v21();
+  const ProfileDb db(m, noiseless_cost(), default_batch_grid());
+  for (int li = 0; li < m.components[0].num_layers(); ++li) {
+    EXPECT_LT(db.fwd_ms(0, li, 64.0), 5.0) << "text layer " << li;
+  }
+  int extra_long = 0;
+  for (int li = 0; li < m.components[1].num_layers(); ++li) {
+    if (db.fwd_ms(1, li, 64.0) > 400.0) {
+      ++extra_long;
+    }
+  }
+  EXPECT_GE(extra_long, 1);
+  EXPECT_LE(extra_long, 4);
+}
+
+// Paper §2.3: SD training consumes ~24.3 GB at local batch 8 (params +
+// mixed-precision optimizer states + activations).
+TEST(Calibration, StableDiffusionMemoryFootprint) {
+  const ModelDesc m = make_stable_diffusion_v21();
+  const ComponentDesc& unet = m.backbone(0);
+  const double param_mb = unet.total_param_mb();
+  // fp16 params + fp16 grads + fp32 master/momentum/variance = 8x fp16 size.
+  const double states_mb = param_mb * 8.0;
+  double act_mb = 0.0;
+  for (const LayerDesc& l : unet.layers) {
+    act_mb += l.act_mb;
+  }
+  const double total_gb = (states_mb + act_mb * 8.0) / 1024.0;
+  EXPECT_NEAR(total_gb, 24.3, 2.0);
+}
+
+TEST(Profiler, ReportIncludesWallClockEstimate) {
+  const Profiler profiler;
+  const ProfileReport report =
+      profiler.profile(make_stable_diffusion_v21(), make_p4de_cluster(2));
+  // Paper §6.4: ~55 s for SD v2.1 on 2 machines. Accept a generous band.
+  EXPECT_GT(report.profiling_wall_ms, 20e3);
+  EXPECT_LT(report.profiling_wall_ms, 120e3);
+}
+
+TEST(Profiler, WallClockShrinksWithMoreDevices) {
+  const Profiler profiler;
+  const double t2 =
+      profiler.profile(make_controlnet_v10(), make_p4de_cluster(2))
+          .profiling_wall_ms;
+  const double t8 =
+      profiler.profile(make_controlnet_v10(), make_p4de_cluster(8))
+          .profiling_wall_ms;
+  EXPECT_NEAR(t8, t2 / 4.0, t2 * 0.01);
+}
+
+}  // namespace
+}  // namespace dpipe

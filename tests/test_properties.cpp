@@ -1,0 +1,239 @@
+// Parameterized property sweeps across models, pipeline shapes, batch
+// sizes and noise seeds: the invariants every configuration must satisfy.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/fill/filler.h"
+#include "core/instr/instructions.h"
+#include "core/partition/brute_force.h"
+#include "core/schedule/schedule.h"
+#include "engine/engine.h"
+#include "model/zoo.h"
+
+namespace dpipe {
+namespace {
+
+ModelDesc model_by_index(int index) {
+  switch (index) {
+    case 0:
+      return make_stable_diffusion_v21();
+    case 1:
+      return make_controlnet_v10();
+    case 2:
+      return make_dit_xl2();
+    default:
+      return make_synthetic_model(16, 6, 1000 + index);
+  }
+}
+
+struct Stack {
+  ModelDesc model;
+  ClusterSpec cluster;
+  CommModel comm;
+  ProfileDb db;
+  DpPartitioner partitioner;
+  ScheduleBuilder builder;
+
+  explicit Stack(ModelDesc m, int machines = 1)
+      : model(std::move(m)),
+        cluster(make_p4de_cluster(machines)),
+        comm(cluster),
+        db(model,
+           AnalyticCostModel(cluster.device, NoiseSource(0xD1FF, 0.02)),
+           default_batch_grid()),
+        partitioner(db, comm),
+        builder(db, comm) {}
+};
+
+// --- Sweep 1: schedule + fill invariants over (model, S, M) ----------------
+
+class PipelineConfigSweep
+    : public testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(PipelineConfigSweep, ScheduleAndFillInvariants) {
+  const auto [model_index, S, M] = GetParam();
+  const Stack s(model_by_index(model_index));
+  const int backbone = s.model.backbone_ids[0];
+  const double batch = 64.0;
+
+  PartitionOptions opts;
+  opts.num_stages = S;
+  opts.num_microbatches = M;
+  opts.group_size = 8;
+  opts.microbatch_size = batch / M;
+  opts.self_conditioning = s.model.self_conditioning;
+
+  const PartitionResult part = s.partitioner.partition_single(backbone, opts);
+  const Schedule schedule = s.builder.build_1f1b(backbone, part.stages, opts);
+
+  // Invariant A: the simulated makespan never exceeds the DP bound by more
+  // than the profiling noise allows.
+  EXPECT_LE(schedule.makespan_ms, part.upper_bound_ms * 1.05);
+
+  // Invariant B: per-device ops never overlap and stay within makespan.
+  for (const DeviceTimeline& device : schedule.devices) {
+    double cursor = 0.0;
+    for (const PipelineOp& op : device.ops) {
+      EXPECT_GE(op.start_ms, cursor - 1e-9);
+      EXPECT_LE(op.end_ms, schedule.makespan_ms + 1e-9);
+      cursor = op.end_ms;
+    }
+  }
+
+  // Invariant C: filling covers each frozen layer exactly once over the
+  // full batch, never overflows a bubble, never reorders a component.
+  FillOptions fill_opts;
+  fill_opts.training_batch = batch;
+  const FillResult fill = BubbleFiller(s.db).fill(schedule, fill_opts);
+  const std::vector<Bubble> bubbles = extract_bubbles(schedule);
+  std::map<std::pair<int, int>, double> covered;
+  std::map<int, int> last_layer;
+  for (const PlacedFrozenOp& op : fill.placed) {
+    covered[{op.component, op.layer}] += op.samples;
+    const Bubble& bubble = bubbles.at(op.bubble_index);
+    EXPECT_GE(op.start_ms, bubble.span.start - 1e-9);
+    EXPECT_LE(op.end_ms, bubble.span.end + 1e-9);
+    const auto it = last_layer.find(op.component);
+    if (it != last_layer.end()) {
+      EXPECT_GE(op.layer, it->second);
+    }
+    last_layer[op.component] = op.layer;
+  }
+  for (const PlacedFrozenOp& op : fill.leftover) {
+    covered[{op.component, op.layer}] += op.samples;
+  }
+  for (std::size_t ci = 0; ci < s.model.components.size(); ++ci) {
+    if (s.model.components[ci].trainable) {
+      continue;
+    }
+    for (int li = 0; li < s.model.components[ci].num_layers(); ++li) {
+      const double samples = covered[{static_cast<int>(ci), li}];
+      EXPECT_NEAR(samples, batch, 1e-6)
+          << "component " << ci << " layer " << li;
+    }
+  }
+
+  // Invariant D: the lowered program executes without deadlock and lands
+  // near the planned time.
+  const InstructionProgram program =
+      generate_instructions(s.db, fill.filled_schedule, fill, opts);
+  const ExecutionEngine engine(s.db, s.comm);
+  EngineOptions eopts;
+  eopts.iterations = 3;
+  eopts.group_batch = batch;
+  const EngineResult result = engine.run(program, eopts);
+  EXPECT_NEAR(result.steady_iteration_ms, fill.filled_schedule.makespan_ms,
+              fill.filled_schedule.makespan_ms * 0.20);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModelsAndShapes, PipelineConfigSweep,
+    testing::Combine(testing::Values(0, 1, 2, 3),
+                     testing::Values(2, 4),
+                     testing::Values(2, 4, 8)),
+    [](const testing::TestParamInfo<std::tuple<int, int, int>>& info) {
+      return "model" + std::to_string(std::get<0>(info.param)) + "_S" +
+             std::to_string(std::get<1>(info.param)) + "_M" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+// --- Sweep 2: DP partitioner optimality oracle over random instances -------
+
+class PartitionerOracleSweep
+    : public testing::TestWithParam<std::tuple<unsigned, int>> {};
+
+TEST_P(PartitionerOracleSweep, DpMatchesBruteForce) {
+  const auto [seed, stages] = GetParam();
+  // Two machines: the dp=2 sync groups span the full 16-rank world.
+  const Stack s(make_synthetic_model(8, 0, seed), 2);
+  PartitionOptions opts;
+  opts.num_stages = stages;
+  opts.num_microbatches = 4;
+  opts.group_size = stages * 2;
+  opts.microbatch_size = 8.0;
+  opts.data_parallel_degree = 2;
+  const PartitionResult got = s.partitioner.partition_single(0, opts);
+  const PartitionResult want = brute_force_partition(s.partitioner, 0, opts);
+  EXPECT_NEAR(got.upper_bound_ms, want.upper_bound_ms,
+              1e-9 * want.upper_bound_ms);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomInstances, PartitionerOracleSweep,
+    testing::Combine(testing::Values(101u, 102u, 103u, 104u, 105u, 106u),
+                     testing::Values(2, 4)),
+    [](const testing::TestParamInfo<std::tuple<unsigned, int>>& info) {
+      return "seed" + std::to_string(std::get<0>(info.param)) + "_S" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// --- Sweep 3: engine determinism & noise sensitivity ------------------------
+
+class EngineNoiseSweep : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EngineNoiseSweep, DeterministicAndNoiseBounded) {
+  const std::uint64_t seed = GetParam();
+  const Stack s(make_stable_diffusion_v21());
+  PartitionOptions opts;
+  opts.num_stages = 4;
+  opts.num_microbatches = 4;
+  opts.group_size = 8;
+  opts.microbatch_size = 16.0;
+  const PartitionResult part = s.partitioner.partition_single(2, opts);
+  const Schedule schedule = s.builder.build_1f1b(2, part.stages, opts);
+  FillOptions fill_opts;
+  fill_opts.training_batch = 64.0;
+  const FillResult fill = BubbleFiller(s.db).fill(schedule, fill_opts);
+  const InstructionProgram program =
+      generate_instructions(s.db, fill.filled_schedule, fill, opts);
+  const ExecutionEngine engine(s.db, s.comm);
+  EngineOptions eopts;
+  eopts.iterations = 3;
+  eopts.group_batch = 64.0;
+  eopts.actual_noise_seed = seed;
+  const EngineResult a = engine.run(program, eopts);
+  const EngineResult b = engine.run(program, eopts);
+  EXPECT_DOUBLE_EQ(a.steady_iteration_ms, b.steady_iteration_ms);
+  // Different seeds stay within the +/-2% noise envelope (plus stacking).
+  eopts.actual_noise_seed = seed + 1;
+  const EngineResult c = engine.run(program, eopts);
+  EXPECT_NEAR(c.steady_iteration_ms, a.steady_iteration_ms,
+              a.steady_iteration_ms * 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineNoiseSweep,
+                         testing::Values(1u, 2u, 3u, 4u, 5u));
+
+// --- Sweep 4: partial-batch design dominates across batch sizes -------------
+
+class FillerBatchSweep : public testing::TestWithParam<double> {};
+
+TEST_P(FillerBatchSweep, PartialBatchNeverHurts) {
+  const double batch = GetParam();
+  const Stack s(make_controlnet_v10());
+  PartitionOptions opts;
+  opts.num_stages = 4;
+  opts.num_microbatches = 4;
+  opts.group_size = 8;
+  opts.microbatch_size = batch / 4.0;
+  opts.self_conditioning = true;
+  const PartitionResult part = s.partitioner.partition_single(4, opts);
+  const Schedule schedule = s.builder.build_1f1b(4, part.stages, opts);
+  FillOptions with;
+  with.training_batch = batch;
+  FillOptions without = with;
+  without.enable_partial = false;
+  const FillResult a = BubbleFiller(s.db).fill(schedule, with);
+  const FillResult b = BubbleFiller(s.db).fill(schedule, without);
+  EXPECT_GE(a.filled_device_ms, b.filled_device_ms - 1e-9);
+  EXPECT_LE(a.filled_schedule.makespan_ms,
+            b.filled_schedule.makespan_ms + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Batches, FillerBatchSweep,
+                         testing::Values(32.0, 64.0, 128.0, 256.0, 384.0));
+
+}  // namespace
+}  // namespace dpipe

@@ -1,0 +1,74 @@
+// dpipe_plan: DiffusionPipe's front-end as a CLI. Plans pipeline training
+// for a zoo model and writes the back-end instruction program.
+//
+//   dpipe_plan <model> <machines> <global_batch> [output.dpipe]
+//
+// Models: sd21, controlnet, cdm_lsun, cdm_imagenet, cdm_imagenet_full,
+//         sdxl, dit.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "core/instr/serialize.h"
+#include "core/planner/planner.h"
+#include "model/zoo.h"
+
+namespace {
+
+dpipe::ModelDesc model_by_name(const std::string& name) {
+  using namespace dpipe;
+  if (name == "sd21") return make_stable_diffusion_v21();
+  if (name == "controlnet") return make_controlnet_v10();
+  if (name == "cdm_lsun") return make_cdm_lsun();
+  if (name == "cdm_imagenet") return make_cdm_imagenet();
+  if (name == "cdm_imagenet_full") return make_cdm_imagenet_full();
+  if (name == "sdxl") return make_sdxl_base();
+  if (name == "dit") return make_dit_xl2();
+  throw std::invalid_argument("unknown model: " + name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr,
+                 "usage: %s <model> <machines> <global_batch> "
+                 "[output.dpipe]\n"
+                 "models: sd21 controlnet cdm_lsun cdm_imagenet "
+                 "cdm_imagenet_full sdxl dit\n",
+                 argv[0]);
+    return 2;
+  }
+  try {
+    const dpipe::ModelDesc model = model_by_name(argv[1]);
+    const int machines = std::atoi(argv[2]);
+    const double batch = std::atof(argv[3]);
+    dpipe::PlannerOptions options;
+    options.global_batch = batch;
+    const dpipe::Planner planner(model, dpipe::make_p4de_cluster(machines),
+                                 options);
+    const dpipe::Plan plan = planner.plan();
+    std::printf("%s on %d GPUs, batch %.0f:\n", model.name.c_str(),
+                8 * machines, batch);
+    std::printf("  S=%d M=%d D=%d dp=%d\n", plan.config.num_stages,
+                plan.config.num_microbatches, plan.config.group_size,
+                plan.config.data_parallel_degree);
+    std::printf("  predicted iteration %.1f ms, planned bubble %.1f%%\n",
+                plan.config.predicted_iteration_ms,
+                100.0 * plan.config.planned_bubble_ratio);
+    if (argc >= 5) {
+      std::ofstream out(argv[4]);
+      if (!out) {
+        std::fprintf(stderr, "cannot open %s for writing\n", argv[4]);
+        return 1;
+      }
+      dpipe::save_program(plan.program, out);
+      std::printf("  wrote instruction program to %s\n", argv[4]);
+    }
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+}

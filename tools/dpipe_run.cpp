@@ -1,0 +1,77 @@
+// dpipe_run: DiffusionPipe's back-end as a CLI. Loads an instruction
+// program written by dpipe_plan and replays it on the discrete-event
+// engine.
+//
+//   dpipe_run <program.dpipe> <model> <machines> <group_batch>
+//             [data_parallel_degree] [iterations]
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/instr/serialize.h"
+#include "engine/engine.h"
+#include "model/zoo.h"
+#include "profiler/profiler.h"
+
+namespace {
+
+dpipe::ModelDesc model_by_name(const std::string& name) {
+  using namespace dpipe;
+  if (name == "sd21") return make_stable_diffusion_v21();
+  if (name == "controlnet") return make_controlnet_v10();
+  if (name == "cdm_lsun") return make_cdm_lsun();
+  if (name == "cdm_imagenet") return make_cdm_imagenet();
+  if (name == "cdm_imagenet_full") return make_cdm_imagenet_full();
+  if (name == "sdxl") return make_sdxl_base();
+  if (name == "dit") return make_dit_xl2();
+  throw std::invalid_argument("unknown model: " + name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 5) {
+    std::fprintf(stderr,
+                 "usage: %s <program.dpipe> <model> <machines> "
+                 "<group_batch> [dp_degree] [iterations]\n",
+                 argv[0]);
+    return 2;
+  }
+  try {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    const dpipe::InstructionProgram program = dpipe::load_program(in);
+    const dpipe::ModelDesc model = model_by_name(argv[2]);
+    const dpipe::ClusterSpec cluster =
+        dpipe::make_p4de_cluster(std::atoi(argv[3]));
+    const dpipe::CommModel comm(cluster);
+    const dpipe::ProfileDb db(
+        model,
+        dpipe::AnalyticCostModel(cluster.device,
+                                 dpipe::NoiseSource(0xD1FF, 0.02)),
+        dpipe::default_batch_grid());
+
+    dpipe::EngineOptions options;
+    options.group_batch = std::atof(argv[4]);
+    options.data_parallel_degree = argc >= 6 ? std::atoi(argv[5]) : 1;
+    options.iterations = argc >= 7 ? std::atoi(argv[6]) : 4;
+    const dpipe::ExecutionEngine engine(db, comm);
+    const dpipe::EngineResult result = engine.run(program, options);
+    std::printf("replayed %d iterations of %s:\n", options.iterations,
+                argv[1]);
+    std::printf("  steady iteration %.1f ms (first %.1f ms incl. "
+                "preamble)\n",
+                result.steady_iteration_ms,
+                result.iterations[0].duration_ms());
+    std::printf("  throughput %.1f samples/s, bubble ratio %.1f%%\n",
+                result.samples_per_second,
+                100.0 * result.steady_bubble_ratio);
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+}
