@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_bubble.dir/bench_fig14_bubble.cpp.o"
+  "CMakeFiles/bench_fig14_bubble.dir/bench_fig14_bubble.cpp.o.d"
+  "bench_fig14_bubble"
+  "bench_fig14_bubble.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_bubble.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_max_batch.dir/bench_max_batch.cpp.o"
+  "CMakeFiles/bench_max_batch.dir/bench_max_batch.cpp.o.d"
+  "bench_max_batch"
+  "bench_max_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_max_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_sync.dir/bench_table2_sync.cpp.o"
+  "CMakeFiles/bench_table2_sync.dir/bench_table2_sync.cpp.o.d"
+  "bench_table2_sync"
+  "bench_table2_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cascaded_bidirectional.dir/cascaded_bidirectional.cpp.o"
+  "CMakeFiles/cascaded_bidirectional.dir/cascaded_bidirectional.cpp.o.d"
+  "cascaded_bidirectional"
+  "cascaded_bidirectional.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cascaded_bidirectional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

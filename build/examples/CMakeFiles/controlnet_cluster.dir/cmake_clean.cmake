@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/controlnet_cluster.dir/controlnet_cluster.cpp.o"
+  "CMakeFiles/controlnet_cluster.dir/controlnet_cluster.cpp.o.d"
+  "controlnet_cluster"
+  "controlnet_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/controlnet_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/equivalence_training.dir/equivalence_training.cpp.o"
+  "CMakeFiles/equivalence_training.dir/equivalence_training.cpp.o.d"
+  "equivalence_training"
+  "equivalence_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/equivalence_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

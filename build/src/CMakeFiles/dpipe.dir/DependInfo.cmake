@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/cdm_dp.cpp" "src/CMakeFiles/dpipe.dir/baselines/cdm_dp.cpp.o" "gcc" "src/CMakeFiles/dpipe.dir/baselines/cdm_dp.cpp.o.d"
+  "/root/repo/src/baselines/ddp.cpp" "src/CMakeFiles/dpipe.dir/baselines/ddp.cpp.o" "gcc" "src/CMakeFiles/dpipe.dir/baselines/ddp.cpp.o.d"
+  "/root/repo/src/baselines/gpipe_baseline.cpp" "src/CMakeFiles/dpipe.dir/baselines/gpipe_baseline.cpp.o" "gcc" "src/CMakeFiles/dpipe.dir/baselines/gpipe_baseline.cpp.o.d"
+  "/root/repo/src/baselines/spp.cpp" "src/CMakeFiles/dpipe.dir/baselines/spp.cpp.o" "gcc" "src/CMakeFiles/dpipe.dir/baselines/spp.cpp.o.d"
+  "/root/repo/src/cluster/cluster.cpp" "src/CMakeFiles/dpipe.dir/cluster/cluster.cpp.o" "gcc" "src/CMakeFiles/dpipe.dir/cluster/cluster.cpp.o.d"
+  "/root/repo/src/cluster/comm_model.cpp" "src/CMakeFiles/dpipe.dir/cluster/comm_model.cpp.o" "gcc" "src/CMakeFiles/dpipe.dir/cluster/comm_model.cpp.o.d"
+  "/root/repo/src/common/noise.cpp" "src/CMakeFiles/dpipe.dir/common/noise.cpp.o" "gcc" "src/CMakeFiles/dpipe.dir/common/noise.cpp.o.d"
+  "/root/repo/src/common/pareto.cpp" "src/CMakeFiles/dpipe.dir/common/pareto.cpp.o" "gcc" "src/CMakeFiles/dpipe.dir/common/pareto.cpp.o.d"
+  "/root/repo/src/common/timeline.cpp" "src/CMakeFiles/dpipe.dir/common/timeline.cpp.o" "gcc" "src/CMakeFiles/dpipe.dir/common/timeline.cpp.o.d"
+  "/root/repo/src/core/fill/ffc.cpp" "src/CMakeFiles/dpipe.dir/core/fill/ffc.cpp.o" "gcc" "src/CMakeFiles/dpipe.dir/core/fill/ffc.cpp.o.d"
+  "/root/repo/src/core/fill/filler.cpp" "src/CMakeFiles/dpipe.dir/core/fill/filler.cpp.o" "gcc" "src/CMakeFiles/dpipe.dir/core/fill/filler.cpp.o.d"
+  "/root/repo/src/core/instr/instructions.cpp" "src/CMakeFiles/dpipe.dir/core/instr/instructions.cpp.o" "gcc" "src/CMakeFiles/dpipe.dir/core/instr/instructions.cpp.o.d"
+  "/root/repo/src/core/instr/serialize.cpp" "src/CMakeFiles/dpipe.dir/core/instr/serialize.cpp.o" "gcc" "src/CMakeFiles/dpipe.dir/core/instr/serialize.cpp.o.d"
+  "/root/repo/src/core/partition/bidirectional.cpp" "src/CMakeFiles/dpipe.dir/core/partition/bidirectional.cpp.o" "gcc" "src/CMakeFiles/dpipe.dir/core/partition/bidirectional.cpp.o.d"
+  "/root/repo/src/core/partition/brute_force.cpp" "src/CMakeFiles/dpipe.dir/core/partition/brute_force.cpp.o" "gcc" "src/CMakeFiles/dpipe.dir/core/partition/brute_force.cpp.o.d"
+  "/root/repo/src/core/partition/grouping.cpp" "src/CMakeFiles/dpipe.dir/core/partition/grouping.cpp.o" "gcc" "src/CMakeFiles/dpipe.dir/core/partition/grouping.cpp.o.d"
+  "/root/repo/src/core/partition/partitioner.cpp" "src/CMakeFiles/dpipe.dir/core/partition/partitioner.cpp.o" "gcc" "src/CMakeFiles/dpipe.dir/core/partition/partitioner.cpp.o.d"
+  "/root/repo/src/core/planner/planner.cpp" "src/CMakeFiles/dpipe.dir/core/planner/planner.cpp.o" "gcc" "src/CMakeFiles/dpipe.dir/core/planner/planner.cpp.o.d"
+  "/root/repo/src/core/schedule/builder_1f1b.cpp" "src/CMakeFiles/dpipe.dir/core/schedule/builder_1f1b.cpp.o" "gcc" "src/CMakeFiles/dpipe.dir/core/schedule/builder_1f1b.cpp.o.d"
+  "/root/repo/src/core/schedule/builder_bidir.cpp" "src/CMakeFiles/dpipe.dir/core/schedule/builder_bidir.cpp.o" "gcc" "src/CMakeFiles/dpipe.dir/core/schedule/builder_bidir.cpp.o.d"
+  "/root/repo/src/core/schedule/builder_gpipe.cpp" "src/CMakeFiles/dpipe.dir/core/schedule/builder_gpipe.cpp.o" "gcc" "src/CMakeFiles/dpipe.dir/core/schedule/builder_gpipe.cpp.o.d"
+  "/root/repo/src/core/schedule/schedule.cpp" "src/CMakeFiles/dpipe.dir/core/schedule/schedule.cpp.o" "gcc" "src/CMakeFiles/dpipe.dir/core/schedule/schedule.cpp.o.d"
+  "/root/repo/src/core/schedule/trace.cpp" "src/CMakeFiles/dpipe.dir/core/schedule/trace.cpp.o" "gcc" "src/CMakeFiles/dpipe.dir/core/schedule/trace.cpp.o.d"
+  "/root/repo/src/engine/engine.cpp" "src/CMakeFiles/dpipe.dir/engine/engine.cpp.o" "gcc" "src/CMakeFiles/dpipe.dir/engine/engine.cpp.o.d"
+  "/root/repo/src/engine/memory.cpp" "src/CMakeFiles/dpipe.dir/engine/memory.cpp.o" "gcc" "src/CMakeFiles/dpipe.dir/engine/memory.cpp.o.d"
+  "/root/repo/src/model/model.cpp" "src/CMakeFiles/dpipe.dir/model/model.cpp.o" "gcc" "src/CMakeFiles/dpipe.dir/model/model.cpp.o.d"
+  "/root/repo/src/model/zoo.cpp" "src/CMakeFiles/dpipe.dir/model/zoo.cpp.o" "gcc" "src/CMakeFiles/dpipe.dir/model/zoo.cpp.o.d"
+  "/root/repo/src/profiler/cost_model.cpp" "src/CMakeFiles/dpipe.dir/profiler/cost_model.cpp.o" "gcc" "src/CMakeFiles/dpipe.dir/profiler/cost_model.cpp.o.d"
+  "/root/repo/src/profiler/profile_db.cpp" "src/CMakeFiles/dpipe.dir/profiler/profile_db.cpp.o" "gcc" "src/CMakeFiles/dpipe.dir/profiler/profile_db.cpp.o.d"
+  "/root/repo/src/profiler/profiler.cpp" "src/CMakeFiles/dpipe.dir/profiler/profiler.cpp.o" "gcc" "src/CMakeFiles/dpipe.dir/profiler/profiler.cpp.o.d"
+  "/root/repo/src/runtime/ddpm.cpp" "src/CMakeFiles/dpipe.dir/runtime/ddpm.cpp.o" "gcc" "src/CMakeFiles/dpipe.dir/runtime/ddpm.cpp.o.d"
+  "/root/repo/src/runtime/dp_trainer.cpp" "src/CMakeFiles/dpipe.dir/runtime/dp_trainer.cpp.o" "gcc" "src/CMakeFiles/dpipe.dir/runtime/dp_trainer.cpp.o.d"
+  "/root/repo/src/runtime/modules.cpp" "src/CMakeFiles/dpipe.dir/runtime/modules.cpp.o" "gcc" "src/CMakeFiles/dpipe.dir/runtime/modules.cpp.o.d"
+  "/root/repo/src/runtime/optim.cpp" "src/CMakeFiles/dpipe.dir/runtime/optim.cpp.o" "gcc" "src/CMakeFiles/dpipe.dir/runtime/optim.cpp.o.d"
+  "/root/repo/src/runtime/pipeline_exec.cpp" "src/CMakeFiles/dpipe.dir/runtime/pipeline_exec.cpp.o" "gcc" "src/CMakeFiles/dpipe.dir/runtime/pipeline_exec.cpp.o.d"
+  "/root/repo/src/runtime/tensor.cpp" "src/CMakeFiles/dpipe.dir/runtime/tensor.cpp.o" "gcc" "src/CMakeFiles/dpipe.dir/runtime/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

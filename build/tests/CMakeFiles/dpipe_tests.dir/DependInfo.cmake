@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_baseline_details.cpp" "tests/CMakeFiles/dpipe_tests.dir/test_baseline_details.cpp.o" "gcc" "tests/CMakeFiles/dpipe_tests.dir/test_baseline_details.cpp.o.d"
+  "/root/repo/tests/test_cluster.cpp" "tests/CMakeFiles/dpipe_tests.dir/test_cluster.cpp.o" "gcc" "tests/CMakeFiles/dpipe_tests.dir/test_cluster.cpp.o.d"
+  "/root/repo/tests/test_comm_properties.cpp" "tests/CMakeFiles/dpipe_tests.dir/test_comm_properties.cpp.o" "gcc" "tests/CMakeFiles/dpipe_tests.dir/test_comm_properties.cpp.o.d"
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/dpipe_tests.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/dpipe_tests.dir/test_common.cpp.o.d"
+  "/root/repo/tests/test_engine.cpp" "tests/CMakeFiles/dpipe_tests.dir/test_engine.cpp.o" "gcc" "tests/CMakeFiles/dpipe_tests.dir/test_engine.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/dpipe_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/dpipe_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_fill.cpp" "tests/CMakeFiles/dpipe_tests.dir/test_fill.cpp.o" "gcc" "tests/CMakeFiles/dpipe_tests.dir/test_fill.cpp.o.d"
+  "/root/repo/tests/test_instructions.cpp" "tests/CMakeFiles/dpipe_tests.dir/test_instructions.cpp.o" "gcc" "tests/CMakeFiles/dpipe_tests.dir/test_instructions.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/dpipe_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/dpipe_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_model_zoo.cpp" "tests/CMakeFiles/dpipe_tests.dir/test_model_zoo.cpp.o" "gcc" "tests/CMakeFiles/dpipe_tests.dir/test_model_zoo.cpp.o.d"
+  "/root/repo/tests/test_partitioner.cpp" "tests/CMakeFiles/dpipe_tests.dir/test_partitioner.cpp.o" "gcc" "tests/CMakeFiles/dpipe_tests.dir/test_partitioner.cpp.o.d"
+  "/root/repo/tests/test_planner.cpp" "tests/CMakeFiles/dpipe_tests.dir/test_planner.cpp.o" "gcc" "tests/CMakeFiles/dpipe_tests.dir/test_planner.cpp.o.d"
+  "/root/repo/tests/test_profiler.cpp" "tests/CMakeFiles/dpipe_tests.dir/test_profiler.cpp.o" "gcc" "tests/CMakeFiles/dpipe_tests.dir/test_profiler.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/dpipe_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/dpipe_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_runtime.cpp" "tests/CMakeFiles/dpipe_tests.dir/test_runtime.cpp.o" "gcc" "tests/CMakeFiles/dpipe_tests.dir/test_runtime.cpp.o.d"
+  "/root/repo/tests/test_schedule.cpp" "tests/CMakeFiles/dpipe_tests.dir/test_schedule.cpp.o" "gcc" "tests/CMakeFiles/dpipe_tests.dir/test_schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dpipe.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpipe_plan.dir/dpipe_plan.cpp.o"
+  "CMakeFiles/dpipe_plan.dir/dpipe_plan.cpp.o.d"
+  "dpipe_plan"
+  "dpipe_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpipe_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

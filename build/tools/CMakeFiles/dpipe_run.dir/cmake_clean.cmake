@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpipe_run.dir/dpipe_run.cpp.o"
+  "CMakeFiles/dpipe_run.dir/dpipe_run.cpp.o.d"
+  "dpipe_run"
+  "dpipe_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpipe_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
