@@ -25,6 +25,15 @@ double CommModel::p2p_ms(double size_mb, int src_rank, int dst_rank) const {
   return transfer_ms(size_mb, link.bandwidth_gbps) + link.latency_ms;
 }
 
+double CommModel::p2p_ms(double size_mb, int src_rank, int dst_rank,
+                         double depart_ms, const fault::FaultModel& faults,
+                         std::uint64_t msg_key,
+                         fault::FaultStats* stats) const {
+  return p2p_ms(size_mb, src_rank, dst_rank) +
+         faults.link_penalty_ms(src_rank, dst_rank, depart_ms, msg_key,
+                                stats);
+}
+
 LinkSpec CommModel::group_link(const std::vector<int>& group) const {
   require(!group.empty(), "communication group must be non-empty");
   bool spans_machines = false;
@@ -73,6 +82,15 @@ double CommModel::allreduce_ms(double size_mb,
       2.0 * (m - 1.0) / m * chunk_mb / cluster_.inter.bandwidth_gbps +
       2.0 * (m - 1.0) * cluster_.inter.latency_ms;
   return 2.0 * intra_phase + inter_phase;
+}
+
+double CommModel::allreduce_ms(double size_mb, const std::vector<int>& group,
+                               double when_ms,
+                               const fault::FaultModel& faults,
+                               std::uint64_t msg_key,
+                               fault::FaultStats* stats) const {
+  return allreduce_ms(size_mb, group) +
+         faults.collective_penalty_ms(group, when_ms, msg_key, stats);
 }
 
 double CommModel::allgather_ms(double size_mb,

@@ -1,8 +1,10 @@
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "fault/fault.h"
 
 namespace dpipe {
 
@@ -20,9 +22,28 @@ class CommModel {
   [[nodiscard]] double p2p_ms(double size_mb, int src_rank,
                               int dst_rank) const;
 
+  /// Fault-aware point-to-point: the healthy transfer time plus any
+  /// deterministic retry/backoff penalty for a message departing at
+  /// `depart_ms` under `faults`. `msg_key` identifies the message for
+  /// reproducible retry draws; `stats` (optional) accumulates accounting.
+  [[nodiscard]] double p2p_ms(double size_mb, int src_rank, int dst_rank,
+                              double depart_ms,
+                              const fault::FaultModel& faults,
+                              std::uint64_t msg_key,
+                              fault::FaultStats* stats) const;
+
   /// Ring allreduce of `size_mb` (per-rank payload) over `group` ranks.
   [[nodiscard]] double allreduce_ms(double size_mb,
                                     const std::vector<int>& group) const;
+
+  /// Fault-aware allreduce: healthy ring time plus the worst adjacent-edge
+  /// retry penalty at issue time `when_ms`.
+  [[nodiscard]] double allreduce_ms(double size_mb,
+                                    const std::vector<int>& group,
+                                    double when_ms,
+                                    const fault::FaultModel& faults,
+                                    std::uint64_t msg_key,
+                                    fault::FaultStats* stats) const;
 
   /// Ring allgather: each rank contributes size_mb / n, gathers size_mb.
   [[nodiscard]] double allgather_ms(double size_mb,

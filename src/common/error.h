@@ -21,4 +21,50 @@ inline void ensure(bool condition, const std::string& message) {
   }
 }
 
+namespace detail {
+
+inline std::string located(const char* file, int line,
+                           const std::string& message) {
+  std::string text(file);
+  // Keep paths readable: trim everything before the last "src/" so messages
+  // are stable across build directories.
+  const std::size_t anchor = text.rfind("src/");
+  if (anchor != std::string::npos) {
+    text.erase(0, anchor);
+  }
+  text += ':';
+  text += std::to_string(line);
+  text += ": ";
+  text += message;
+  return text;
+}
+
+inline void require_at(bool condition, const std::string& message,
+                       const char* file, int line) {
+  if (!condition) {
+    throw std::invalid_argument(located(file, line, message));
+  }
+}
+
+inline void ensure_at(bool condition, const std::string& message,
+                      const char* file, int line) {
+  if (!condition) {
+    throw std::logic_error(located(file, line, message));
+  }
+}
+
+}  // namespace detail
 }  // namespace dpipe
+
+/// Precondition check that prepends file:line context to the thrown
+/// std::invalid_argument. Prefer over bare require() in library code so
+/// failures in deep call stacks are attributable.
+#define DPIPE_REQUIRE(cond, msg) \
+  ::dpipe::detail::require_at(static_cast<bool>(cond), (msg), __FILE__, \
+                              __LINE__)
+
+/// Invariant check that prepends file:line context to the thrown
+/// std::logic_error.
+#define DPIPE_ENSURE(cond, msg) \
+  ::dpipe::detail::ensure_at(static_cast<bool>(cond), (msg), __FILE__, \
+                             __LINE__)

@@ -30,7 +30,21 @@ struct Collective {
   double last_issue_ms = 0.0;
   double size_mb = 0.0;
   std::vector<int> participants;  ///< Chain positions.
+  /// Lazily computed link-fault retry penalty (< 0 = not yet computed;
+  /// stays negative on fault-free runs so it contributes nothing).
+  double fault_penalty_ms = -1.0;
 };
+
+/// Stable identity for a message or collective, used to seed deterministic
+/// link-fault retry draws.
+std::uint64_t fault_msg_key(int backbone, int stage, int micro, int round,
+                            bool grad) {
+  return (static_cast<std::uint64_t>(backbone + 1) << 44) ^
+         (static_cast<std::uint64_t>(stage + 1) << 30) ^
+         (static_cast<std::uint64_t>(micro + 1) << 14) ^
+         (static_cast<std::uint64_t>(round + 1) << 1) ^
+         (grad ? 1ull : 0ull);
+}
 
 }  // namespace
 
@@ -39,18 +53,26 @@ ExecutionEngine::ExecutionEngine(const ProfileDb& db, const CommModel& comm)
 
 EngineResult ExecutionEngine::run(const InstructionProgram& program,
                                   const EngineOptions& opts) const {
-  require(opts.iterations >= 2,
-          "need at least 2 iterations (steady state starts at 1)");
-  require(opts.group_batch > 0.0, "group batch must be positive");
-  require(program.group_size >= 1 &&
-              static_cast<int>(program.per_device.size()) ==
-                  program.group_size,
-          "program/device shape mismatch");
-  require(opts.data_parallel_degree * program.group_size <=
-              comm_->cluster().world_size(),
-          "cluster too small for group_size x data_parallel_degree");
+  DPIPE_REQUIRE(opts.iterations >= 2,
+                "need at least 2 iterations (steady state starts at 1)");
+  DPIPE_REQUIRE(opts.group_batch > 0.0, "group batch must be positive");
+  DPIPE_REQUIRE(program.group_size >= 1 &&
+                    static_cast<int>(program.per_device.size()) ==
+                        program.group_size,
+                "program/device shape mismatch");
+  DPIPE_REQUIRE(opts.data_parallel_degree * program.group_size <=
+                    comm_->cluster().world_size(),
+                "cluster too small for group_size x data_parallel_degree");
   const int R = opts.iterations;
   const int D = program.group_size;
+  // Fault injection: `faulty` gates every adjustment below so an empty plan
+  // leaves the run bit-identical to pre-fault behaviour.
+  const bool faulty = !opts.faults.empty();
+  if (faulty) {
+    fault::validate(opts.faults, D);
+  }
+  const fault::FaultModel faults(opts.faults);
+  fault::FaultStats fstats;
   const ModelDesc& model = db_->model();
   const AnalyticCostModel actual(
       comm_->cluster().device,
@@ -98,14 +120,21 @@ EngineResult ExecutionEngine::run(const InstructionProgram& program,
   std::map<int, int> frozen_done_count;
   std::map<int, double> frozen_ready_ms;
 
-  const auto collective_duration = [&](const Collective& c) {
+  const auto collective_duration = [&](Collective& c, std::uint64_t key) {
     std::vector<int> group;
     for (int g = 0; g < opts.data_parallel_degree; ++g) {
       for (const int dev : c.participants) {
         group.push_back(dev + g * D);
       }
     }
-    return comm_->allreduce_ms(c.size_mb, group);
+    // Link faults are declared over chain positions; the retry penalty is
+    // computed (and accounted) once per collective, then cached.
+    if (faulty && c.fault_penalty_ms < 0.0) {
+      c.fault_penalty_ms = faults.collective_penalty_ms(
+          c.participants, c.last_issue_ms, key, &fstats);
+    }
+    return comm_->allreduce_ms(c.size_mb, group) +
+           std::max(0.0, c.fault_penalty_ms);
   };
 
   // Self-conditioning factor on backbone forwards: the expectation (1+p)
@@ -219,9 +248,15 @@ EngineResult ExecutionEngine::run(const InstructionProgram& program,
               executable = false;
               break;
             }
-            start = std::max(clock[dev],
-                             it->second + comm_->p2p_ms(i.size_mb, i.peer,
-                                                        dev));
+            const double arrival =
+                faulty ? it->second +
+                             comm_->p2p_ms(i.size_mb, i.peer, dev, it->second,
+                                           faults,
+                                           fault_msg_key(i.backbone, i.stage,
+                                                         i.micro, k, grad),
+                                           &fstats)
+                       : it->second + comm_->p2p_ms(i.size_mb, i.peer, dev);
+            start = std::max(clock[dev], arrival);
             duration = 0.0;
             occupies_device = false;
             break;
@@ -235,12 +270,16 @@ EngineResult ExecutionEngine::run(const InstructionProgram& program,
             break;
           }
           case InstrKind::kOptimizerStep: {
-            const Collective& c = collectives.at({i.backbone, i.stage, k});
+            Collective& c = collectives.at({i.backbone, i.stage, k});
             if (c.issued < c.expected) {
               executable = false;
               break;
             }
-            start = std::max(start, c.last_issue_ms + collective_duration(c));
+            start = std::max(
+                start, c.last_issue_ms +
+                           collective_duration(
+                               c, fault_msg_key(i.backbone, i.stage, -1, k,
+                                                true)));
             // Adam update: read/modify/write fp32 states, HBM-bound.
             duration = transfer_ms(3.0 * i.size_mb,
                                    comm_->cluster().device.mem_bw_gbps);
@@ -249,6 +288,13 @@ EngineResult ExecutionEngine::run(const InstructionProgram& program,
         }
         if (!executable) {
           break;
+        }
+        if (faulty && occupies_device && duration > 0.0) {
+          const double factor = faults.straggler_factor(dev, start);
+          if (factor > 1.0) {
+            fstats.straggler_delay_ms += duration * (factor - 1.0);
+            duration *= factor;
+          }
         }
         const double end = start + duration;
         clock[dev] = std::max(clock[dev], end);
@@ -298,8 +344,79 @@ EngineResult ExecutionEngine::run(const InstructionProgram& program,
         progress = true;
       }
     }
-    ensure(progress || remaining == 0,
-           "execution engine deadlocked: unmatched receive or fence");
+    DPIPE_ENSURE(progress || remaining == 0,
+                 "execution engine deadlocked: unmatched receive or fence");
+  }
+
+  // Device crashes: modeled post-hoc as global stalls. A synchronous
+  // pipeline cannot advance past a dead stage, so at each crash the whole
+  // group restores from the last iteration-boundary checkpoint (restore_ms)
+  // and replays the work lost since it; everything after the crash point
+  // shifts by that stall. Stalls are resolved in wall-clock order: each
+  // crash's at_ms is mapped back into the unshifted timeline by subtracting
+  // the stalls already incurred before it.
+  std::vector<std::pair<double, double>> stalls;  ///< (unshifted t, stall).
+  if (faulty && !opts.faults.crashes.empty()) {
+    std::vector<fault::DeviceCrash> crashes = opts.faults.crashes;
+    std::sort(crashes.begin(), crashes.end(),
+              [](const fault::DeviceCrash& a, const fault::DeviceCrash& b) {
+                return a.at_ms < b.at_ms;
+              });
+    const double makespan = round_end.back();
+    double incurred = 0.0;
+    for (const fault::DeviceCrash& crash : crashes) {
+      const double t_c = crash.at_ms - incurred;
+      if (t_c <= 0.0 || t_c >= makespan) {
+        continue;  // The device died outside the simulated window.
+      }
+      double checkpoint_ms = 0.0;
+      for (int k = 0; k < R; ++k) {
+        if (round_end[k] <= t_c) {
+          checkpoint_ms = std::max(checkpoint_ms, round_end[k]);
+        }
+      }
+      const double stall = crash.restore_ms + (t_c - checkpoint_ms);
+      stalls.emplace_back(t_c, stall);
+      incurred += stall;
+      ++fstats.recoveries;
+      fstats.recovery_ms += stall;
+    }
+    // Total shift for an event ending at unshifted time `t`: ops that end
+    // strictly after a crash point move (interrupted work is replayed after
+    // recovery); ops already finished stay put.
+    const auto shift_for = [&stalls](double t) {
+      double s = 0.0;
+      for (const auto& [tc, stall] : stalls) {
+        if (t > tc) {
+          s += stall;
+        }
+      }
+      return s;
+    };
+    for (int dev = 0; dev < D; ++dev) {
+      for (int k = 0; k < R; ++k) {
+        for (Span& s : busy[dev][k]) {
+          const double shift = shift_for(s.end);
+          s.start += shift;
+          s.end += shift;
+        }
+      }
+    }
+    for (double& re : round_end) {
+      re += shift_for(re);
+    }
+    if (opts.record_timelines) {
+      for (DeviceTimeline& device : result_timelines) {
+        for (PipelineOp& op : device.ops) {
+          const double shift = shift_for(op.end_ms);
+          op.start_ms += shift;
+          op.end_ms += shift;
+        }
+      }
+      for (auto& [key, c] : collectives) {
+        c.last_issue_ms += shift_for(c.last_issue_ms);
+      }
+    }
   }
 
   // Iteration statistics. Rounds must be non-decreasing in end time.
@@ -344,16 +461,32 @@ EngineResult ExecutionEngine::run(const InstructionProgram& program,
     result.timelines.makespan_ms = round_end.back();
     result.timelines.compute_makespan_ms = round_end.back();
     // Resolved collectives as link ops (duration known once all issued).
-    for (const auto& [key, c] : collectives) {
+    for (auto& [key, c] : collectives) {
       PipelineOp sync;
       sync.kind = OpKind::kGradSync;
       sync.backbone = std::get<0>(key);
       sync.stage = std::get<1>(key);
       sync.start_ms = c.last_issue_ms;
-      sync.end_ms = c.last_issue_ms + collective_duration(c);
+      sync.end_ms =
+          c.last_issue_ms +
+          collective_duration(c, fault_msg_key(std::get<0>(key),
+                                               std::get<1>(key), -1,
+                                               std::get<2>(key), true));
       result.timelines.link_ops.push_back(sync);
     }
   }
+  if (faulty) {
+    // Effective bubble inflation: re-run the same program fault-free (the
+    // engine is deterministic, so this is an exact counterfactual) and diff
+    // the steady bubble ratios.
+    EngineOptions clean = opts;
+    clean.faults = fault::FaultPlan{};
+    clean.record_timelines = false;
+    const EngineResult baseline = run(program, clean);
+    fstats.bubble_inflation =
+        result.steady_bubble_ratio - baseline.steady_bubble_ratio;
+  }
+  result.fault_stats = fstats;
   return result;
 }
 

@@ -4,6 +4,7 @@
 
 #include "cluster/comm_model.h"
 #include "core/instr/instructions.h"
+#include "fault/fault.h"
 #include "profiler/cost_model.h"
 #include "profiler/profile_db.h"
 
@@ -30,6 +31,10 @@ struct EngineOptions {
   /// a measured counterpart to the planner's Schedule, exportable with
   /// write_chrome_trace for side-by-side inspection.
   bool record_timelines = false;
+  /// Fault scenario to inject (stragglers, link faults, device crashes).
+  /// An empty plan leaves the fault-free path bit-identical to a run
+  /// without one; see fault/fault.h for the event and cost models.
+  fault::FaultPlan faults;
 };
 
 struct IterationStats {
@@ -49,6 +54,8 @@ struct EngineResult {
   /// unless EngineOptions::record_timelines). Packaged as a Schedule so
   /// extract_bubbles / write_chrome_trace apply directly.
   Schedule timelines;
+  /// Per-fault accounting (all zero when EngineOptions::faults is empty).
+  fault::FaultStats fault_stats;
 };
 
 /// Discrete-event back-end: replays per-device instruction streams with

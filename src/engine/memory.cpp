@@ -60,10 +60,10 @@ MemoryReport estimate_pipeline_memory(const ProfileDb& db,
     const int S = static_cast<int>(stages.size());
     for (int s = 0; s < S; ++s) {
       const StagePlan& stage = stages[s];
-      ensure(*std::max_element(stage.device_ranks.begin(),
-                               stage.device_ranks.end()) <
-                 schedule.group_size,
-             "stage device ranks must be chain positions of the group");
+      DPIPE_ENSURE(
+          *std::max_element(stage.device_ranks.begin(),
+                            stage.device_ranks.end()) < schedule.group_size,
+          "stage device ranks must be chain positions of the group");
       const double params_mb =
           db.param_range_mb(component, stage.layer_begin, stage.layer_end);
       const double act_mb_per_sample =
@@ -94,8 +94,8 @@ MemoryReport estimate_pipeline_memory(const ProfileDb& db,
 MemoryReport estimate_data_parallel_memory(const ProfileDb& db,
                                            double local_batch,
                                            int num_devices) {
-  require(local_batch >= 0.0, "local batch must be non-negative");
-  require(num_devices >= 1, "need at least one device");
+  DPIPE_REQUIRE(local_batch >= 0.0, "local batch must be non-negative");
+  DPIPE_REQUIRE(num_devices >= 1, "need at least one device");
   const ModelDesc& model = db.model();
   const double params_mb = trainable_params_mb(model);
   DeviceMemory device;
@@ -112,7 +112,7 @@ MemoryReport estimate_data_parallel_memory(const ProfileDb& db,
 
 MemoryReport estimate_zero3_memory(const ProfileDb& db, double local_batch,
                                    int num_devices) {
-  require(num_devices >= 1, "need at least one device");
+  DPIPE_REQUIRE(num_devices >= 1, "need at least one device");
   const ModelDesc& model = db.model();
   const double params_mb = trainable_params_mb(model);
   DeviceMemory device;

@@ -1,0 +1,138 @@
+#include "fault/fault.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace dpipe::fault {
+
+namespace {
+
+/// splitmix64: well-mixed 64-bit hash, the standard seeding finalizer.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Uniform draw in [0, 1), a pure function of the mixed key chain.
+double unit_draw(std::uint64_t a, std::uint64_t b, std::uint64_t c,
+                 std::uint64_t d) {
+  const std::uint64_t h = mix(mix(mix(mix(a) ^ b) ^ c) ^ d);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+bool endpoint_matches(int pattern, int endpoint) {
+  return pattern < 0 || pattern == endpoint;
+}
+
+}  // namespace
+
+void validate(const FaultPlan& plan, int num_devices) {
+  for (const StragglerWindow& w : plan.stragglers) {
+    DPIPE_REQUIRE(w.end_ms >= w.start_ms && w.start_ms >= 0.0,
+                  "straggler window must be non-negative and ordered");
+    DPIPE_REQUIRE(w.factor >= 1.0, "straggler factor must be >= 1");
+    DPIPE_REQUIRE(w.device >= 0, "straggler device must be non-negative");
+    DPIPE_REQUIRE(num_devices == 0 || w.device < num_devices,
+                  "straggler device out of range");
+  }
+  for (const LinkFault& f : plan.link_faults) {
+    DPIPE_REQUIRE(f.end_ms >= f.start_ms && f.start_ms >= 0.0,
+                  "link fault window must be non-negative and ordered");
+    DPIPE_REQUIRE(f.drop_prob >= 0.0 && f.drop_prob < 1.0,
+                  "drop probability must be in [0, 1)");
+    DPIPE_REQUIRE(f.max_retries >= 0, "max retries must be non-negative");
+    DPIPE_REQUIRE(f.timeout_ms >= 0.0 && f.backoff_ms >= 0.0,
+                  "timeout and backoff must be non-negative");
+    DPIPE_REQUIRE(num_devices == 0 || (f.src < num_devices &&
+                                       f.dst < num_devices),
+                  "link fault endpoint out of range");
+  }
+  for (const DeviceCrash& c : plan.crashes) {
+    DPIPE_REQUIRE(c.at_ms >= 0.0, "crash time must be non-negative");
+    DPIPE_REQUIRE(c.restore_ms >= 0.0, "restore cost must be non-negative");
+    DPIPE_REQUIRE(c.device >= 0, "crash device must be non-negative");
+    DPIPE_REQUIRE(num_devices == 0 || c.device < num_devices,
+                  "crash device out of range");
+  }
+}
+
+FaultModel::FaultModel(const FaultPlan& plan) : plan_(&plan) {}
+
+double FaultModel::straggler_factor(int device, double now_ms) const {
+  double factor = 1.0;
+  for (const StragglerWindow& w : plan_->stragglers) {
+    if (w.device == device && now_ms >= w.start_ms && now_ms < w.end_ms) {
+      factor *= w.factor;
+    }
+  }
+  return factor;
+}
+
+double FaultModel::link_penalty_ms(int src, int dst, double depart_ms,
+                                   std::uint64_t msg_key,
+                                   FaultStats* stats) const {
+  double penalty = 0.0;
+  for (std::size_t fi = 0; fi < plan_->link_faults.size(); ++fi) {
+    const LinkFault& f = plan_->link_faults[fi];
+    if (!endpoint_matches(f.src, src) || !endpoint_matches(f.dst, dst)) {
+      continue;
+    }
+    // Retry chain: each attempt departs at depart + penalty-so-far. Once
+    // the (re)attempt lands outside the fault window, the link is healthy.
+    for (int attempt = 0; attempt <= f.max_retries; ++attempt) {
+      const double t = depart_ms + penalty;
+      if (t < f.start_ms || t >= f.end_ms) {
+        break;
+      }
+      const double u = unit_draw(
+          plan_->seed, msg_key,
+          (static_cast<std::uint64_t>(src + 1) << 32) |
+              static_cast<std::uint64_t>(dst + 1),
+          (fi << 16) | static_cast<std::uint64_t>(attempt));
+      if (u >= f.drop_prob) {
+        break;
+      }
+      penalty += f.timeout_ms + f.backoff_ms * static_cast<double>(attempt);
+      if (stats != nullptr) {
+        ++stats->retries;
+      }
+    }
+  }
+  if (stats != nullptr) {
+    stats->retry_delay_ms += penalty;
+  }
+  return penalty;
+}
+
+double FaultModel::collective_penalty_ms(const std::vector<int>& group,
+                                         double when_ms,
+                                         std::uint64_t msg_key,
+                                         FaultStats* stats) const {
+  if (group.size() <= 1 || plan_->link_faults.empty()) {
+    return 0.0;
+  }
+  // The ring is gated by its slowest edge; account retries only for that
+  // edge (the other edges' retries overlap with it in wall-clock time).
+  double worst = 0.0;
+  FaultStats worst_stats;
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    const int src = group[i];
+    const int dst = group[(i + 1) % group.size()];
+    FaultStats edge_stats;
+    const double p = link_penalty_ms(src, dst, when_ms, msg_key, &edge_stats);
+    if (p > worst) {
+      worst = p;
+      worst_stats = edge_stats;
+    }
+  }
+  if (stats != nullptr && worst > 0.0) {
+    stats->retries += worst_stats.retries;
+    stats->retry_delay_ms += worst_stats.retry_delay_ms;
+  }
+  return worst;
+}
+
+}  // namespace dpipe::fault

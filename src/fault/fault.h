@@ -1,0 +1,113 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dpipe::fault {
+
+/// A per-device slowdown over a wall-clock window: every device-occupying op
+/// on `device` whose start time falls inside [start_ms, end_ms) has its
+/// duration scaled by `factor`. Models thermal throttling, noisy neighbours,
+/// ECC scrubbing — the asymmetric drift that offline-planned schedules
+/// cannot anticipate.
+struct StragglerWindow {
+  int device = 0;  ///< Chain position within the pipeline group.
+  double start_ms = 0.0;
+  double end_ms = 0.0;  ///< Half-open window [start, end).
+  double factor = 1.0;  ///< Duration multiplier, >= 1.
+};
+
+/// A transient link failure: messages departing on (src -> dst) inside the
+/// window are dropped with probability `drop_prob` per attempt. Each dropped
+/// attempt costs `timeout_ms` (failure detection) plus a linear backoff of
+/// `backoff_ms * attempt` before the retry. A retry whose departure time has
+/// drifted past `end_ms` succeeds (the fault healed); after `max_retries`
+/// the message is forced through (the transport escalates out of the modeled
+/// retry loop). src/dst of -1 match any endpoint.
+struct LinkFault {
+  int src = -1;  ///< Sender chain position, -1 = wildcard.
+  int dst = -1;  ///< Receiver chain position, -1 = wildcard.
+  double start_ms = 0.0;
+  double end_ms = 0.0;
+  double drop_prob = 0.5;   ///< Per-attempt drop probability in [0, 1).
+  int max_retries = 8;      ///< Retry budget after the first attempt.
+  double timeout_ms = 1.0;  ///< Detection cost per dropped attempt.
+  double backoff_ms = 0.5;  ///< Extra wait per retry: backoff * attempt_no.
+};
+
+/// A permanent device crash at wall-clock `at_ms`. Recovery is modeled as a
+/// global stall: every device pays `restore_ms` (restore params + optimizer
+/// state from the last iteration-boundary checkpoint) plus a replay of all
+/// work since that checkpoint — synchronous pipelines cannot advance past a
+/// dead stage, so the whole group rolls back together.
+struct DeviceCrash {
+  int device = 0;
+  double at_ms = 0.0;
+  double restore_ms = 5.0;
+};
+
+/// Declarative, reproducible fault scenario. All randomness (link-fault
+/// retry draws) is a pure function of `seed` and the message identity, so
+/// the same plan always produces the same execution.
+struct FaultPlan {
+  std::uint64_t seed = 0xFA17;
+  std::vector<StragglerWindow> stragglers;
+  std::vector<LinkFault> link_faults;
+  std::vector<DeviceCrash> crashes;
+
+  [[nodiscard]] bool empty() const {
+    return stragglers.empty() && link_faults.empty() && crashes.empty();
+  }
+};
+
+/// Validates ranges and windows; throws std::invalid_argument on bad plans.
+/// `num_devices` bounds device indices (pass 0 to skip the bound check).
+void validate(const FaultPlan& plan, int num_devices = 0);
+
+/// Per-run fault accounting surfaced in EngineResult.
+struct FaultStats {
+  int retries = 0;               ///< Dropped send attempts across all links.
+  double retry_delay_ms = 0.0;   ///< Total timeout + backoff latency paid.
+  double straggler_delay_ms = 0.0;  ///< Extra compute time from slowdowns.
+  int recoveries = 0;            ///< Device crashes recovered from.
+  double recovery_ms = 0.0;      ///< Restore + replay time across crashes.
+  /// Steady bubble ratio under faults minus the fault-free ratio of the
+  /// same program — the operator-facing "how much pipeline did I lose".
+  double bubble_inflation = 0.0;
+};
+
+/// Query interface over a FaultPlan used by the execution engine and the
+/// communication model. Stateless: every answer is a pure function of the
+/// plan, so concurrent and repeated queries are safe and reproducible.
+class FaultModel {
+ public:
+  explicit FaultModel(const FaultPlan& plan);
+
+  /// Combined straggler multiplier for an op starting on `device` at
+  /// `now_ms` (overlapping windows compound multiplicatively).
+  [[nodiscard]] double straggler_factor(int device, double now_ms) const;
+
+  /// Deterministic retry/backoff penalty (ms) for a message departing
+  /// src -> dst at `depart_ms`. `msg_key` distinguishes messages sharing a
+  /// departure time; `stats` (optional) accumulates retry accounting.
+  [[nodiscard]] double link_penalty_ms(int src, int dst, double depart_ms,
+                                       std::uint64_t msg_key,
+                                       FaultStats* stats) const;
+
+  /// Worst-edge penalty for a ring collective over `group` issued at
+  /// `when_ms`: the slowest retry chain on any adjacent pair gates the ring.
+  [[nodiscard]] double collective_penalty_ms(const std::vector<int>& group,
+                                             double when_ms,
+                                             std::uint64_t msg_key,
+                                             FaultStats* stats) const;
+
+  [[nodiscard]] const std::vector<DeviceCrash>& crashes() const {
+    return plan_->crashes;
+  }
+  [[nodiscard]] bool empty() const { return plan_->empty(); }
+
+ private:
+  const FaultPlan* plan_;
+};
+
+}  // namespace dpipe::fault

@@ -16,16 +16,16 @@ DdpmProblem::DdpmProblem(DdpmConfig config)
         Rng rng = encoder_rng(config.seed);
         return FrozenEncoder(config.cond_raw_dim, config.cond_dim, rng);
       }()) {
-  require(config_.data_dim >= 1 && config_.hidden >= 1 && config_.depth >= 1,
+  DPIPE_REQUIRE(config_.data_dim >= 1 && config_.hidden >= 1 && config_.depth >= 1,
           "invalid DDPM config");
-  require(config_.timesteps >= 2, "need at least 2 timesteps");
-  require(config_.self_cond_prob >= 0.0 && config_.self_cond_prob <= 1.0,
+  DPIPE_REQUIRE(config_.timesteps >= 2, "need at least 2 timesteps");
+  DPIPE_REQUIRE(config_.self_cond_prob >= 0.0 && config_.self_cond_prob <= 1.0,
           "self_cond_prob must be a probability");
 }
 
 DdpmProblem::Batch DdpmProblem::make_batch(int iteration,
                                            int batch_size) const {
-  require(iteration >= 0 && batch_size >= 1, "invalid batch request");
+  DPIPE_REQUIRE(iteration >= 0 && batch_size >= 1, "invalid batch request");
   Rng rng(config_.seed + 0x9E3779B9ull * (iteration + 1));
   Batch batch;
   batch.x0 = Tensor({batch_size, config_.data_dim});
@@ -71,7 +71,7 @@ Tensor DdpmProblem::encode_condition(const Tensor& cond_raw) const {
 
 Tensor DdpmProblem::make_input(const Batch& batch, const Tensor& cond,
                                const Tensor* self_cond_pred) const {
-  require(cond.rows() == batch.x0.rows(), "condition batch mismatch");
+  DPIPE_REQUIRE(cond.rows() == batch.x0.rows(), "condition batch mismatch");
   // x_t = sqrt(alpha_bar) x0 + sqrt(1 - alpha_bar) eps.
   Tensor x_t(batch.x0.shape());
   for (int i = 0; i < batch.x0.rows(); ++i) {
@@ -90,8 +90,8 @@ Tensor DdpmProblem::make_input(const Batch& batch, const Tensor& cond,
 
 Tensor DdpmProblem::loss_grad(const Tensor& pred, const Tensor& target,
                               int global_batch) const {
-  require(pred.shape() == target.shape(), "pred/target shape mismatch");
-  require(global_batch >= 1, "global batch must be positive");
+  DPIPE_REQUIRE(pred.shape() == target.shape(), "pred/target shape mismatch");
+  DPIPE_REQUIRE(global_batch >= 1, "global batch must be positive");
   const float norm =
       2.0f / (static_cast<float>(global_batch) * pred.cols());
   return scale(sub(pred, target), norm);

@@ -9,7 +9,7 @@ ReferenceTrainer::ReferenceTrainer(const DdpmProblem& problem,
       net_(problem.make_backbone()),
       sgd_(lr),
       adam_(use_adam ? std::make_unique<Adam>(lr) : nullptr) {
-  require(global_batch >= 1, "global batch must be positive");
+  DPIPE_REQUIRE(global_batch >= 1, "global batch must be positive");
 }
 
 void ReferenceTrainer::train(int iterations) {

@@ -23,7 +23,7 @@ Tensor Linear::forward(const Tensor& x) {
 }
 
 Tensor Linear::backward(const Tensor& grad_out) {
-  ensure(!inputs_.empty(), "Linear::backward without stashed forward");
+  DPIPE_ENSURE(!inputs_.empty(), "Linear::backward without stashed forward");
   const Tensor x = std::move(inputs_.front());
   inputs_.pop_front();
   grad_weight = add(grad_weight, matmul_tn(x, grad_out));
@@ -55,7 +55,7 @@ Tensor SiLU::forward(const Tensor& x) {
 }
 
 Tensor SiLU::backward(const Tensor& grad_out) {
-  ensure(!inputs_.empty(), "SiLU::backward without stashed forward");
+  DPIPE_ENSURE(!inputs_.empty(), "SiLU::backward without stashed forward");
   const Tensor x = std::move(inputs_.front());
   inputs_.pop_front();
   Tensor grad_in(x.shape());
@@ -80,7 +80,7 @@ Tensor Sequential::backward(const Tensor& grad_out) {
 }
 
 Tensor Sequential::forward_range(const Tensor& x, int begin, int end) {
-  require(begin >= 0 && begin <= end && end <= size(),
+  DPIPE_REQUIRE(begin >= 0 && begin <= end && end <= size(),
           "module range out of bounds");
   Tensor y = x;
   for (int i = begin; i < end; ++i) {
@@ -91,7 +91,7 @@ Tensor Sequential::forward_range(const Tensor& x, int begin, int end) {
 
 Tensor Sequential::backward_range(const Tensor& grad_out, int begin,
                                   int end) {
-  require(begin >= 0 && begin <= end && end <= size(),
+  DPIPE_REQUIRE(begin >= 0 && begin <= end && end <= size(),
           "module range out of bounds");
   Tensor g = grad_out;
   for (int i = end - 1; i >= begin; --i) {
@@ -129,7 +129,7 @@ void Sequential::zero_grad() {
 void Sequential::drop_context() { drop_context_range(0, size()); }
 
 void Sequential::drop_context_range(int begin, int end) {
-  require(begin >= 0 && begin <= end && end <= size(),
+  DPIPE_REQUIRE(begin >= 0 && begin <= end && end <= size(),
           "module range out of bounds");
   for (int i = begin; i < end; ++i) {
     modules_[i]->drop_context();
@@ -147,7 +147,7 @@ int Sequential::pending_contexts() const {
 std::unique_ptr<Sequential> make_mlp_backbone(int in_features, int hidden,
                                               int depth, int out_features,
                                               Rng& rng) {
-  require(depth >= 1, "backbone needs at least one block");
+  DPIPE_REQUIRE(depth >= 1, "backbone needs at least one block");
   auto net = std::make_unique<Sequential>();
   int width = in_features;
   for (int d = 0; d < depth; ++d) {

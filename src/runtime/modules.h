@@ -43,7 +43,11 @@ class Linear : public Module {
   [[nodiscard]] int pending_contexts() const override {
     return static_cast<int>(inputs_.size());
   }
-  void drop_context() override { inputs_.pop_front(); }
+  void drop_context() override {
+    if (!inputs_.empty()) {
+      inputs_.pop_front();
+    }
+  }
 
   Tensor weight;  ///< [in, out]
   Tensor bias;    ///< [1, out]
@@ -62,7 +66,11 @@ class SiLU : public Module {
   [[nodiscard]] int pending_contexts() const override {
     return static_cast<int>(inputs_.size());
   }
-  void drop_context() override { inputs_.pop_front(); }
+  void drop_context() override {
+    if (!inputs_.empty()) {
+      inputs_.pop_front();
+    }
+  }
 
  private:
   std::deque<Tensor> inputs_;

@@ -6,11 +6,11 @@ namespace dpipe::rt {
 
 void Sgd::step(const std::vector<Tensor*>& params,
                const std::vector<Tensor*>& grads) const {
-  require(params.size() == grads.size(), "param/grad count mismatch");
+  DPIPE_REQUIRE(params.size() == grads.size(), "param/grad count mismatch");
   for (std::size_t i = 0; i < params.size(); ++i) {
     Tensor& p = *params[i];
     const Tensor& g = *grads[i];
-    require(p.shape() == g.shape(), "param/grad shape mismatch");
+    DPIPE_REQUIRE(p.shape() == g.shape(), "param/grad shape mismatch");
     for (std::int64_t j = 0; j < p.numel(); ++j) {
       p.data()[j] -= lr_ * g.data()[j];
     }
@@ -19,19 +19,19 @@ void Sgd::step(const std::vector<Tensor*>& params,
 
 Adam::Adam(float lr, float beta1, float beta2, float eps)
     : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {
-  require(lr > 0.0f, "lr must be > 0");
+  DPIPE_REQUIRE(lr > 0.0f, "lr must be > 0");
 }
 
 void Adam::step(const std::vector<Tensor*>& params,
                 const std::vector<Tensor*>& grads) {
-  require(params.size() == grads.size(), "param/grad count mismatch");
+  DPIPE_REQUIRE(params.size() == grads.size(), "param/grad count mismatch");
   if (m_.empty()) {
     for (Tensor* p : params) {
       m_.emplace_back(Tensor::zeros(p->shape()));
       v_.emplace_back(Tensor::zeros(p->shape()));
     }
   }
-  require(m_.size() == params.size(), "optimizer state mismatch");
+  DPIPE_REQUIRE(m_.size() == params.size(), "optimizer state mismatch");
   ++t_;
   const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
   const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
@@ -47,6 +47,15 @@ void Adam::step(const std::vector<Tensor*>& params,
       p.data()[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
     }
   }
+}
+
+void Adam::load_state(const State& state) {
+  DPIPE_REQUIRE(state.m.size() == state.v.size(),
+                "Adam state moment count mismatch");
+  DPIPE_REQUIRE(state.t >= 0, "Adam step count must be non-negative");
+  t_ = state.t;
+  m_ = state.m;
+  v_ = state.v;
 }
 
 }  // namespace dpipe::rt

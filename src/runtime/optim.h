@@ -8,7 +8,9 @@ namespace dpipe::rt {
 /// bit-level trajectory comparisons between trainers.
 class Sgd {
  public:
-  explicit Sgd(float lr) : lr_(lr) { require(lr > 0.0f, "lr must be > 0"); }
+  explicit Sgd(float lr) : lr_(lr) {
+    DPIPE_REQUIRE(lr > 0.0f, "lr must be > 0");
+  }
 
   void step(const std::vector<Tensor*>& params,
             const std::vector<Tensor*>& grads) const;
@@ -23,11 +25,22 @@ class Sgd {
 /// be called with the same param/grad lists every time.
 class Adam {
  public:
+  /// Complete optimizer state, copyable for checkpoint/restore. Restoring
+  /// the same State into a fresh Adam reproduces the trajectory bitwise.
+  struct State {
+    int t = 0;
+    std::vector<Tensor> m;
+    std::vector<Tensor> v;
+  };
+
   explicit Adam(float lr, float beta1 = 0.9f, float beta2 = 0.999f,
                 float eps = 1e-8f);
 
   void step(const std::vector<Tensor*>& params,
             const std::vector<Tensor*>& grads);
+
+  [[nodiscard]] State state() const { return {t_, m_, v_}; }
+  void load_state(const State& state);
 
  private:
   float lr_, beta1_, beta2_, eps_;

@@ -1,6 +1,7 @@
 #include "runtime/pipeline_exec.h"
 
 #include <algorithm>
+#include <string>
 #include <thread>
 
 namespace dpipe::rt {
@@ -35,18 +36,64 @@ std::vector<int> one_f_one_b_order(int stage, int num_stages, int micros) {
   return order;
 }
 
+/// Runs `body(stage)` on one thread per stage with cooperative abort: a
+/// throwing stage records its exception and invokes `abort_wave` (which
+/// must close every channel so blocked peers drain out as nullopt), all
+/// threads are joined unconditionally, and the lowest-stage exception is
+/// rethrown. A body that returns early because a peer aborted records
+/// nothing — only root causes propagate.
+template <typename Body, typename Abort>
+void run_wave(int num_stages, const Body& body, const Abort& abort_wave) {
+  std::vector<std::exception_ptr> errors(num_stages);
+  std::vector<std::thread> threads;
+  threads.reserve(num_stages);
+  for (int s = 0; s < num_stages; ++s) {
+    threads.emplace_back([&, s] {
+      try {
+        body(s);
+      } catch (...) {
+        errors[s] = std::current_exception();
+        abort_wave();
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  for (const std::exception_ptr& error : errors) {
+    if (error != nullptr) {
+      std::rethrow_exception(error);
+    }
+  }
+}
+
 }  // namespace
 
 PipelineTrainer::PipelineTrainer(const DdpmProblem& problem,
                                  PipelineRtConfig config)
     : problem_(&problem), config_(config), optimizer_(config.lr) {
-  require(config_.num_stages >= 1, "need at least one stage");
-  require(config_.num_microbatches >= 1, "need at least one micro-batch");
-  require(config_.data_parallel_degree >= 1, "need at least one replica");
-  require(config_.global_batch % (config_.data_parallel_degree *
-                                  config_.num_microbatches) ==
-              0,
-          "global batch must divide into replicas x micro-batches");
+  DPIPE_REQUIRE(config_.num_stages >= 1, "need at least one stage");
+  DPIPE_REQUIRE(config_.num_microbatches >= 1,
+                "need at least one micro-batch");
+  DPIPE_REQUIRE(config_.data_parallel_degree >= 1,
+                "need at least one replica");
+  DPIPE_REQUIRE(config_.global_batch % (config_.data_parallel_degree *
+                                        config_.num_microbatches) ==
+                    0,
+                "global batch must divide into replicas x micro-batches");
+  DPIPE_REQUIRE(config_.checkpoint_interval >= 0,
+                "checkpoint interval must be non-negative");
+  if (config_.fault.armed()) {
+    DPIPE_REQUIRE(config_.fault.stage >= 0 &&
+                      config_.fault.stage < config_.num_stages,
+                  "fault-injection stage out of range");
+    DPIPE_REQUIRE(config_.fault.micro >= 0 &&
+                      config_.fault.micro < config_.num_microbatches,
+                  "fault-injection micro-batch out of range");
+    DPIPE_REQUIRE(config_.fault.replica >= 0 &&
+                      config_.fault.replica < config_.data_parallel_degree,
+                  "fault-injection replica out of range");
+  }
   for (int g = 0; g < config_.data_parallel_degree; ++g) {
     Replica replica;
     replica.net = problem.make_backbone();  // Same seed: identical weights.
@@ -54,12 +101,16 @@ PipelineTrainer::PipelineTrainer(const DdpmProblem& problem,
       replica.adam = std::make_unique<Adam>(config_.lr);
     }
     const int modules = replica.net->size();
-    require(config_.num_stages <= modules, "more stages than modules");
+    DPIPE_REQUIRE(config_.num_stages <= modules, "more stages than modules");
     for (int s = 0; s < config_.num_stages; ++s) {
       replica.stage_begin.push_back(s * modules / config_.num_stages);
     }
     replica.stage_begin.push_back(modules);
     replicas_.push_back(std::move(replica));
+  }
+  if (config_.checkpoint_interval > 0) {
+    last_checkpoint_ = checkpoint();
+    has_checkpoint_ = true;
   }
 }
 
@@ -69,34 +120,44 @@ std::vector<Tensor> PipelineTrainer::forward_wave(
   const int M = static_cast<int>(micro_inputs.size());
   std::vector<Channel<Tensor>> act(S);  // act[s]: stage s -> s+1.
   std::vector<Tensor> outputs(M);
-  std::vector<std::thread> threads;
-  threads.reserve(S);
-  for (int s = 0; s < S; ++s) {
-    threads.emplace_back([&, s] {
-      for (int m = 0; m < M; ++m) {
-        Tensor x = s == 0 ? micro_inputs[m] : act[s - 1].pop();
-        Tensor y = replica.net->forward_range(x, replica.stage_begin[s],
-                                              replica.stage_begin[s + 1]);
-        if (s < S - 1) {
-          act[s].push(std::move(y));
-        } else {
-          outputs[m] = std::move(y);
+  const auto abort_wave = [&] {
+    for (Channel<Tensor>& ch : act) {
+      ch.close();
+    }
+  };
+  run_wave(
+      S,
+      [&](int s) {
+        for (int m = 0; m < M; ++m) {
+          Tensor x;
+          if (s == 0) {
+            x = micro_inputs[m];
+          } else {
+            std::optional<Tensor> in = act[s - 1].pop();
+            if (!in.has_value()) {
+              return;  // Upstream stage aborted the wave.
+            }
+            x = std::move(*in);
+          }
+          Tensor y = replica.net->forward_range(x, replica.stage_begin[s],
+                                                replica.stage_begin[s + 1]);
+          if (s < S - 1) {
+            act[s].push(std::move(y));
+          } else {
+            outputs[m] = std::move(y);
+          }
         }
-      }
-      // No-grad wave: discard the stashed contexts.
-      for (int m = 0; m < M; ++m) {
-        replica.net->drop_context_range(replica.stage_begin[s],
-                                        replica.stage_begin[s + 1]);
-      }
-    });
-  }
-  for (std::thread& t : threads) {
-    t.join();
-  }
+        // No-grad wave: discard the stashed contexts.
+        for (int m = 0; m < M; ++m) {
+          replica.net->drop_context_range(replica.stage_begin[s],
+                                          replica.stage_begin[s + 1]);
+        }
+      },
+      abort_wave);
   return outputs;
 }
 
-double PipelineTrainer::train_wave(Replica& replica,
+double PipelineTrainer::train_wave(Replica& replica, int replica_index,
                                    const std::vector<Tensor>& micro_inputs,
                                    const std::vector<Tensor>& micro_targets) {
   const int S = config_.num_stages;
@@ -104,39 +165,70 @@ double PipelineTrainer::train_wave(Replica& replica,
   std::vector<Channel<Tensor>> act(S);   // stage s -> s+1 activations.
   std::vector<Channel<Tensor>> grad(S);  // stage s+1 -> s gradients.
   std::vector<Tensor> preds(M);
-  std::vector<std::thread> threads;
-  threads.reserve(S);
-  for (int s = 0; s < S; ++s) {
-    threads.emplace_back([&, s] {
-      std::vector<Tensor> local_grads(M);  // Last stage's loss gradients.
-      for (const int step : one_f_one_b_order(s, S, M)) {
-        if (step >= 0) {
-          const int m = step;
-          Tensor x = s == 0 ? micro_inputs[m] : act[s - 1].pop();
-          Tensor y = replica.net->forward_range(x, replica.stage_begin[s],
-                                                replica.stage_begin[s + 1]);
-          if (s < S - 1) {
-            act[s].push(std::move(y));
+  const RtFaultInjection fault = config_.fault;
+  const auto abort_wave = [&] {
+    for (Channel<Tensor>& ch : act) {
+      ch.close();
+    }
+    for (Channel<Tensor>& ch : grad) {
+      ch.close();
+    }
+  };
+  run_wave(
+      S,
+      [&](int s) {
+        std::vector<Tensor> local_grads(M);  // Last stage's loss gradients.
+        for (const int step : one_f_one_b_order(s, S, M)) {
+          if (step >= 0) {
+            const int m = step;
+            if (fault.armed() && iteration_ == fault.iteration &&
+                replica_index == fault.replica && s == fault.stage &&
+                m == fault.micro) {
+              throw StageFailure(
+                  "injected stage failure: iteration " +
+                  std::to_string(iteration_) + ", stage " +
+                  std::to_string(s) + ", micro " + std::to_string(m));
+            }
+            Tensor x;
+            if (s == 0) {
+              x = micro_inputs[m];
+            } else {
+              std::optional<Tensor> in = act[s - 1].pop();
+              if (!in.has_value()) {
+                return;  // Peer stage aborted the wave.
+              }
+              x = std::move(*in);
+            }
+            Tensor y = replica.net->forward_range(x, replica.stage_begin[s],
+                                                  replica.stage_begin[s + 1]);
+            if (s < S - 1) {
+              act[s].push(std::move(y));
+            } else {
+              local_grads[m] = problem_->loss_grad(y, micro_targets[m],
+                                                   config_.global_batch);
+              preds[m] = std::move(y);
+            }
           } else {
-            local_grads[m] = problem_->loss_grad(y, micro_targets[m],
-                                                 config_.global_batch);
-            preds[m] = std::move(y);
-          }
-        } else {
-          const int m = -step - 1;
-          Tensor g = s == S - 1 ? std::move(local_grads[m]) : grad[s].pop();
-          Tensor gi = replica.net->backward_range(
-              g, replica.stage_begin[s], replica.stage_begin[s + 1]);
-          if (s > 0) {
-            grad[s - 1].push(std::move(gi));
+            const int m = -step - 1;
+            Tensor g;
+            if (s == S - 1) {
+              g = std::move(local_grads[m]);
+            } else {
+              std::optional<Tensor> in = grad[s].pop();
+              if (!in.has_value()) {
+                return;  // Peer stage aborted the wave.
+              }
+              g = std::move(*in);
+            }
+            Tensor gi = replica.net->backward_range(
+                g, replica.stage_begin[s], replica.stage_begin[s + 1]);
+            if (s > 0) {
+              grad[s - 1].push(std::move(gi));
+            }
           }
         }
-      }
-    });
-  }
-  for (std::thread& t : threads) {
-    t.join();
-  }
+      },
+      abort_wave);
   double sse = 0.0;
   for (int m = 0; m < M; ++m) {
     const Tensor diff = sub(preds[m], micro_targets[m]);
@@ -212,7 +304,7 @@ void PipelineTrainer::train_one_iteration() {
           sc_active ? &micro_sc : nullptr));
       targets.push_back(micro.noise);
     }
-    sse += train_wave(replicas_[g], inputs, targets);
+    sse += train_wave(replicas_[g], g, inputs, targets);
   }
   losses_.push_back(sse /
                     (static_cast<double>(B) * problem_->config().data_dim));
@@ -262,8 +354,78 @@ void PipelineTrainer::train_one_iteration() {
 }
 
 void PipelineTrainer::train(int iterations) {
+  DPIPE_REQUIRE(!failed_,
+                "trainer poisoned by a stage failure; restore() a "
+                "checkpoint before resuming");
   for (int k = 0; k < iterations; ++k) {
-    train_one_iteration();
+    try {
+      train_one_iteration();
+    } catch (...) {
+      // The wave already joined its threads; scrub the partial gradients
+      // and stashed contexts so destruction (or restore) is clean.
+      failed_ = true;
+      reset_transient_state();
+      throw;
+    }
+    if (config_.checkpoint_interval > 0 &&
+        iteration_ % config_.checkpoint_interval == 0) {
+      last_checkpoint_ = checkpoint();
+      has_checkpoint_ = true;
+    }
+  }
+}
+
+TrainerCheckpoint PipelineTrainer::checkpoint() const {
+  DPIPE_REQUIRE(!failed_, "cannot checkpoint a failed trainer");
+  TrainerCheckpoint ckpt;
+  ckpt.iteration = iteration_;
+  ckpt.losses = losses_;
+  ckpt.params = snapshot_params();
+  if (replicas_[0].adam != nullptr) {
+    ckpt.has_adam = true;
+    ckpt.adam = replicas_[0].adam->state();
+  }
+  ckpt.pending_cond = pending_cond_;
+  ckpt.replica_divergence = replica_divergence_;
+  return ckpt;
+}
+
+void PipelineTrainer::restore(const TrainerCheckpoint& ckpt) {
+  DPIPE_REQUIRE(ckpt.has_adam == config_.use_adam,
+                "checkpoint optimizer kind mismatch");
+  reset_transient_state();
+  for (Replica& r : replicas_) {
+    const std::vector<Tensor*> params = r.net->params();
+    DPIPE_REQUIRE(params.size() == ckpt.params.size(),
+                  "checkpoint parameter count mismatch");
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      DPIPE_REQUIRE(params[i]->shape() == ckpt.params[i].shape(),
+                    "checkpoint parameter shape mismatch");
+      *params[i] = ckpt.params[i];
+    }
+    if (r.adam != nullptr) {
+      r.adam->load_state(ckpt.adam);
+    }
+  }
+  losses_ = ckpt.losses;
+  pending_cond_ = ckpt.pending_cond;
+  iteration_ = ckpt.iteration;
+  replica_divergence_ = ckpt.replica_divergence;
+  failed_ = false;
+}
+
+const TrainerCheckpoint& PipelineTrainer::last_checkpoint() const {
+  DPIPE_REQUIRE(has_checkpoint_,
+                "no checkpoint taken; set checkpoint_interval > 0");
+  return last_checkpoint_;
+}
+
+void PipelineTrainer::reset_transient_state() {
+  for (Replica& r : replicas_) {
+    while (r.net->pending_contexts() > 0) {
+      r.net->drop_context();
+    }
+    r.net->zero_grad();
   }
 }
 

@@ -1,8 +1,11 @@
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
+#include <optional>
 #include <queue>
+#include <stdexcept>
 
 #include "runtime/ddpm.h"
 #include "runtime/optim.h"
@@ -10,29 +13,88 @@
 namespace dpipe::rt {
 
 /// Blocking FIFO channel between pipeline stage threads.
+///
+/// Supports cooperative shutdown: `close()` wakes every blocked consumer,
+/// after which `pop()` drains any queued values and then returns nullopt.
+/// Producers pushing into a closed channel drop the value silently (the
+/// consumer is gone — this happens only while a wave is being aborted).
 template <typename T>
 class Channel {
  public:
   void push(T value) {
     {
       const std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) {
+        return;
+      }
       queue_.push(std::move(value));
     }
     cv_.notify_one();
   }
 
-  [[nodiscard]] T pop() {
+  /// Blocks until a value is available or the channel is closed and empty.
+  [[nodiscard]] std::optional<T> pop() {
     std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [&] { return !queue_.empty(); });
-    T value = std::move(queue_.front());
+    cv_.wait(lock, [&] { return !queue_.empty() || closed_; });
+    return take_locked();
+  }
+
+  /// Like pop(), but gives up after `timeout_ms`; nullopt on timeout too.
+  [[nodiscard]] std::optional<T> pop_for(double timeout_ms) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait_for(lock,
+                 std::chrono::duration<double, std::milli>(timeout_ms),
+                 [&] { return !queue_.empty() || closed_; });
+    return take_locked();
+  }
+
+  /// Marks the channel closed and wakes all blocked consumers. Idempotent.
+  void close() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+ private:
+  [[nodiscard]] std::optional<T> take_locked() {
+    if (queue_.empty()) {
+      return std::nullopt;
+    }
+    std::optional<T> value = std::move(queue_.front());
     queue_.pop();
     return value;
   }
 
- private:
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::queue<T> queue_;
+  bool closed_ = false;
+};
+
+/// Thrown by a stage thread killed via PipelineRtConfig::fault — the
+/// test-visible stand-in for a crashed pipeline worker.
+class StageFailure : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Test-visible fault injection: the matching stage thread throws
+/// StageFailure while processing forward micro-batch `micro` of training
+/// iteration `iteration` on replica `replica`. iteration < 0 disables it.
+struct RtFaultInjection {
+  int iteration = -1;
+  int stage = 0;
+  int micro = 0;
+  int replica = 0;
+
+  [[nodiscard]] bool armed() const { return iteration >= 0; }
 };
 
 struct PipelineRtConfig {
@@ -48,6 +110,27 @@ struct PipelineRtConfig {
   float lr = 0.05f;
   bool use_adam = false;  ///< Adam instead of SGD (per-replica states stay
                           ///< identical because averaged grads are).
+  /// Auto-checkpoint period in iterations (0 = disabled). When enabled, a
+  /// checkpoint of the full trainer state is taken at construction and
+  /// after every `checkpoint_interval`-th iteration; last_checkpoint()
+  /// exposes the most recent one for crash recovery.
+  int checkpoint_interval = 0;
+  RtFaultInjection fault;  ///< Kill-a-stage-thread injection point.
+};
+
+/// Complete PipelineTrainer state at an iteration boundary: parameters,
+/// optimizer state, the cross-iteration activation stash, and the logical
+/// clock (iteration index — all data/noise/coin randomness is a pure
+/// function of it, so it doubles as the RNG state). Restoring a checkpoint
+/// into a compatible trainer resumes the exact reference trajectory.
+struct TrainerCheckpoint {
+  int iteration = 0;
+  std::vector<double> losses;
+  std::vector<Tensor> params;  ///< Canonical copy (replicas are identical).
+  bool has_adam = false;
+  Adam::State adam;
+  std::vector<Tensor> pending_cond;  ///< Cross-iteration encoder outputs.
+  float replica_divergence = 0.0f;
 };
 
 /// Thread-per-stage synchronous 1F1B pipeline trainer over the toy DDPM.
@@ -55,12 +138,28 @@ struct PipelineRtConfig {
 /// that DiffusionPipe's schedule — FIFO-1F1B with micro-batch gradient
 /// accumulation, data-parallel replicas with gradient averaging, optional
 /// self-conditioning feedback and cross-iteration frozen-part execution —
-/// reproduces the reference full-batch trajectory exactly.
+/// reproduces the reference full-batch trajectory exactly, and that it
+/// survives stage failures: a throwing stage aborts the wave cleanly
+/// (channels closed, threads joined, exception propagated) and training
+/// resumes bit-exactly from the last checkpoint.
 class PipelineTrainer {
  public:
   PipelineTrainer(const DdpmProblem& problem, PipelineRtConfig config);
 
   void train(int iterations);
+
+  /// Snapshot of the full trainer state; valid only at iteration
+  /// boundaries (throws if called on a trainer poisoned by a failure).
+  [[nodiscard]] TrainerCheckpoint checkpoint() const;
+  /// Restores a checkpoint into this trainer: parameters and optimizer
+  /// state on every replica, losses, the cross-iteration stash, and the
+  /// iteration clock. Clears any partial gradients or stashed contexts.
+  void restore(const TrainerCheckpoint& ckpt);
+  /// Most recent auto-checkpoint (requires checkpoint_interval > 0).
+  [[nodiscard]] const TrainerCheckpoint& last_checkpoint() const;
+  /// True once a stage failure escaped train(); the trainer's mid-wave
+  /// state is undefined until restore() is called.
+  [[nodiscard]] bool failed() const { return failed_; }
 
   /// Parameters of replica 0 (all replicas stay identical).
   [[nodiscard]] std::vector<Tensor> snapshot_params() const;
@@ -83,9 +182,13 @@ class PipelineTrainer {
   [[nodiscard]] std::vector<Tensor> forward_wave(
       Replica& replica, const std::vector<Tensor>& micro_inputs);
   /// Runs the 1F1B forward+backward wave; returns summed micro losses.
-  double train_wave(Replica& replica,
+  /// `replica_index` routes the fault-injection check.
+  double train_wave(Replica& replica, int replica_index,
                     const std::vector<Tensor>& micro_inputs,
                     const std::vector<Tensor>& micro_targets);
+  /// Drops stashed micro-batch contexts and accumulated gradients on every
+  /// replica — the cleanup step after an aborted wave or before a restore.
+  void reset_transient_state();
 
   const DdpmProblem* problem_;
   PipelineRtConfig config_;
@@ -94,6 +197,9 @@ class PipelineTrainer {
   std::vector<double> losses_;
   std::vector<Tensor> pending_cond_;  ///< Cross-iteration encoder outputs
                                       ///< (one per replica) for iteration_.
+  TrainerCheckpoint last_checkpoint_;
+  bool has_checkpoint_ = false;
+  bool failed_ = false;
   int iteration_ = 0;
   float replica_divergence_ = 0.0f;
 };

@@ -10,14 +10,14 @@ namespace {
 std::int64_t shape_numel(const std::vector<int>& shape) {
   std::int64_t n = 1;
   for (const int d : shape) {
-    require(d >= 0, "tensor dimensions must be non-negative");
+    DPIPE_REQUIRE(d >= 0, "tensor dimensions must be non-negative");
     n *= d;
   }
   return n;
 }
 
 void check_same_shape(const Tensor& a, const Tensor& b) {
-  require(a.shape() == b.shape(), "tensor shape mismatch");
+  DPIPE_REQUIRE(a.shape() == b.shape(), "tensor shape mismatch");
 }
 
 }  // namespace
@@ -37,19 +37,19 @@ Tensor Tensor::full(std::vector<int> shape, float value) {
 }
 
 float& Tensor::at(int r, int c) {
-  require(r >= 0 && r < rows() && c >= 0 && c < cols(),
+  DPIPE_REQUIRE(r >= 0 && r < rows() && c >= 0 && c < cols(),
           "tensor index out of range");
   return data_[static_cast<std::size_t>(r) * cols() + c];
 }
 
 float Tensor::at(int r, int c) const {
-  require(r >= 0 && r < rows() && c >= 0 && c < cols(),
+  DPIPE_REQUIRE(r >= 0 && r < rows() && c >= 0 && c < cols(),
           "tensor index out of range");
   return data_[static_cast<std::size_t>(r) * cols() + c];
 }
 
 Tensor Tensor::slice_rows(int begin, int end) const {
-  require(begin >= 0 && begin <= end && end <= rows(),
+  DPIPE_REQUIRE(begin >= 0 && begin <= end && end <= rows(),
           "row slice out of range");
   Tensor out({end - begin, cols()});
   std::copy(data_.begin() + static_cast<std::ptrdiff_t>(begin) * cols(),
@@ -121,7 +121,7 @@ Tensor scale(const Tensor& a, float s) {
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
-  require(a.cols() == b.rows(), "matmul inner dimension mismatch");
+  DPIPE_REQUIRE(a.cols() == b.rows(), "matmul inner dimension mismatch");
   Tensor out({a.rows(), b.cols()});
   for (int i = 0; i < a.rows(); ++i) {
     for (int k = 0; k < a.cols(); ++k) {
@@ -138,7 +138,7 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
 }
 
 Tensor matmul_tn(const Tensor& a, const Tensor& b) {
-  require(a.rows() == b.rows(), "matmul_tn outer dimension mismatch");
+  DPIPE_REQUIRE(a.rows() == b.rows(), "matmul_tn outer dimension mismatch");
   Tensor out({a.cols(), b.cols()});
   for (int m = 0; m < a.rows(); ++m) {
     for (int i = 0; i < a.cols(); ++i) {
@@ -155,7 +155,7 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
 }
 
 Tensor matmul_nt(const Tensor& a, const Tensor& b) {
-  require(a.cols() == b.cols(), "matmul_nt inner dimension mismatch");
+  DPIPE_REQUIRE(a.cols() == b.cols(), "matmul_nt inner dimension mismatch");
   Tensor out({a.rows(), b.rows()});
   for (int i = 0; i < a.rows(); ++i) {
     for (int j = 0; j < b.rows(); ++j) {
@@ -170,7 +170,7 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
 }
 
 Tensor concat_cols(const Tensor& a, const Tensor& b) {
-  require(a.rows() == b.rows(), "concat_cols row mismatch");
+  DPIPE_REQUIRE(a.rows() == b.rows(), "concat_cols row mismatch");
   Tensor out({a.rows(), a.cols() + b.cols()});
   for (int i = 0; i < a.rows(); ++i) {
     for (int j = 0; j < a.cols(); ++j) {
@@ -187,7 +187,7 @@ Tensor concat_rows(const Tensor& a, const Tensor& b) {
   if (!a.defined() || a.rows() == 0) {
     return b;
   }
-  require(a.cols() == b.cols(), "concat_rows column mismatch");
+  DPIPE_REQUIRE(a.cols() == b.cols(), "concat_rows column mismatch");
   Tensor out({a.rows() + b.rows(), a.cols()});
   for (int i = 0; i < a.rows(); ++i) {
     for (int j = 0; j < a.cols(); ++j) {

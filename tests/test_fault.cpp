@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include "core/fill/filler.h"
+#include "core/instr/instructions.h"
+#include "core/partition/partitioner.h"
+#include "engine/engine.h"
+#include "fault/fault.h"
+#include "model/zoo.h"
+
+namespace dpipe {
+namespace {
+
+/// Plans SD v2.1 on one p4de machine (2 backbones worth of chain, 4 stages,
+/// 4 micro-batches) and exposes the program + engine, mirroring the fixture
+/// in test_engine.cpp.
+struct FaultBed {
+  ModelDesc model = make_stable_diffusion_v21();
+  ClusterSpec cluster = make_p4de_cluster(1);
+  CommModel comm{cluster};
+  ProfileDb db{model,
+               AnalyticCostModel(cluster.device, NoiseSource(0xD1FF, 0.02)),
+               default_batch_grid()};
+  PartitionOptions opts;
+  InstructionProgram program;
+
+  FaultBed() {
+    opts.num_stages = 4;
+    opts.num_microbatches = 4;
+    opts.group_size = 8;
+    opts.microbatch_size = 16.0;
+    DpPartitioner partitioner(db, comm);
+    ScheduleBuilder builder(db, comm);
+    const PartitionResult part = partitioner.partition_single(2, opts);
+    const Schedule schedule = builder.build_1f1b(2, part.stages, opts);
+    FillOptions fill_opts;
+    fill_opts.training_batch = 64.0;
+    const FillResult fill = BubbleFiller(db).fill(schedule, fill_opts);
+    program = generate_instructions(db, fill.filled_schedule, fill, opts);
+  }
+
+  [[nodiscard]] EngineResult run(const fault::FaultPlan& plan,
+                                 int iterations = 4) const {
+    ExecutionEngine engine(db, comm);
+    EngineOptions eopts;
+    eopts.iterations = iterations;
+    eopts.group_batch = 64.0;
+    eopts.faults = plan;
+    return engine.run(program, eopts);
+  }
+};
+
+void expect_bit_identical(const EngineResult& a, const EngineResult& b) {
+  ASSERT_EQ(a.iterations.size(), b.iterations.size());
+  for (std::size_t k = 0; k < a.iterations.size(); ++k) {
+    EXPECT_EQ(a.iterations[k].start_ms, b.iterations[k].start_ms) << k;
+    EXPECT_EQ(a.iterations[k].end_ms, b.iterations[k].end_ms) << k;
+    EXPECT_EQ(a.iterations[k].bubble_ratio, b.iterations[k].bubble_ratio)
+        << k;
+  }
+  EXPECT_EQ(a.steady_iteration_ms, b.steady_iteration_ms);
+  EXPECT_EQ(a.steady_bubble_ratio, b.steady_bubble_ratio);
+  EXPECT_EQ(a.samples_per_second, b.samples_per_second);
+}
+
+TEST(Fault, EmptyPlanIsBitIdenticalToBaseline) {
+  const FaultBed bed;
+  const EngineResult baseline = bed.run(fault::FaultPlan{});
+  // A non-empty plan whose events all sit beyond the simulated window must
+  // still reproduce the fault-free timeline bit for bit (the fault hooks
+  // may not perturb the arithmetic on untriggered paths).
+  fault::FaultPlan dormant;
+  dormant.stragglers.push_back({0, 1e12, 2e12, 1.5});
+  dormant.link_faults.push_back({-1, -1, 1e12, 2e12, 0.9, 4, 1.0, 0.5});
+  dormant.crashes.push_back({3, 1e12, 5.0});
+  const EngineResult inert = bed.run(dormant);
+  expect_bit_identical(baseline, inert);
+  EXPECT_EQ(inert.fault_stats.retries, 0);
+  EXPECT_EQ(inert.fault_stats.retry_delay_ms, 0.0);
+  EXPECT_EQ(inert.fault_stats.straggler_delay_ms, 0.0);
+  EXPECT_EQ(inert.fault_stats.recoveries, 0);
+  EXPECT_EQ(inert.fault_stats.recovery_ms, 0.0);
+  EXPECT_EQ(baseline.fault_stats.retries, 0);
+  EXPECT_EQ(baseline.fault_stats.bubble_inflation, 0.0);
+}
+
+TEST(Fault, StragglerSlowsIterationAndInflatesBubble) {
+  const FaultBed bed;
+  const EngineResult baseline = bed.run(fault::FaultPlan{});
+  fault::FaultPlan plan;
+  plan.stragglers.push_back({2, 0.0, 1e9, 1.5});  // Device 2, whole run.
+  const EngineResult slow = bed.run(plan);
+  EXPECT_GT(slow.steady_iteration_ms, baseline.steady_iteration_ms);
+  EXPECT_GT(slow.fault_stats.straggler_delay_ms, 0.0);
+  // One slow device leaves the other seven waiting: bubble inflates.
+  EXPECT_GT(slow.fault_stats.bubble_inflation, 0.0);
+  EXPECT_NEAR(slow.fault_stats.bubble_inflation,
+              slow.steady_bubble_ratio - baseline.steady_bubble_ratio,
+              1e-12);
+}
+
+TEST(Fault, LinkFaultPaysRetriesAndIsAccounted) {
+  const FaultBed bed;
+  const EngineResult baseline = bed.run(fault::FaultPlan{});
+  fault::FaultPlan plan;
+  fault::LinkFault flaky;
+  flaky.src = -1;  // Every link.
+  flaky.dst = -1;
+  flaky.start_ms = 0.0;
+  flaky.end_ms = 1e9;
+  flaky.drop_prob = 0.8;
+  flaky.max_retries = 6;
+  flaky.timeout_ms = 0.5;
+  flaky.backoff_ms = 0.25;
+  plan.link_faults.push_back(flaky);
+  const EngineResult result = bed.run(plan);
+  EXPECT_GT(result.fault_stats.retries, 0);
+  EXPECT_GT(result.fault_stats.retry_delay_ms, 0.0);
+  EXPECT_GT(result.steady_iteration_ms, baseline.steady_iteration_ms);
+}
+
+TEST(Fault, RunsAreDeterministicGivenTheSameSeed) {
+  const FaultBed bed;
+  fault::FaultPlan plan;
+  plan.seed = 0xC0FFEE;
+  plan.stragglers.push_back({1, 50.0, 400.0, 1.3});
+  plan.link_faults.push_back({-1, -1, 0.0, 1e9, 0.6, 5, 0.8, 0.4});
+  const EngineResult a = bed.run(plan);
+  const EngineResult b = bed.run(plan);
+  expect_bit_identical(a, b);
+  EXPECT_EQ(a.fault_stats.retries, b.fault_stats.retries);
+  EXPECT_EQ(a.fault_stats.retry_delay_ms, b.fault_stats.retry_delay_ms);
+  EXPECT_EQ(a.fault_stats.straggler_delay_ms,
+            b.fault_stats.straggler_delay_ms);
+}
+
+TEST(Fault, CrashTriggersRestoreAndReplayAccounting) {
+  const FaultBed bed;
+  const EngineResult baseline = bed.run(fault::FaultPlan{});
+  // Crash device 0 mid-way through the second iteration.
+  const double crash_at = baseline.iterations[1].start_ms +
+                          0.5 * baseline.iterations[1].duration_ms();
+  fault::FaultPlan plan;
+  fault::DeviceCrash crash;
+  crash.device = 0;
+  crash.at_ms = crash_at;
+  crash.restore_ms = 8.0;
+  plan.crashes.push_back(crash);
+  const EngineResult result = bed.run(plan);
+  EXPECT_EQ(result.fault_stats.recoveries, 1);
+  // Recovery = restore + replay since the last iteration boundary.
+  EXPECT_GE(result.fault_stats.recovery_ms, 8.0);
+  const double total_baseline = baseline.iterations.back().end_ms;
+  const double total_faulted = result.iterations.back().end_ms;
+  EXPECT_NEAR(total_faulted - total_baseline,
+              result.fault_stats.recovery_ms, 1e-6);
+  // The stall lands in iteration 1's window and counts as idle time there.
+  EXPECT_GT(result.iterations[1].duration_ms(),
+            baseline.iterations[1].duration_ms());
+  EXPECT_GT(result.iterations[1].bubble_ratio,
+            baseline.iterations[1].bubble_ratio);
+}
+
+TEST(Fault, CrashOutsideTheRunIsIgnored) {
+  const FaultBed bed;
+  const EngineResult baseline = bed.run(fault::FaultPlan{});
+  fault::FaultPlan plan;
+  plan.crashes.push_back({0, baseline.iterations.back().end_ms * 10.0, 5.0});
+  const EngineResult result = bed.run(plan);
+  expect_bit_identical(baseline, result);
+  EXPECT_EQ(result.fault_stats.recoveries, 0);
+}
+
+TEST(Fault, PlanValidationRejectsBadEvents) {
+  const FaultBed bed;
+  fault::FaultPlan bad_factor;
+  bad_factor.stragglers.push_back({0, 0.0, 100.0, 0.5});  // Speedup: no.
+  EXPECT_THROW((void)bed.run(bad_factor), std::invalid_argument);
+  fault::FaultPlan bad_device;
+  bad_device.stragglers.push_back({99, 0.0, 100.0, 1.5});  // Out of range.
+  EXPECT_THROW((void)bed.run(bad_device), std::invalid_argument);
+  fault::FaultPlan bad_prob;
+  bad_prob.link_faults.push_back({-1, -1, 0.0, 100.0, 1.0, 3, 1.0, 0.5});
+  EXPECT_THROW((void)bed.run(bad_prob), std::invalid_argument);
+  fault::FaultPlan bad_window;
+  bad_window.crashes.push_back({0, -1.0, 5.0});
+  EXPECT_THROW((void)bed.run(bad_window), std::invalid_argument);
+}
+
+TEST(Fault, CommModelFaultOverloadsAddPenalty) {
+  const CommModel comm(make_p4de_cluster(1));
+  fault::FaultPlan plan;
+  plan.link_faults.push_back({0, 1, 0.0, 1e9, 0.9, 8, 1.0, 0.5});
+  const fault::FaultModel faults(plan);
+  fault::FaultStats stats;
+  const double healthy = comm.p2p_ms(64.0, 0, 1);
+  const double faulted = comm.p2p_ms(64.0, 0, 1, 10.0, faults, 42, &stats);
+  EXPECT_GE(faulted, healthy);
+  // drop_prob 0.9 with 8 retries: overwhelmingly likely to see >= 1 drop.
+  EXPECT_GT(stats.retries, 0);
+  EXPECT_GT(faulted, healthy);
+  // Other links are unaffected.
+  fault::FaultStats clean_stats;
+  EXPECT_EQ(comm.p2p_ms(64.0, 2, 3, 10.0, faults, 42, &clean_stats),
+            comm.p2p_ms(64.0, 2, 3));
+  EXPECT_EQ(clean_stats.retries, 0);
+  // Collective overload: ring 0..3 crosses the faulted 0->1 edge.
+  fault::FaultStats coll_stats;
+  const std::vector<int> group{0, 1, 2, 3};
+  const double ring = comm.allreduce_ms(256.0, group);
+  const double faulted_ring =
+      comm.allreduce_ms(256.0, group, 10.0, faults, 7, &coll_stats);
+  EXPECT_GT(faulted_ring, ring);
+  EXPECT_GT(coll_stats.retries, 0);
+}
+
+TEST(Fault, StragglerWindowOnlyAppliesInsideTheWindow) {
+  const FaultBed bed;
+  const EngineResult baseline = bed.run(fault::FaultPlan{});
+  // Straggle device 1 only during iteration 2's window: iterations 1 and 3
+  // stay at baseline speed, iteration 2 slows down.
+  fault::FaultPlan plan;
+  plan.stragglers.push_back({1, baseline.iterations[2].start_ms,
+                             baseline.iterations[2].end_ms, 1.8});
+  const EngineResult result = bed.run(plan, 4);
+  EXPECT_NEAR(result.iterations[1].duration_ms(),
+              baseline.iterations[1].duration_ms(),
+              baseline.iterations[1].duration_ms() * 1e-9);
+  EXPECT_GT(result.iterations[2].duration_ms(),
+            baseline.iterations[2].duration_ms() * 1.05);
+}
+
+}  // namespace
+}  // namespace dpipe

@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <optional>
+#include <string>
+#include <thread>
+
 #include "runtime/dp_trainer.h"
 #include "runtime/pipeline_exec.h"
 
@@ -323,6 +327,196 @@ TEST(PipelineTrainer, RejectsIndivisibleBatch) {
   cfg.num_microbatches = 3;
   cfg.global_batch = 16;  // Not divisible by 3.
   EXPECT_THROW(PipelineTrainer(problem, cfg), std::invalid_argument);
+}
+
+// --- Fault tolerance: channels, exception safety, checkpoint/restart -------
+
+TEST(Channel, PopDrainsThenReportsClosed) {
+  Channel<int> ch;
+  ch.push(1);
+  ch.push(2);
+  ch.close();
+  EXPECT_EQ(ch.pop(), 1);  // Queued values drain after close...
+  EXPECT_EQ(ch.pop(), 2);
+  EXPECT_EQ(ch.pop(), std::nullopt);  // ...then closed-and-empty.
+  ch.push(3);  // Pushing into a closed channel drops the value.
+  EXPECT_EQ(ch.pop(), std::nullopt);
+}
+
+TEST(Channel, CloseWakesBlockedConsumer) {
+  Channel<int> ch;
+  std::optional<int> got = std::make_optional(-1);
+  std::thread consumer([&] { got = ch.pop(); });
+  ch.close();  // Without close semantics this pop would block forever.
+  consumer.join();
+  EXPECT_EQ(got, std::nullopt);
+}
+
+TEST(Channel, PopForTimesOutWithoutProducer) {
+  Channel<int> ch;
+  EXPECT_EQ(ch.pop_for(5.0), std::nullopt);
+  ch.push(7);
+  EXPECT_EQ(ch.pop_for(5.0), 7);
+}
+
+TEST(PipelineTrainer, StageFailurePropagatesWithoutHanging) {
+  // A stage thread that dies mid-wave must abort the whole wave cleanly:
+  // peers drain out of their blocking pops, every thread joins, and the
+  // failure escapes train() instead of deadlocking the trainer.
+  const DdpmProblem problem(DdpmConfig{});
+  PipelineRtConfig cfg;
+  cfg.num_stages = 3;
+  cfg.num_microbatches = 4;
+  cfg.global_batch = 16;
+  cfg.fault.iteration = 2;  // Mid-training, mid-wave.
+  cfg.fault.stage = 1;
+  cfg.fault.micro = 2;
+  PipelineTrainer trainer(problem, cfg);
+  EXPECT_THROW(trainer.train(10), StageFailure);
+  EXPECT_TRUE(trainer.failed());
+  // Poisoned until restored: further training is refused, not wedged.
+  EXPECT_THROW(trainer.train(1), std::invalid_argument);
+}
+
+TEST(PipelineTrainer, FirstAndLastStageFailuresAlsoUnwindCleanly) {
+  const DdpmProblem problem(DdpmConfig{});
+  for (const int stage : {0, 2}) {
+    PipelineRtConfig cfg;
+    cfg.num_stages = 3;
+    cfg.num_microbatches = 4;
+    cfg.global_batch = 16;
+    cfg.fault.iteration = 0;
+    cfg.fault.stage = stage;
+    cfg.fault.micro = stage == 0 ? 0 : 3;
+    PipelineTrainer trainer(problem, cfg);
+    EXPECT_THROW(trainer.train(3), StageFailure) << "stage " << stage;
+  }
+}
+
+TEST(PipelineTrainer, CheckpointRestartReproducesTrajectoryBitExactly) {
+  // Kill stage 1 mid-iteration 7, restart from the auto-checkpoint, finish
+  // training: the recovered run must match an uninterrupted pipeline bit
+  // for bit, and the reference trainer trajectory (losses + divergence 0).
+  const DdpmProblem problem(DdpmConfig{});
+  const int total_iterations = 15;
+  PipelineRtConfig cfg;
+  cfg.num_stages = 3;
+  cfg.num_microbatches = 4;
+  cfg.data_parallel_degree = 2;
+  cfg.global_batch = 16;
+  cfg.lr = 0.05f;
+  cfg.checkpoint_interval = 2;
+  PipelineRtConfig doomed = cfg;
+  doomed.fault.iteration = 7;
+  doomed.fault.stage = 1;
+  doomed.fault.micro = 2;
+  doomed.fault.replica = 1;
+
+  PipelineTrainer victim(problem, doomed);
+  EXPECT_THROW(victim.train(total_iterations), StageFailure);
+  const TrainerCheckpoint ckpt = victim.last_checkpoint();
+  EXPECT_EQ(ckpt.iteration, 6);  // Interval 2, crash in iteration 7.
+
+  // Restart: a fresh trainer (fresh threads, fresh weights) restored from
+  // the checkpoint, resuming the remaining iterations.
+  PipelineTrainer recovered(problem, cfg);
+  recovered.restore(ckpt);
+  recovered.train(total_iterations - ckpt.iteration);
+
+  PipelineTrainer uninterrupted(problem, cfg);
+  uninterrupted.train(total_iterations);
+
+  ASSERT_EQ(recovered.losses().size(), uninterrupted.losses().size());
+  for (std::size_t i = 0; i < recovered.losses().size(); ++i) {
+    EXPECT_DOUBLE_EQ(recovered.losses()[i], uninterrupted.losses()[i]) << i;
+  }
+  EXPECT_FLOAT_EQ(params_diff(recovered.snapshot_params(),
+                              uninterrupted.snapshot_params()),
+                  0.0f);
+  EXPECT_FLOAT_EQ(recovered.replica_divergence(), 0.0f);
+
+  // And the recovered trajectory still matches the full-batch reference.
+  ReferenceTrainer ref(problem, 16, 0.05f);
+  ref.train(total_iterations);
+  EXPECT_LT(params_diff(ref.snapshot_params(), recovered.snapshot_params()),
+            2e-4f);
+  for (std::size_t i = 0; i < recovered.losses().size(); ++i) {
+    EXPECT_NEAR(recovered.losses()[i], ref.losses()[i],
+                std::abs(ref.losses()[i]) * 1e-4 + 1e-7);
+  }
+}
+
+TEST(PipelineTrainer, AdamStateSurvivesCheckpointRestart) {
+  // Stateful optimizer: moments and step count must ride along in the
+  // checkpoint or the recovered trajectory diverges.
+  const DdpmProblem problem(DdpmConfig{});
+  PipelineRtConfig cfg;
+  cfg.num_stages = 3;
+  cfg.num_microbatches = 4;
+  cfg.global_batch = 16;
+  cfg.lr = 0.01f;
+  cfg.use_adam = true;
+  cfg.checkpoint_interval = 3;
+  PipelineRtConfig doomed = cfg;
+  doomed.fault.iteration = 8;
+  doomed.fault.stage = 2;
+  doomed.fault.micro = 1;
+
+  PipelineTrainer victim(problem, doomed);
+  EXPECT_THROW(victim.train(12), StageFailure);
+  EXPECT_EQ(victim.last_checkpoint().iteration, 6);
+  EXPECT_TRUE(victim.last_checkpoint().has_adam);
+
+  PipelineTrainer recovered(problem, cfg);
+  recovered.restore(victim.last_checkpoint());
+  recovered.train(6);
+
+  PipelineTrainer uninterrupted(problem, cfg);
+  uninterrupted.train(12);
+  EXPECT_FLOAT_EQ(params_diff(recovered.snapshot_params(),
+                              uninterrupted.snapshot_params()),
+                  0.0f);
+}
+
+TEST(PipelineTrainer, RestoreRejectsMismatchedOptimizer) {
+  const DdpmProblem problem(DdpmConfig{});
+  PipelineRtConfig sgd_cfg;
+  sgd_cfg.checkpoint_interval = 1;
+  PipelineTrainer sgd_trainer(problem, sgd_cfg);
+  sgd_trainer.train(2);
+  PipelineRtConfig adam_cfg = sgd_cfg;
+  adam_cfg.use_adam = true;
+  PipelineTrainer adam_trainer(problem, adam_cfg);
+  EXPECT_THROW(adam_trainer.restore(sgd_trainer.last_checkpoint()),
+               std::invalid_argument);
+}
+
+TEST(PipelineTrainer, RejectsOutOfRangeFaultInjection) {
+  const DdpmProblem problem(DdpmConfig{});
+  PipelineRtConfig cfg;
+  cfg.num_stages = 2;
+  cfg.fault.iteration = 0;
+  cfg.fault.stage = 5;  // Only 2 stages.
+  EXPECT_THROW(PipelineTrainer(problem, cfg), std::invalid_argument);
+}
+
+TEST(ErrorMacros, LocateFailuresWithFileAndLine) {
+  try {
+    DPIPE_REQUIRE(false, "precondition text");
+    FAIL() << "DPIPE_REQUIRE did not throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("test_runtime.cpp"), std::string::npos) << what;
+    EXPECT_NE(what.find("precondition text"), std::string::npos) << what;
+  }
+  try {
+    DPIPE_ENSURE(false, "invariant text");
+    FAIL() << "DPIPE_ENSURE did not throw";
+  } catch (const std::logic_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(":"), std::string::npos);
+    EXPECT_NE(what.find("invariant text"), std::string::npos) << what;
+  }
 }
 
 }  // namespace

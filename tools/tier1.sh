@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the standard build + full test suite, then a
+# ThreadSanitizer build running the concurrency-sensitive runtime and fault
+# tests (thread-per-stage pipeline trainer, channel shutdown, checkpoint
+# recovery). Run from the repository root.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: standard build + ctest =="
+cmake -B build -S .
+cmake --build build -j"$(nproc)"
+(cd build && ctest --output-on-failure -j"$(nproc)")
+
+echo "== tier-1: ThreadSanitizer build (runtime + fault tests) =="
+cmake -B build-tsan -S . -DDPIPE_SANITIZE=thread
+cmake --build build-tsan -j"$(nproc)" --target dpipe_tests
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/dpipe_tests \
+  --gtest_filter='Channel.*:PipelineTrainer.*:Equivalence.*:Fault.*'
+
+echo "tier-1 OK"
