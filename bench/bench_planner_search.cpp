@@ -1,0 +1,153 @@
+// Planner grid-search performance: sequential vs parallel vs
+// parallel+memoized (see DESIGN.md §7). Prints one table row per
+// (model, machines) testbed and writes the same rows to a JSON file
+// (default BENCH_planner.json in the current directory — run from the
+// repo root; pass an output path as argv[1] to override).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/parallel.h"
+
+namespace {
+
+using namespace dpipe;
+
+struct Case {
+  std::string name;
+  ModelDesc model;
+  int machines = 1;
+  double global_batch = 256.0;
+};
+
+struct Row {
+  std::string config;
+  double seq_ms = 0.0;         ///< 1 thread, no stage cache.
+  double par_nocache_ms = 0.0; ///< All threads, no stage cache.
+  double par_ms = 0.0;         ///< All threads + stage cache.
+  double speedup = 0.0;        ///< seq_ms / par_ms.
+  double cache_hit_rate = 0.0;
+  int combos = 0;
+};
+
+double time_plan_ms(const Planner& planner, Plan* out) {
+  // Best of 3: the search is deterministic, so the minimum is the cleanest
+  // estimate of the actual work.
+  double best = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    Plan plan = planner.plan();
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+    if (rep == 0 || ms < best) {
+      best = ms;
+    }
+    if (out != nullptr) {
+      *out = std::move(plan);
+    }
+  }
+  return best;
+}
+
+Row run_case(const Case& c) {
+  const ClusterSpec cluster = make_p4de_cluster(c.machines);
+
+  PlannerOptions seq_opts;
+  seq_opts.global_batch = c.global_batch;
+  seq_opts.search_threads = 1;
+  seq_opts.enable_stage_cache = false;
+
+  PlannerOptions par_nocache_opts = seq_opts;
+  par_nocache_opts.search_threads = 0;  // All hardware threads.
+
+  PlannerOptions par_opts = par_nocache_opts;
+  par_opts.enable_stage_cache = true;
+
+  const Planner seq_planner(c.model, cluster, seq_opts);
+  const Planner par_nocache_planner(c.model, cluster, par_nocache_opts);
+  const Planner par_planner(c.model, cluster, par_opts);
+
+  Row row;
+  row.config = c.name;
+  Plan seq_plan;
+  Plan par_nocache_plan;
+  Plan par_plan;
+  row.seq_ms = time_plan_ms(seq_planner, &seq_plan);
+  row.par_nocache_ms = time_plan_ms(par_nocache_planner, &par_nocache_plan);
+  row.par_ms = time_plan_ms(par_planner, &par_plan);
+  row.speedup = row.seq_ms / row.par_ms;
+  row.combos = par_plan.search.combos_total;
+  const double lookups = static_cast<double>(par_plan.search.cache_hits +
+                                             par_plan.search.cache_misses);
+  row.cache_hit_rate =
+      lookups > 0.0 ? par_plan.search.cache_hits / lookups : 0.0;
+
+  // Sanity: all three variants must pick the same plan (the tentpole's
+  // bit-identity contract; the parity tests check it exhaustively).
+  if (!(seq_plan.config == par_plan.config) ||
+      !(seq_plan.config == par_nocache_plan.config)) {
+    std::fprintf(stderr, "FATAL: %s: plan mismatch across search variants\n",
+                 c.name.c_str());
+    std::exit(1);
+  }
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path =
+      argc > 1 ? argv[1] : std::string("BENCH_planner.json");
+
+  std::vector<Case> cases;
+  cases.push_back({"sd_v21_x1", make_stable_diffusion_v21(), 1, 256.0});
+  cases.push_back({"sd_v21_x2", make_stable_diffusion_v21(), 2, 512.0});
+  cases.push_back({"controlnet_x1", make_controlnet_v10(), 1, 256.0});
+  cases.push_back({"controlnet_x2", make_controlnet_v10(), 2, 512.0});
+  cases.push_back({"cdm_x1", make_cdm_lsun(), 1, 128.0});
+  cases.push_back({"cdm_x2", make_cdm_lsun(), 2, 256.0});
+
+  bench::header("Planner search: sequential vs parallel vs parallel+cache");
+  std::printf("host threads: %d\n", default_thread_count());
+  std::printf("%-16s %8s %14s %10s %9s %9s %7s\n", "config", "seq_ms",
+              "par_nocache_ms", "par_ms", "speedup", "hit_rate", "combos");
+
+  std::vector<Row> rows;
+  for (const Case& c : cases) {
+    const Row row = run_case(c);
+    std::printf("%-16s %8.1f %14.1f %10.1f %8.2fx %8.1f%% %7d\n",
+                row.config.c_str(), row.seq_ms, row.par_nocache_ms,
+                row.par_ms, row.speedup, 100.0 * row.cache_hit_rate,
+                row.combos);
+    rows.push_back(row);
+  }
+
+  double total_seq = 0.0;
+  double total_par = 0.0;
+  for (const Row& r : rows) {
+    total_seq += r.seq_ms;
+    total_par += r.par_ms;
+  }
+  std::printf("aggregate speedup: %.2fx\n", total_seq / total_par);
+
+  std::ofstream json(out_path);
+  json << "[\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    json << "  {\"config\": \"" << r.config << "\", \"seq_ms\": " << r.seq_ms
+         << ", \"par_ms\": " << r.par_ms << ", \"speedup\": " << r.speedup
+         << ", \"par_nocache_ms\": " << r.par_nocache_ms
+         << ", \"cache_hit_rate\": " << r.cache_hit_rate
+         << ", \"combos\": " << r.combos << "}"
+         << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  json << "]\n";
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -6,6 +6,7 @@
 #include <map>
 
 #include "common/pareto.h"
+#include "core/partition/stage_cache.h"
 
 namespace dpipe {
 
@@ -59,7 +60,8 @@ void check_bidirectional(const DpPartitioner& partitioner, int down_component,
 BiPartitionResult partition_bidirectional(const DpPartitioner& partitioner,
                                           int down_component,
                                           int up_component,
-                                          const PartitionOptions& opts_in) {
+                                          const PartitionOptions& opts_in,
+                                          StageCostCache* cache) {
   check_bidirectional(partitioner, down_component, up_component, opts_in);
   const PartitionOptions opts = bidirectional_options(opts_in);
   const ModelDesc& model = partitioner.db().model();
@@ -104,9 +106,9 @@ BiPartitionResult partition_bidirectional(const DpPartitioner& partitioner,
         }
         const int down_lo = down_placed;
         const int down_hi = down_placed + dt;
-        const StageCost down_cost =
-            partitioner.stage_cost(down_component, down_lo, down_hi, r,
-                                   chain_begin, opts, PipeDirection::kDown);
+        const StageCost down_cost = partitioner.stage_cost(
+            down_component, down_lo, down_hi, r, chain_begin, opts,
+            PipeDirection::kDown, cache);
         for (int ut = 1; ut <= max_up_take; ++ut) {
           if (stages_left == 1 && up_placed + ut != Lu) {
             continue;
@@ -115,9 +117,9 @@ BiPartitionResult partition_bidirectional(const DpPartitioner& partitioner,
           // [Lu - up_placed - ut, Lu - up_placed).
           const int up_lo = Lu - up_placed - ut;
           const int up_hi = Lu - up_placed;
-          const StageCost up_cost =
-              partitioner.stage_cost(up_component, up_lo, up_hi, r,
-                                     chain_begin, opts, PipeDirection::kUp);
+          const StageCost up_cost = partitioner.stage_cost(
+              up_component, up_lo, up_hi, r, chain_begin, opts,
+              PipeDirection::kUp, cache);
           const double t0 = std::max(down_cost.t0_ms, up_cost.t0_ms);
           const double y = std::max(down_cost.y_ms, up_cost.y_ms);
           for (const ParetoPoint& p : frontier.points()) {
@@ -170,7 +172,8 @@ BiPartitionResult partition_bidirectional(const DpPartitioner& partitioner,
 BiPartitionResult brute_force_bidirectional(const DpPartitioner& partitioner,
                                             int down_component,
                                             int up_component,
-                                            const PartitionOptions& opts_in) {
+                                            const PartitionOptions& opts_in,
+                                            StageCostCache* cache) {
   check_bidirectional(partitioner, down_component, up_component, opts_in);
   const PartitionOptions opts = bidirectional_options(opts_in);
   const ModelDesc& model = partitioner.db().model();
@@ -199,12 +202,12 @@ BiPartitionResult brute_force_bidirectional(const DpPartitioner& partitioner,
       int up_hi = Lu;
       for (int s = 0; s < S; ++s) {
         const int chain_begin = s * r;
-        const StageCost dc =
-            partitioner.stage_cost(down_component, dl, dl + down_counts[s], r,
-                                   chain_begin, opts, PipeDirection::kDown);
+        const StageCost dc = partitioner.stage_cost(
+            down_component, dl, dl + down_counts[s], r, chain_begin, opts,
+            PipeDirection::kDown, cache);
         const StageCost uc = partitioner.stage_cost(
             up_component, up_hi - up_counts[s], up_hi, r, chain_begin, opts,
-            PipeDirection::kUp);
+            PipeDirection::kUp, cache);
         down_stages.push_back(
             make_stage(opts, dl, dl + down_counts[s], chain_begin, r));
         up_stages.push_back(make_stage(opts, up_hi - up_counts[s], up_hi,

@@ -23,15 +23,18 @@ struct BiPartitionResult {
 /// bidirectional pipelining: chain stage k hosts down-backbone stage k and
 /// up-backbone stage S-1-k on the same devices. Uniform replication only
 /// (r = D / S); inter-stage communication is charged the x2 competition
-/// factor of §4.2 regardless of `opts.comm_competition_factor`.
+/// factor of §4.2 regardless of `opts.comm_competition_factor`. A non-null
+/// `cache` memoizes stage costs (keyed per direction); note it binds to the
+/// competition-adjusted options, so only share it with consumers that apply
+/// the same x2 factor (the bidirectional builder does).
 [[nodiscard]] BiPartitionResult partition_bidirectional(
     const DpPartitioner& partitioner, int down_component, int up_component,
-    const PartitionOptions& opts);
+    const PartitionOptions& opts, StageCostCache* cache = nullptr);
 
 /// Exhaustive reference for `partition_bidirectional` (test oracle; small
 /// layer counts only).
 [[nodiscard]] BiPartitionResult brute_force_bidirectional(
     const DpPartitioner& partitioner, int down_component, int up_component,
-    const PartitionOptions& opts);
+    const PartitionOptions& opts, StageCostCache* cache = nullptr);
 
 }  // namespace dpipe

@@ -4,6 +4,8 @@
 #include <functional>
 #include <limits>
 
+#include "core/partition/stage_cache.h"
+
 namespace dpipe {
 
 namespace {
@@ -32,7 +34,8 @@ void for_each_composition(int total, int parts,
 
 PartitionResult brute_force_partition(const DpPartitioner& partitioner,
                                       int backbone_component,
-                                      const PartitionOptions& opts) {
+                                      const PartitionOptions& opts,
+                                      StageCostCache* cache) {
   const int L = partitioner.db()
                     .model()
                     .components[backbone_component]
@@ -55,7 +58,8 @@ PartitionResult brute_force_partition(const DpPartitioner& partitioner,
       const int hi = layer + layer_counts[s];
       const int r = replica_counts[s];
       costs.push_back(partitioner.stage_cost(backbone_component, lo, hi, r,
-                                             chain, opts));
+                                             chain, opts,
+                                             PipeDirection::kDown, cache));
       StagePlan plan;
       plan.layer_begin = lo;
       plan.layer_end = hi;

@@ -8,9 +8,10 @@ namespace dpipe {
 /// backbone's layers into S consecutive stages (and, when
 /// `force_uniform_replicas` is false, every composition of the D devices
 /// into per-stage replica counts) and minimizes the same objective as
-/// DpPartitioner. Exponential — test oracle only (small L, S, D).
+/// DpPartitioner. Exponential — test oracle only (small L, S, D). A
+/// non-null `cache` memoizes the (heavily revisited) stage costs.
 [[nodiscard]] PartitionResult brute_force_partition(
     const DpPartitioner& partitioner, int backbone_component,
-    const PartitionOptions& opts);
+    const PartitionOptions& opts, StageCostCache* cache = nullptr);
 
 }  // namespace dpipe

@@ -6,6 +6,7 @@
 
 #include "common/pareto.h"
 #include "common/units.h"
+#include "core/partition/stage_cache.h"
 
 namespace dpipe {
 
@@ -60,7 +61,30 @@ std::vector<int> DpPartitioner::sync_group(const PartitionOptions& opts,
 StageCost DpPartitioner::stage_cost(int backbone_component, int lo, int hi,
                                     int replicas, int chain_begin,
                                     const PartitionOptions& opts,
-                                    PipeDirection direction) const {
+                                    PipeDirection direction,
+                                    StageCostCache* cache) const {
+  if (cache == nullptr) {
+    return compute_stage_cost(backbone_component, lo, hi, replicas,
+                              chain_begin, opts, direction);
+  }
+  cache->bind(opts);
+  const StageCostCache::Key key{backbone_component, lo,          hi,
+                                replicas,           chain_begin, direction};
+  if (const StageCost* hit = cache->find(key)) {
+    return *hit;
+  }
+  const StageCost cost = compute_stage_cost(backbone_component, lo, hi,
+                                            replicas, chain_begin, opts,
+                                            direction);
+  cache->insert(key, cost);
+  return cost;
+}
+
+StageCost DpPartitioner::compute_stage_cost(int backbone_component, int lo,
+                                            int hi, int replicas,
+                                            int chain_begin,
+                                            const PartitionOptions& opts,
+                                            PipeDirection direction) const {
   require(replicas >= 1, "stage needs at least one replica");
   require(hi > lo, "stage must contain at least one layer");
   const double local_batch = opts.microbatch_size / replicas;
@@ -86,11 +110,11 @@ StageCost DpPartitioner::stage_cost(int backbone_component, int lo, int hi,
         rank_at(opts, std::clamp(edge, 0, opts.group_size - 1));
     const LinkSpec link = comm_->p2p_link(prev_rank, this_rank);
     const double scale = opts.comm_competition_factor;
-    comm_plain = scale * (transfer_ms(2.0 * size_mb, link.bandwidth_gbps) +
-                          2.0 * link.latency_ms);
+    cost.boundary_ms =
+        transfer_ms(size_mb, link.bandwidth_gbps) + link.latency_ms;
+    comm_plain = scale * 2.0 * cost.boundary_ms;
     // Self-conditioning adds a second forward activation transfer (Eqn 17).
-    comm_sc = scale * (transfer_ms(3.0 * size_mb, link.bandwidth_gbps) +
-                       3.0 * link.latency_ms);
+    comm_sc = scale * 3.0 * cost.boundary_ms;
   }
   cost.comm_in_ms = comm_plain;
 
@@ -151,7 +175,8 @@ double DpPartitioner::objective(const std::vector<StageCost>& stages,
 }
 
 PartitionResult DpPartitioner::partition_single(
-    int backbone_component, const PartitionOptions& opts) const {
+    int backbone_component, const PartitionOptions& opts,
+    StageCostCache* cache) const {
   check_options(backbone_component, opts);
   const int L = db_->model().components[backbone_component].num_layers();
   const int S = opts.num_stages;
@@ -205,8 +230,9 @@ PartitionResult DpPartitioner::partition_single(
           if (stages_left == 1 && (end != L || devices_used + r != D)) {
             continue;  // Last stage must consume all layers and devices.
           }
-          const StageCost sc = stage_cost(backbone_component, layers_placed,
-                                          end, r, devices_used, opts);
+          const StageCost sc =
+              stage_cost(backbone_component, layers_placed, end, r,
+                         devices_used, opts, PipeDirection::kDown, cache);
           for (const ParetoPoint& p : frontier.points()) {
             ParetoPoint next;
             next.w = std::max(p.w, sc.t0_ms);

@@ -65,11 +65,15 @@ struct StageCost {
   double fwd_ms = 0.0;      ///< One micro-batch forward on the stage.
   double bwd_ms = 0.0;      ///< One micro-batch backward on the stage.
   double comm_in_ms = 0.0;  ///< Incoming fwd + outgoing bwd boundary comm.
+  double boundary_ms = 0.0; ///< One activation transfer across the incoming
+                            ///< boundary, unscaled (0 for stage 0).
   double t0_ms = 0.0;       ///< Eqn (3) / (17); expectation if self-cond.
   double sync_ms = 0.0;     ///< T_S, Eqn (4).
   double comp_ms = 0.0;     ///< T_C, Eqn (5).
   double y_ms = 0.0;        ///< max(0, T_S - T_C), Eqn (6).
 };
+
+class StageCostCache;  // core/partition/stage_cache.h
 
 /// Dynamic-programming backbone partitioner (paper §4).
 class DpPartitioner {
@@ -77,18 +81,24 @@ class DpPartitioner {
   DpPartitioner(const ProfileDb& db, const CommModel& comm);
 
   /// Optimal partition of a single backbone component (§4.1, Eqns 1-9).
+  /// A non-null `cache` memoizes stage costs across DP states (and can be
+  /// shared with the schedule builder afterwards); results are bit-identical
+  /// with and without it.
   [[nodiscard]] PartitionResult partition_single(
-      int backbone_component, const PartitionOptions& opts) const;
+      int backbone_component, const PartitionOptions& opts,
+      StageCostCache* cache = nullptr) const;
 
   /// Cost terms of stage [lo, hi) of `backbone_component` on `replicas`
   /// devices whose incoming boundary crosses chain position `chain_begin`
   /// (i.e. the stage occupies chain slots [chain_begin, chain_begin +
   /// replicas)). Used by the DP, the brute-force oracle, and the schedule
-  /// builder.
+  /// builder. A non-null `cache` memoizes the result per
+  /// (component, lo, hi, replicas, chain_begin, direction).
   [[nodiscard]] StageCost stage_cost(
       int backbone_component, int lo, int hi, int replicas, int chain_begin,
       const PartitionOptions& opts,
-      PipeDirection direction = PipeDirection::kDown) const;
+      PipeDirection direction = PipeDirection::kDown,
+      StageCostCache* cache = nullptr) const;
 
   /// Scalarized objective for a full assignment (shared with brute force):
   /// (M + 2S - 2) * max T0 + max Y (+ expected feedback term).
@@ -106,6 +116,12 @@ class DpPartitioner {
  private:
   void check_options(int backbone_component,
                      const PartitionOptions& opts) const;
+  /// Uncached stage_cost computation.
+  [[nodiscard]] StageCost compute_stage_cost(int backbone_component, int lo,
+                                             int hi, int replicas,
+                                             int chain_begin,
+                                             const PartitionOptions& opts,
+                                             PipeDirection direction) const;
   /// Global rank at chain position `pos` of group 0.
   [[nodiscard]] int rank_at(const PartitionOptions& opts, int pos) const;
   /// Gradient allreduce group of a stage occupying chain slots

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/partition/partitioner.h"
+
+namespace dpipe {
+
+/// Memoizes DpPartitioner::stage_cost results for one fixed (ProfileDb,
+/// CommModel, PartitionOptions) context. The DP partitioner revisits the
+/// same (lo, hi, replicas, chain_begin) tuple from many DP states (and the
+/// bidirectional DP recomputes the up-stage cost for every down-take it
+/// pairs it with), the brute-force oracle re-enumerates the same stages,
+/// and the schedule builder re-derives the chosen stages' timings — all of
+/// which collapse to one computation per distinct key here.
+///
+/// A cache is only valid for the PartitionOptions it was first used with:
+/// the first bind() snapshots every option field stage_cost reads, and
+/// later binds verify the snapshot (DPIPE_ENSURE on mismatch), so sharing
+/// one cache across the DP, the oracle, and the builder inside one planner
+/// evaluation is safe, while accidental reuse across configurations is a
+/// hard error instead of silent wrong numbers.
+///
+/// Not thread-safe: use one cache per thread (the planner creates one per
+/// (S, M, D) evaluation, each of which runs on a single search thread).
+class StageCostCache {
+ public:
+  struct Key {
+    int component = -1;
+    int lo = 0;
+    int hi = 0;
+    int replicas = 1;
+    int chain_begin = 0;
+    PipeDirection direction = PipeDirection::kDown;
+
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+
+  /// Returns the cached cost for `key`, or nullptr on a miss. Hit/miss
+  /// counters update either way (mutable: lookups from the builder go
+  /// through a const pointer).
+  [[nodiscard]] const StageCost* find(const Key& key) const;
+
+  void insert(const Key& key, const StageCost& cost);
+
+  /// Snapshot (first call) or verify (later calls) the option fields
+  /// stage_cost depends on. Throws std::logic_error if this cache is
+  /// reused under different options.
+  void bind(const PartitionOptions& opts);
+
+  [[nodiscard]] std::size_t size() const { return map_.size(); }
+  [[nodiscard]] std::size_t hits() const { return hits_; }
+  [[nodiscard]] std::size_t misses() const { return misses_; }
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const Key& key) const {
+      // FNV-1a over the key fields.
+      std::size_t h = 1469598103934665603ull;
+      const auto mix = [&h](std::size_t v) {
+        h = (h ^ v) * 1099511628211ull;
+      };
+      mix(static_cast<std::size_t>(key.component));
+      mix(static_cast<std::size_t>(key.lo));
+      mix(static_cast<std::size_t>(key.hi));
+      mix(static_cast<std::size_t>(key.replicas));
+      mix(static_cast<std::size_t>(key.chain_begin));
+      mix(static_cast<std::size_t>(key.direction));
+      return h;
+    }
+  };
+
+  /// Every PartitionOptions field read by DpPartitioner::stage_cost.
+  struct Fingerprint {
+    double microbatch_size = 0.0;
+    int group_size = 0;
+    int data_parallel_degree = 0;
+    bool self_conditioning = false;
+    double self_cond_prob = 0.0;
+    double comm_competition_factor = 1.0;
+    std::vector<int> device_ranks;
+
+    friend bool operator==(const Fingerprint&, const Fingerprint&) = default;
+  };
+
+  std::optional<Fingerprint> bound_;
+  std::unordered_map<Key, StageCost, KeyHash> map_;
+  mutable std::size_t hits_ = 0;
+  mutable std::size_t misses_ = 0;
+};
+
+}  // namespace dpipe

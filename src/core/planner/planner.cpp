@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <limits>
+
+#include "common/parallel.h"
+#include "core/partition/stage_cache.h"
 
 namespace dpipe {
 
@@ -23,6 +27,15 @@ double elapsed_ms(std::chrono::steady_clock::time_point since) {
              std::chrono::steady_clock::now() - since)
       .count();
 }
+
+/// One (S, M, D) grid point, in candidate-list enumeration order (D outer,
+/// then S, then M). Index order doubles as the selection tie-break: the
+/// reduction keeps the earliest minimum, matching the sequential baseline.
+struct Combo {
+  int S = 0;
+  int M = 0;
+  int D = 0;
+};
 
 }  // namespace
 
@@ -48,23 +61,60 @@ Planner::Planner(ModelDesc model, ClusterSpec cluster, PlannerOptions options)
   }
 }
 
-std::optional<Planner::Evaluation> Planner::evaluate(int S, int M,
-                                                     int D) const {
+bool Planner::combo_shape_valid(int S, int M, int D) const {
   const int world = cluster_.world_size();
   if (D > world || world % D != 0 || D % S != 0) {
-    return std::nullopt;
+    return false;
   }
   const int dp = world / D;
-  const double group_batch = options_.global_batch / dp;
-  const double micro = group_batch / M;
+  const double micro = options_.global_batch / dp / M;
   if (micro < 1.0) {
-    return std::nullopt;
+    return false;
   }
   for (const int b : model_.backbone_ids) {
     if (S > model_.components[b].num_layers()) {
-      return std::nullopt;
+      return false;
     }
   }
+  if (model_.backbone_ids.size() > 1 && model_.self_conditioning) {
+    return false;  // Not supported for CDMs (§6, Table 5).
+  }
+  return true;
+}
+
+double Planner::search_lower_bound_ms(int S, int M, int D) const {
+  if (!combo_shape_valid(S, M, D)) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const int dp = cluster_.world_size() / D;
+  const double micro = options_.global_batch / dp / M;
+  const int replicas = D / S;  // Uniform replication (§4.1 fn. 2).
+  const double replica_batch = micro / replicas;
+  double full_range_ms = 0.0;
+  for (const int b : model_.backbone_ids) {
+    const int L = model_.components[b].num_layers();
+    full_range_ms += report_.db.fwd_range_ms(b, 0, L, replica_batch) +
+                     report_.db.bwd_range_ms(b, 0, L, replica_batch);
+  }
+  // Average-busy-time bound: every device must run its stage's compute for
+  // all M micro-batches, so makespan >= total compute / D
+  //   = (replicas * M * full_range) / D = M / S * full_range.
+  // Comm, sync, self-conditioning, and fill work only add on top. The
+  // (1 - 1e-9) margin keeps the bound strictly below the true cost even if
+  // summation order perturbs the last bits.
+  return full_range_ms * static_cast<double>(M) / static_cast<double>(S) *
+         (1.0 - 1e-9);
+}
+
+std::optional<Planner::Evaluation> Planner::evaluate(int S, int M,
+                                                     int D) const {
+  if (!combo_shape_valid(S, M, D)) {
+    return std::nullopt;
+  }
+  const int world = cluster_.world_size();
+  const int dp = world / D;
+  const double group_batch = options_.global_batch / dp;
+  const double micro = group_batch / M;
 
   PartitionOptions opts;
   opts.num_stages = S;
@@ -75,41 +125,53 @@ std::optional<Planner::Evaluation> Planner::evaluate(int S, int M,
   opts.self_conditioning = model_.self_conditioning;
   opts.self_cond_prob = model_.self_cond_prob;
 
+  // One cache per evaluation: caches are single-threaded by design, and the
+  // DP, the bidirectional pairing, and the schedule builder of one combo all
+  // query the same (component, range, placement) keys.
+  StageCostCache cache;
+  StageCostCache* cache_ptr = options_.enable_stage_cache ? &cache : nullptr;
+
+  const auto partition_start = std::chrono::steady_clock::now();
   const DpPartitioner partitioner(report_.db, comm_);
   const ScheduleBuilder builder(report_.db, comm_);
   Schedule schedule;
   if (model_.backbone_ids.size() == 1) {
-    const PartitionResult part =
-        partitioner.partition_single(model_.backbone_ids[0], opts);
-    schedule = builder.build_1f1b(model_.backbone_ids[0], part.stages, opts);
+    const PartitionResult part = partitioner.partition_single(
+        model_.backbone_ids[0], opts, cache_ptr);
+    schedule = builder.build_1f1b(model_.backbone_ids[0], part.stages, opts,
+                                  cache_ptr);
   } else {
-    if (opts.self_conditioning) {
-      return std::nullopt;  // Not supported for CDMs (§6, Table 5).
-    }
-    const BiPartitionResult part = partition_bidirectional(
-        partitioner, model_.backbone_ids[0], model_.backbone_ids[1], opts);
+    const BiPartitionResult part =
+        partition_bidirectional(partitioner, model_.backbone_ids[0],
+                                model_.backbone_ids[1], opts, cache_ptr);
     schedule = builder.build_bidirectional(
         model_.backbone_ids[0], part.down_stages, model_.backbone_ids[1],
-        part.up_stages, opts);
+        part.up_stages, opts, cache_ptr);
   }
+
+  Evaluation eval;
+  eval.cache_hits = cache.hits();
+  eval.cache_misses = cache.misses();
 
   if (options_.check_memory) {
     const MemoryReport memory =
         estimate_pipeline_memory(report_.db, schedule, opts);
     if (!memory.fits(cluster_.device.memory_gb)) {
-      Evaluation infeasible;
-      infeasible.config = {S, M, D, dp, 0.0, 0.0, false};
-      infeasible.opts = opts;
-      return infeasible;
+      eval.config = {S, M, D, dp, 0.0, 0.0, false};
+      eval.opts = opts;
+      eval.partition_wall_ms = elapsed_ms(partition_start);
+      return eval;
     }
   }
+  eval.partition_wall_ms = elapsed_ms(partition_start);
 
   FillOptions fill_opts;
   fill_opts.training_batch = group_batch;
   fill_opts.enable_fill = options_.enable_fill;
   fill_opts.enable_partial = options_.enable_partial;
-  Evaluation eval;
+  const auto fill_start = std::chrono::steady_clock::now();
   eval.fill = BubbleFiller(report_.db).fill(schedule, fill_opts);
+  eval.fill_wall_ms = elapsed_ms(fill_start);
   eval.opts = opts;
   eval.config.num_stages = S;
   eval.config.num_microbatches = M;
@@ -126,36 +188,105 @@ Plan Planner::plan() const {
   Plan plan;
   plan.profiling_wall_ms = report_.profiling_wall_ms;
 
-  std::optional<Evaluation> best;
-  double fill_time_ms = 0.0;
-  const auto search_start = std::chrono::steady_clock::now();
+  std::vector<Combo> combos;
   for (const int D : options_.group_candidates) {
     for (const int S : options_.stage_candidates) {
       for (const int M : options_.micro_candidates) {
-        const auto fill_probe = std::chrono::steady_clock::now();
-        std::optional<Evaluation> eval = evaluate(S, M, D);
-        if (!eval.has_value()) {
-          continue;
-        }
-        if (eval->config.memory_feasible) {
-          // The fill step dominates evaluate(); attribute its wall time.
-          fill_time_ms += elapsed_ms(fill_probe) * 0.5;
-        }
-        plan.explored.push_back(eval->config);
-        if (!eval->config.memory_feasible) {
-          continue;
-        }
-        if (!best.has_value() || eval->config.predicted_iteration_ms <
-                                     best->config.predicted_iteration_ms) {
-          best = std::move(eval);
+        combos.push_back({S, M, D});
+      }
+    }
+  }
+  const std::size_t n = combos.size();
+
+  const auto search_start = std::chrono::steady_clock::now();
+
+  // Optional exact pruning. The incumbent seed is chosen deterministically
+  // (lowest lower bound, ties to the lowest combo index), evaluated up
+  // front, and only combos whose lower bound is STRICTLY above the seed's
+  // achieved time are skipped — such combos are strictly worse than the
+  // global optimum, so the selected plan (and its earliest-minimum
+  // tie-break) is unchanged. Pruned combos never reach `explored`.
+  std::vector<char> skip(n, 0);
+  std::optional<Evaluation> seed_eval;
+  std::size_t seed_index = n;
+  int pruned_count = 0;
+  if (options_.enable_pruning) {
+    std::vector<double> lb(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      lb[i] = search_lower_bound_ms(combos[i].S, combos[i].M, combos[i].D);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (std::isfinite(lb[i]) &&
+          (seed_index == n || lb[i] < lb[seed_index])) {
+        seed_index = i;
+      }
+    }
+    if (seed_index != n) {
+      seed_eval = evaluate(combos[seed_index].S, combos[seed_index].M,
+                           combos[seed_index].D);
+      const double threshold =
+          (seed_eval.has_value() && seed_eval->config.memory_feasible)
+              ? seed_eval->config.predicted_iteration_ms
+              : std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < n; ++i) {
+        if (i != seed_index && lb[i] > threshold) {
+          skip[i] = 1;
+          ++pruned_count;
         }
       }
     }
   }
+
+  // Parallel evaluation. Each index writes only results[i], so the outcome
+  // is bit-identical for any pool size (see ThreadPool's contract); the
+  // reduction below runs sequentially in candidate order, reproducing the
+  // sequential loop's earliest-minimum selection exactly.
+  ThreadPool pool(options_.search_threads);
+  std::vector<std::optional<Evaluation>> results(n);
+  if (seed_index != n) {
+    results[seed_index] = std::move(seed_eval);
+    skip[seed_index] = 1;  // Already evaluated; not pruned.
+  }
+  pool.parallel_for(n, [&](std::size_t i) {
+    if (!skip[i]) {
+      results[i] = evaluate(combos[i].S, combos[i].M, combos[i].D);
+    }
+  });
+
+  std::optional<Evaluation> best;
+  double partition_ms = 0.0;
+  double fill_ms = 0.0;
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::optional<Evaluation>& eval = results[i];
+    if (!eval.has_value()) {
+      continue;
+    }
+    partition_ms += eval->partition_wall_ms;
+    fill_ms += eval->fill_wall_ms;
+    cache_hits += eval->cache_hits;
+    cache_misses += eval->cache_misses;
+    plan.explored.push_back(eval->config);
+    if (!eval->config.memory_feasible) {
+      continue;
+    }
+    if (!best.has_value() || eval->config.predicted_iteration_ms <
+                                 best->config.predicted_iteration_ms) {
+      best = std::move(*eval);
+    }
+  }
   ensure(best.has_value(), "no feasible (S, M, D) configuration found");
-  const double total_ms = elapsed_ms(search_start);
-  plan.filling_wall_ms = fill_time_ms;
-  plan.partitioning_wall_ms = std::max(total_ms - fill_time_ms, 0.0);
+
+  plan.search.threads = pool.size();
+  plan.search.combos_total = static_cast<int>(n);
+  plan.search.combos_evaluated = static_cast<int>(n) - pruned_count;
+  plan.search.combos_pruned = pruned_count;
+  plan.search.cache_hits = cache_hits;
+  plan.search.cache_misses = cache_misses;
+  plan.search.search_wall_ms = elapsed_ms(search_start);
+  plan.filling_wall_ms = fill_ms;
+  plan.partitioning_wall_ms = partition_ms;
 
   plan.config = best->config;
   plan.partition_opts = best->opts;

@@ -22,6 +22,19 @@ struct PlannerOptions {
   bool enable_fill = true;     ///< Ablation: pipeline bubble filling (§6.3).
   bool enable_partial = true;  ///< Ablation: partial-batch layers (§6.3).
   bool check_memory = true;    ///< Skip configurations that exceed HBM.
+  /// Host threads for the (S, M, D) grid search; 0 = the DPIPE_THREADS
+  /// environment variable, else all hardware threads. The selected plan and
+  /// explored list are bit-identical for every value.
+  int search_threads = 0;
+  /// Memoize DpPartitioner::stage_cost per configuration (shared between
+  /// the DP and the schedule builder). Invisible to results; off only for
+  /// benchmarking the unmemoized path.
+  bool enable_stage_cache = true;
+  /// Exact branch-and-bound: skip configurations whose compute lower bound
+  /// proves they cannot beat a deterministically chosen incumbent. Never
+  /// changes the selected plan; pruned (provably worse) configurations are
+  /// omitted from `explored`, which is why this is off by default.
+  bool enable_pruning = false;
   ProfilerOptions profiler;    ///< Step-1 settings.
 };
 
@@ -34,6 +47,20 @@ struct PlanConfig {
   double predicted_iteration_ms = 0.0;
   double planned_bubble_ratio = 0.0;  ///< After filling.
   bool memory_feasible = true;
+
+  friend bool operator==(const PlanConfig&, const PlanConfig&) = default;
+};
+
+/// Instrumentation of the (S, M, D) grid search. Wall times are summed
+/// across search threads, so they can exceed search_wall_ms.
+struct PlanSearchStats {
+  int threads = 0;           ///< Execution width actually used.
+  int combos_total = 0;      ///< Grid points enumerated.
+  int combos_evaluated = 0;  ///< evaluate() calls performed.
+  int combos_pruned = 0;     ///< Skipped via the exact compute lower bound.
+  std::size_t cache_hits = 0;    ///< StageCostCache hits, all evaluations.
+  std::size_t cache_misses = 0;
+  double search_wall_ms = 0.0;  ///< Wall time of steps 2-4 (the whole grid).
 };
 
 /// The selected plan plus everything the back-end needs.
@@ -42,10 +69,15 @@ struct Plan {
   PartitionOptions partition_opts;
   FillResult fill;                  ///< Includes the filled schedule.
   InstructionProgram program;
-  std::vector<PlanConfig> explored; ///< Every feasible config evaluated.
+  /// Every feasible config evaluated, in deterministic (D, S, M) candidate
+  /// order. With pruning enabled, configs proven worse than the selected
+  /// plan are omitted.
+  std::vector<PlanConfig> explored;
+  PlanSearchStats search;           ///< Grid-search instrumentation.
   double profiling_wall_ms = 0.0;   ///< Estimated step-1 cluster time.
-  double partitioning_wall_ms = 0.0;  ///< Actual host time in steps 2-3.
-  double filling_wall_ms = 0.0;       ///< Actual host time in step 4.
+  double partitioning_wall_ms = 0.0;  ///< Host time in steps 2-3, summed
+                                      ///< across search threads.
+  double filling_wall_ms = 0.0;       ///< Host time in step 4, ditto.
 };
 
 /// DiffusionPipe's front-end: profiles the model (step 1), searches the
@@ -74,9 +106,21 @@ class Planner {
     PlanConfig config;
     PartitionOptions opts;
     FillResult fill;
+    double partition_wall_ms = 0.0;  ///< Steps 2-3 host time of this combo.
+    double fill_wall_ms = 0.0;       ///< Step-4 host time of this combo.
+    std::size_t cache_hits = 0;
+    std::size_t cache_misses = 0;
   };
   [[nodiscard]] std::optional<Evaluation> evaluate(int S, int M,
                                                    int D) const;
+  /// The cheap structural validity checks shared by evaluate() and the
+  /// pruning lower bound (divisibility, micro-batch >= 1 sample, enough
+  /// layers per stage, CDM self-conditioning exclusion).
+  [[nodiscard]] bool combo_shape_valid(int S, int M, int D) const;
+  /// Exact lower bound on any schedule's makespan for (S, M, D): total
+  /// backbone compute spread perfectly over the group's devices. +inf for
+  /// shape-invalid combos. See DESIGN.md §7.
+  [[nodiscard]] double search_lower_bound_ms(int S, int M, int D) const;
 
   ModelDesc model_;
   ClusterSpec cluster_;

@@ -6,7 +6,7 @@ namespace dpipe {
 Schedule ScheduleBuilder::build_bidirectional(
     int down_component, const std::vector<StagePlan>& down_stages,
     int up_component, const std::vector<StagePlan>& up_stages,
-    const PartitionOptions& opts_in) const {
+    const PartitionOptions& opts_in, const StageCostCache* cache) const {
   using namespace builder_detail;
   PartitionOptions opts = opts_in;
   opts.comm_competition_factor =
@@ -23,9 +23,11 @@ Schedule ScheduleBuilder::build_bidirectional(
   }
 
   const std::vector<StageTiming> down_timings =
-      stage_timings(*db_, *comm_, down_component, down_stages, opts);
+      stage_timings(*db_, *comm_, down_component, down_stages, opts, cache,
+                    PipeDirection::kDown);
   const std::vector<StageTiming> up_timings =
-      stage_timings(*db_, *comm_, up_component, up_stages, opts);
+      stage_timings(*db_, *comm_, up_component, up_stages, opts, cache,
+                    PipeDirection::kUp);
 
   std::vector<detail::ProtoOp> ops;
   std::vector<int> down_executor(S), up_executor(S);

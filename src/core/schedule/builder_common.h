@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/units.h"
+#include "core/partition/stage_cache.h"
 #include "core/schedule/schedule.h"
 
 namespace dpipe::builder_detail {
@@ -38,20 +39,90 @@ inline std::vector<int> stage_sync_group(const StagePlan& stage,
   return group;
 }
 
+/// Chain slot offsets of `stages` given in pipeline order: down pipelines
+/// run front-to-back along the chain, up pipelines back-to-front (stage 0
+/// at the chain end), matching the partitioners' layout.
+inline std::vector<int> pipeline_chain_offsets(
+    const std::vector<StagePlan>& stages, int group_size,
+    PipeDirection direction) {
+  std::vector<int> offsets(stages.size(), 0);
+  if (direction == PipeDirection::kDown) {
+    int position = 0;
+    for (std::size_t s = 0; s < stages.size(); ++s) {
+      offsets[s] = position;
+      position += stages[s].replicas;
+    }
+  } else {
+    int position = group_size;
+    for (std::size_t s = 0; s < stages.size(); ++s) {
+      position -= stages[s].replicas;
+      offsets[s] = position;
+    }
+  }
+  return offsets;
+}
+
+/// True when `stage` occupies exactly chain slots [chain_begin,
+/// chain_begin + replicas) under the canonical rank layout — the
+/// precondition for its DpPartitioner::stage_cost cache entry to describe
+/// the same stage the builder is timing.
+inline bool stage_matches_chain(const StagePlan& stage,
+                                const PartitionOptions& opts,
+                                int chain_begin) {
+  if (chain_begin < 0 ||
+      chain_begin + stage.replicas > opts.group_size) {
+    return false;
+  }
+  for (int i = 0; i < stage.replicas; ++i) {
+    const int pos = chain_begin + i;
+    const int want =
+        opts.device_ranks.empty() ? pos : opts.device_ranks[pos];
+    if (stage.device_ranks[i] != want) {
+      return false;
+    }
+  }
+  return true;
+}
+
 inline std::vector<StageTiming> stage_timings(
     const ProfileDb& db, const CommModel& comm, int component,
-    const std::vector<StagePlan>& stages, const PartitionOptions& opts) {
+    const std::vector<StagePlan>& stages, const PartitionOptions& opts,
+    const StageCostCache* cache = nullptr,
+    PipeDirection direction = PipeDirection::kDown) {
   std::vector<StageTiming> timings;
   timings.reserve(stages.size());
   const double sc = self_cond_factor(opts);
+  const std::vector<int> offsets =
+      cache == nullptr
+          ? std::vector<int>{}
+          : pipeline_chain_offsets(stages, opts.group_size, direction);
   for (std::size_t s = 0; s < stages.size(); ++s) {
     const StagePlan& stage = stages[s];
     const double local_batch = opts.microbatch_size / stage.replicas;
     StageTiming t;
-    t.fwd_ms = sc * db.fwd_range_ms(component, stage.layer_begin,
-                                    stage.layer_end, local_batch);
-    t.bwd_ms = db.bwd_range_ms(component, stage.layer_begin, stage.layer_end,
-                               local_batch);
+    // The partitioner already computed this stage's profile sums and sync
+    // time (bit-identically to the expressions below); reuse them when the
+    // stage sits where the cache key says it does.
+    const StageCost* hit = nullptr;
+    if (cache != nullptr &&
+        stage_matches_chain(stage, opts, offsets[s])) {
+      hit = cache->find({component, stage.layer_begin, stage.layer_end,
+                         stage.replicas, offsets[s], direction});
+    }
+    if (hit != nullptr) {
+      t.fwd_ms = sc * hit->fwd_ms;
+      t.bwd_ms = hit->bwd_ms;
+      t.sync_ms = hit->sync_ms;
+    } else {
+      t.fwd_ms = sc * db.fwd_range_ms(component, stage.layer_begin,
+                                      stage.layer_end, local_batch);
+      t.bwd_ms = db.bwd_range_ms(component, stage.layer_begin,
+                                 stage.layer_end, local_batch);
+      const double grad_mb =
+          kGradCommBytesFactor *
+          db.grad_range_mb(component, stage.layer_begin, stage.layer_end);
+      t.sync_ms = comm.allreduce_ms(grad_mb, stage_sync_group(stage, opts));
+    }
     if (s > 0) {
       const StagePlan& prev = stages[s - 1];
       const double size_mb =
@@ -63,10 +134,6 @@ inline std::vector<StageTiming> stage_timings(
       t.comm_in_ms = opts.comm_competition_factor * sc * base;
       t.comm_out_bwd_ms = opts.comm_competition_factor * base;
     }
-    const double grad_mb =
-        kGradCommBytesFactor *
-        db.grad_range_mb(component, stage.layer_begin, stage.layer_end);
-    t.sync_ms = comm.allreduce_ms(grad_mb, stage_sync_group(stage, opts));
     timings.push_back(t);
   }
   return timings;

@@ -5,14 +5,15 @@ namespace dpipe {
 
 Schedule ScheduleBuilder::build_gpipe(int backbone_component,
                                       const std::vector<StagePlan>& stages,
-                                      const PartitionOptions& opts) const {
+                                      const PartitionOptions& opts,
+                                      const StageCostCache* cache) const {
   using namespace builder_detail;
   check_stages(stages, opts);
   const int S = opts.num_stages;
   const int M = opts.num_microbatches;
 
   const std::vector<StageTiming> timings =
-      stage_timings(*db_, *comm_, backbone_component, stages, opts);
+      stage_timings(*db_, *comm_, backbone_component, stages, opts, cache);
   const double feedback =
       feedback_lag_ms(*db_, *comm_, backbone_component, stages, opts);
 

@@ -82,24 +82,33 @@ class ScheduleBuilder {
  public:
   ScheduleBuilder(const ProfileDb& db, const CommModel& comm);
 
-  /// FIFO-1F1B schedule (paper Fig. 2) of one backbone.
+  /// FIFO-1F1B schedule (paper Fig. 2) of one backbone. A non-null `cache`
+  /// (populated by the partitioner under the same options) supplies the
+  /// stages' fwd/bwd/sync times without recomputation; timings are
+  /// bit-identical with and without it.
   [[nodiscard]] Schedule build_1f1b(int backbone_component,
                                     const std::vector<StagePlan>& stages,
-                                    const PartitionOptions& opts) const;
+                                    const PartitionOptions& opts,
+                                    const StageCostCache* cache
+                                    = nullptr) const;
 
   /// GPipe-style schedule: all forwards, then all backwards per stage.
   [[nodiscard]] Schedule build_gpipe(int backbone_component,
                                      const std::vector<StagePlan>& stages,
-                                     const PartitionOptions& opts) const;
+                                     const PartitionOptions& opts,
+                                     const StageCostCache* cache
+                                     = nullptr) const;
 
   /// Bidirectional schedule (paper Fig. 3): down backbone stage k and up
   /// backbone stage S-1-k share chain position k. Up stages must be given
   /// in up-pipeline order (stage 0 at the chain end), as produced by
-  /// partition_bidirectional().
+  /// partition_bidirectional(). `cache` must have been populated under the
+  /// x2 competition factor (partition_bidirectional does).
   [[nodiscard]] Schedule build_bidirectional(
       int down_component, const std::vector<StagePlan>& down_stages,
       int up_component, const std::vector<StagePlan>& up_stages,
-      const PartitionOptions& opts) const;
+      const PartitionOptions& opts,
+      const StageCostCache* cache = nullptr) const;
 
  private:
   const ProfileDb* db_;

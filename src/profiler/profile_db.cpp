@@ -50,24 +50,42 @@ ProfileDb::ProfileDb(const ModelDesc& model, const AnalyticCostModel& cost,
   }
 }
 
+ProfileDb::Segment ProfileDb::segment(double batch) const {
+  // Binary search for the bracketing grid segment; clamp to the outermost
+  // segments for extrapolation.
+  const auto& grid = batch_grid_;
+  std::size_t hi =
+      std::upper_bound(grid.begin(), grid.end(), batch) - grid.begin();
+  hi = std::clamp<std::size_t>(hi, 1, grid.size() - 1);
+  const std::size_t lo = hi - 1;
+  return {lo, hi, (batch - grid[lo]) / (grid[hi] - grid[lo])};
+}
+
 double ProfileDb::interpolate(const std::vector<double>& samples,
                               double batch) const {
   require(batch >= 0.0, "batch must be non-negative");
   if (batch == 0.0) {
     return 0.0;
   }
-  const auto& grid = batch_grid_;
-  if (grid.size() == 1) {
-    return samples[0] * batch / grid[0];
+  if (batch_grid_.size() == 1) {
+    return samples[0] * batch / batch_grid_[0];
   }
-  // Find segment; clamp to the outermost segments for extrapolation.
-  std::size_t hi =
-      std::upper_bound(grid.begin(), grid.end(), batch) - grid.begin();
-  hi = std::clamp<std::size_t>(hi, 1, grid.size() - 1);
-  const std::size_t lo = hi - 1;
-  const double t = (batch - grid[lo]) / (grid[hi] - grid[lo]);
-  const double value = samples[lo] + t * (samples[hi] - samples[lo]);
+  const Segment s = segment(batch);
+  const double value = samples[s.lo] + s.t * (samples[s.hi] - samples[s.lo]);
   return std::max(0.0, value);
+}
+
+double ProfileDb::interpolate_range(
+    const std::vector<std::vector<double>>& prefix, int lo, int hi,
+    double batch) const {
+  require(batch >= 0.0, "batch must be non-negative");
+  if (batch_grid_.size() == 1) {
+    return (prefix[0][hi] - prefix[0][lo]) * batch / batch_grid_[0];
+  }
+  const Segment s = segment(batch);
+  const double at_lo = prefix[s.lo][hi] - prefix[s.lo][lo];
+  const double at_hi = prefix[s.hi][hi] - prefix[s.hi][lo];
+  return std::max(0.0, at_lo + s.t * (at_hi - at_lo));
 }
 
 double ProfileDb::fwd_ms(int component, int layer, double batch) const {
@@ -86,12 +104,7 @@ double ProfileDb::fwd_range_ms(int component, int lo, int hi,
   if (lo == hi || batch == 0.0) {
     return 0.0;
   }
-  const ComponentProfile& prof = components_[component];
-  std::vector<double> range(batch_grid_.size());
-  for (std::size_t g = 0; g < batch_grid_.size(); ++g) {
-    range[g] = prof.prefix_fwd[g][hi] - prof.prefix_fwd[g][lo];
-  }
-  return interpolate(range, batch);
+  return interpolate_range(components_[component].prefix_fwd, lo, hi, batch);
 }
 
 double ProfileDb::bwd_range_ms(int component, int lo, int hi,
@@ -100,12 +113,7 @@ double ProfileDb::bwd_range_ms(int component, int lo, int hi,
   if (lo == hi || batch == 0.0) {
     return 0.0;
   }
-  const ComponentProfile& prof = components_[component];
-  std::vector<double> range(batch_grid_.size());
-  for (std::size_t g = 0; g < batch_grid_.size(); ++g) {
-    range[g] = prof.prefix_bwd[g][hi] - prof.prefix_bwd[g][lo];
-  }
-  return interpolate(range, batch);
+  return interpolate_range(components_[component].prefix_bwd, lo, hi, batch);
 }
 
 double ProfileDb::grad_range_mb(int component, int lo, int hi) const {

@@ -60,8 +60,24 @@ class ProfileDb {
     std::vector<double> prefix_act_mb;    ///< length L+1
   };
 
+  /// Interpolation segment of `batch` on the grid: samples[lo..hi] weighted
+  /// (1 - t, t). Clamped to the outermost segments for extrapolation.
+  /// Requires grid.size() >= 2 and batch > 0.
+  struct Segment {
+    std::size_t lo = 0;
+    std::size_t hi = 1;
+    double t = 0.0;
+  };
+  [[nodiscard]] Segment segment(double batch) const;
+
   [[nodiscard]] double interpolate(const std::vector<double>& samples,
                                    double batch) const;
+  /// O(1) range-sum interpolation: the [lo, hi) prefix difference at the
+  /// two grid points bracketing `batch`, linearly blended. Bit-identical to
+  /// interpolating the per-grid-point range sums.
+  [[nodiscard]] double interpolate_range(
+      const std::vector<std::vector<double>>& prefix, int lo, int hi,
+      double batch) const;
   void check_range(int component, int lo, int hi) const;
 
   ModelDesc model_;

@@ -2,7 +2,8 @@
 # Tier-1 verification: the standard build + full test suite, then a
 # ThreadSanitizer build running the concurrency-sensitive runtime and fault
 # tests (thread-per-stage pipeline trainer, channel shutdown, checkpoint
-# recovery). Run from the repository root.
+# recovery) plus the parallel planner-search determinism tests. Run from
+# the repository root.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -16,6 +17,6 @@ echo "== tier-1: ThreadSanitizer build (runtime + fault tests) =="
 cmake -B build-tsan -S . -DDPIPE_SANITIZE=thread
 cmake --build build-tsan -j"$(nproc)" --target dpipe_tests
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/dpipe_tests \
-  --gtest_filter='Channel.*:PipelineTrainer.*:Equivalence.*:Fault.*'
+  --gtest_filter='Channel.*:PipelineTrainer.*:Equivalence.*:Fault.*:ParallelFor.*:PlannerSearch.*'
 
 echo "tier-1 OK"
