@@ -1,0 +1,250 @@
+// Runtime kernel & memory substrate benchmark (DESIGN.md §8): matmul
+// GFLOP/s for the naive / blocked / blocked+parallel paths across the
+// three transpose variants, plus end-to-end PipelineTrainer iterations/s
+// on the default example configuration under each kernel mode, plus
+// TensorPool recycling stats. Prints a table and writes BENCH_runtime.json
+// (pass an output path to override; pass --quick for a fast smoke run).
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "runtime/dp_trainer.h"
+#include "runtime/kernels.h"
+#include "runtime/pipeline_exec.h"
+#include "runtime/pool.h"
+
+namespace {
+
+using namespace dpipe::rt;
+
+const char* mode_name(KernelMode mode) {
+  switch (mode) {
+    case KernelMode::kNaive:
+      return "naive";
+    case KernelMode::kBlocked:
+      return "blocked";
+    case KernelMode::kBlockedParallel:
+      return "blocked_parallel";
+  }
+  return "?";
+}
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct MatmulRow {
+  std::string op;
+  int m = 0, k = 0, n = 0;
+  double naive_gflops = 0.0;
+  double blocked_gflops = 0.0;
+  double parallel_gflops = 0.0;
+  double speedup = 0.0;  ///< blocked vs naive, single-threaded.
+};
+
+using MatmulFn = void (*)(Tensor&, const Tensor&, const Tensor&, KernelMode);
+
+/// Best-of-`reps` GFLOP/s for one kernel at one shape. The kernels are
+/// deterministic, so the fastest rep is the cleanest estimate.
+double time_gflops(MatmulFn fn, Tensor& out, const Tensor& a,
+                   const Tensor& b, KernelMode mode, std::int64_t flops,
+                   int reps) {
+  double best_ms = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const double start = now_ms();
+    fn(out, a, b, mode);
+    const double ms = now_ms() - start;
+    if (r == 0 || ms < best_ms) {
+      best_ms = ms;
+    }
+  }
+  return static_cast<double>(flops) / (best_ms * 1e6);
+}
+
+MatmulRow run_matmul_case(const std::string& op, int m, int k, int n,
+                          int reps) {
+  Rng rng(0xBE7C4ull + m + k + n);
+  Tensor a, b, out;
+  MatmulFn fn = nullptr;
+  if (op == "nn") {
+    a = rng.randn({m, k});
+    b = rng.randn({k, n});
+    out = Tensor({m, n});
+    fn = [](Tensor& o, const Tensor& x, const Tensor& y, KernelMode mo) {
+      matmul_into(o, x, y, mo);
+    };
+  } else if (op == "tn") {
+    a = rng.randn({k, m});  // a^T [k,m]^T -> contributes m as inner dim.
+    b = rng.randn({k, n});
+    out = Tensor({m, n});
+    fn = [](Tensor& o, const Tensor& x, const Tensor& y, KernelMode mo) {
+      matmul_tn_into(o, x, y, mo);
+    };
+  } else {
+    a = rng.randn({m, k});
+    b = rng.randn({n, k});
+    out = Tensor({m, n});
+    fn = [](Tensor& o, const Tensor& x, const Tensor& y, KernelMode mo) {
+      matmul_nt_into(o, x, y, mo);
+    };
+  }
+  const std::int64_t flops = 2ll * m * k * n;
+  MatmulRow row;
+  row.op = op;
+  row.m = m;
+  row.k = k;
+  row.n = n;
+  set_kernel_threads(1);
+  row.naive_gflops =
+      time_gflops(fn, out, a, b, KernelMode::kNaive, flops,
+                  reps >= 3 ? 2 : 1);  // Naive is slow; fewer reps.
+  row.blocked_gflops =
+      time_gflops(fn, out, a, b, KernelMode::kBlocked, flops, reps);
+  set_kernel_threads(0);
+  row.parallel_gflops = time_gflops(fn, out, a, b,
+                                    KernelMode::kBlockedParallel, flops,
+                                    reps);
+  row.speedup = row.blocked_gflops / row.naive_gflops;
+  return row;
+}
+
+struct EndToEndRow {
+  std::string mode;
+  double iters_per_s = 0.0;
+  double speedup = 0.0;  ///< vs naive.
+};
+
+/// Iterations/s of the full pipeline trainer (the default example config:
+/// self-conditioning, cross-iteration frozen part, 3 stages x 4 micros x
+/// 2 replicas) under one kernel mode.
+double pipeline_iters_per_s(KernelMode mode, int iters) {
+  set_kernel_mode(mode);
+  set_kernel_threads(0);
+  DdpmConfig dc;
+  dc.self_conditioning = true;
+  dc.self_cond_prob = 0.5;
+  const DdpmProblem problem(dc);
+  PipelineRtConfig cfg;
+  cfg.num_stages = 3;
+  cfg.num_microbatches = 4;
+  cfg.data_parallel_degree = 2;
+  cfg.global_batch = 32;
+  cfg.lr = 0.2f;
+  cfg.cross_iteration = true;
+  PipelineTrainer trainer(problem, cfg);
+  trainer.train(2);  // Warm-up: thread startup, pool fill.
+  const double start = now_ms();
+  trainer.train(iters);
+  const double ms = now_ms() - start;
+  return iters / (ms / 1000.0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_runtime.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else {
+      out_path = argv[i];
+    }
+  }
+
+  std::printf("== Runtime kernel & memory substrate ==\n");
+  std::printf("kernel pool threads: %d\n\n", kernel_threads());
+
+  struct Shape {
+    int m, k, n;
+  };
+  std::vector<Shape> shapes;
+  if (quick) {
+    shapes.push_back({128, 128, 128});
+  } else {
+    shapes.push_back({128, 128, 128});
+    shapes.push_back({256, 256, 256});
+    shapes.push_back({512, 512, 512});
+  }
+  const int reps = quick ? 2 : 5;
+
+  std::printf("%-4s %5s %5s %5s %12s %14s %15s %9s\n", "op", "m", "k", "n",
+              "naive_gf", "blocked_gf", "parallel_gf", "speedup");
+  std::vector<MatmulRow> matmul_rows;
+  for (const Shape& s : shapes) {
+    for (const std::string op : {"nn", "tn", "nt"}) {
+      const MatmulRow row = run_matmul_case(op, s.m, s.k, s.n, reps);
+      std::printf("%-4s %5d %5d %5d %12.2f %14.2f %15.2f %8.2fx\n",
+                  row.op.c_str(), row.m, row.k, row.n, row.naive_gflops,
+                  row.blocked_gflops, row.parallel_gflops, row.speedup);
+      matmul_rows.push_back(row);
+    }
+  }
+
+  const int e2e_iters = quick ? 6 : 20;
+  TensorPool::global().reset_stats();
+  std::printf("\n%-18s %10s %9s   (PipelineTrainer, %d iters)\n", "mode",
+              "iters/s", "speedup", e2e_iters);
+  std::vector<EndToEndRow> e2e_rows;
+  double naive_ips = 0.0;
+  for (const KernelMode mode :
+       {KernelMode::kNaive, KernelMode::kBlocked,
+        KernelMode::kBlockedParallel}) {
+    EndToEndRow row;
+    row.mode = mode_name(mode);
+    row.iters_per_s = pipeline_iters_per_s(mode, e2e_iters);
+    if (mode == KernelMode::kNaive) {
+      naive_ips = row.iters_per_s;
+    }
+    row.speedup = row.iters_per_s / naive_ips;
+    std::printf("%-18s %10.1f %8.2fx\n", row.mode.c_str(), row.iters_per_s,
+                row.speedup);
+    e2e_rows.push_back(row);
+  }
+  set_kernel_mode(KernelMode::kBlockedParallel);
+
+  const TensorPool::Stats pool = TensorPool::global().stats();
+  const double hit_rate =
+      pool.allocs_avoided + pool.allocs_fresh > 0
+          ? static_cast<double>(pool.allocs_avoided) /
+                static_cast<double>(pool.allocs_avoided + pool.allocs_fresh)
+          : 0.0;
+  std::printf(
+      "\npool: %llu recycled / %llu fresh (%.1f%% hit), peak %.2f MiB\n",
+      static_cast<unsigned long long>(pool.allocs_avoided),
+      static_cast<unsigned long long>(pool.allocs_fresh), 100.0 * hit_rate,
+      static_cast<double>(pool.peak_bytes) / (1024.0 * 1024.0));
+
+  std::ofstream json(out_path);
+  json << "{\n  \"matmul\": [\n";
+  for (std::size_t i = 0; i < matmul_rows.size(); ++i) {
+    const MatmulRow& r = matmul_rows[i];
+    json << "    {\"op\": \"" << r.op << "\", \"m\": " << r.m
+         << ", \"k\": " << r.k << ", \"n\": " << r.n
+         << ", \"naive_gflops\": " << r.naive_gflops
+         << ", \"blocked_gflops\": " << r.blocked_gflops
+         << ", \"parallel_gflops\": " << r.parallel_gflops
+         << ", \"blocked_vs_naive\": " << r.speedup << "}"
+         << (i + 1 < matmul_rows.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"end_to_end\": [\n";
+  for (std::size_t i = 0; i < e2e_rows.size(); ++i) {
+    const EndToEndRow& r = e2e_rows[i];
+    json << "    {\"mode\": \"" << r.mode
+         << "\", \"iters_per_s\": " << r.iters_per_s
+         << ", \"speedup\": " << r.speedup << "}"
+         << (i + 1 < e2e_rows.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"pool\": {\"allocs_avoided\": " << pool.allocs_avoided
+       << ", \"allocs_fresh\": " << pool.allocs_fresh
+       << ", \"hit_rate\": " << hit_rate
+       << ", \"peak_bytes\": " << pool.peak_bytes << "}\n}\n";
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

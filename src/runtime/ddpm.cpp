@@ -1,6 +1,9 @@
 #include "runtime/ddpm.h"
 
+#include <algorithm>
 #include <cmath>
+
+#include "runtime/pool.h"
 
 namespace dpipe::rt {
 
@@ -72,20 +75,44 @@ Tensor DdpmProblem::encode_condition(const Tensor& cond_raw) const {
 Tensor DdpmProblem::make_input(const Batch& batch, const Tensor& cond,
                                const Tensor* self_cond_pred) const {
   DPIPE_REQUIRE(cond.rows() == batch.x0.rows(), "condition batch mismatch");
-  // x_t = sqrt(alpha_bar) x0 + sqrt(1 - alpha_bar) eps.
-  Tensor x_t(batch.x0.shape());
-  for (int i = 0; i < batch.x0.rows(); ++i) {
+  DPIPE_REQUIRE(self_cond_pred == nullptr ||
+                    (self_cond_pred->rows() == batch.x0.rows() &&
+                     self_cond_pred->cols() == config_.data_dim),
+                "self-conditioning prediction shape mismatch");
+  // One pooled buffer assembled in place: [x_t | t_feat | cond | self_cond]
+  // with x_t = sqrt(alpha_bar) x0 + sqrt(1 - alpha_bar) eps, replacing the
+  // old chain of three concat_cols temporaries.
+  const int rows = batch.x0.rows();
+  const int d = config_.data_dim;
+  const int t = config_.time_dim;
+  const int c = config_.cond_dim;
+  const int width = input_dim();
+  Tensor input = TensorPool::global().acquire({rows, width});
+  for (int i = 0; i < rows; ++i) {
+    float* row = input.data() + static_cast<std::ptrdiff_t>(i) * width;
     const float a = batch.alpha_bar.at(i, 0);
-    for (int j = 0; j < batch.x0.cols(); ++j) {
-      x_t.at(i, j) = std::sqrt(a) * batch.x0.at(i, j) +
-                     std::sqrt(1.0f - a) * batch.noise.at(i, j);
+    const float sa = std::sqrt(a);
+    const float sn = std::sqrt(1.0f - a);
+    const float* x0 = batch.x0.data() + static_cast<std::ptrdiff_t>(i) * d;
+    const float* eps =
+        batch.noise.data() + static_cast<std::ptrdiff_t>(i) * d;
+    for (int j = 0; j < d; ++j) {
+      row[j] = sa * x0[j] + sn * eps[j];
+    }
+    const float* tf =
+        batch.t_feat.data() + static_cast<std::ptrdiff_t>(i) * t;
+    std::copy(tf, tf + t, row + d);
+    const float* cd = cond.data() + static_cast<std::ptrdiff_t>(i) * c;
+    std::copy(cd, cd + c, row + d + t);
+    if (self_cond_pred != nullptr) {
+      const float* sc =
+          self_cond_pred->data() + static_cast<std::ptrdiff_t>(i) * d;
+      std::copy(sc, sc + d, row + d + t + c);
+    } else {
+      std::fill(row + d + t + c, row + width, 0.0f);
     }
   }
-  Tensor input = concat_cols(concat_cols(x_t, batch.t_feat), cond);
-  const Tensor sc = self_cond_pred != nullptr
-                        ? *self_cond_pred
-                        : Tensor::zeros({batch.x0.rows(), config_.data_dim});
-  return concat_cols(input, sc);
+  return input;
 }
 
 Tensor DdpmProblem::loss_grad(const Tensor& pred, const Tensor& target,
@@ -94,16 +121,20 @@ Tensor DdpmProblem::loss_grad(const Tensor& pred, const Tensor& target,
   DPIPE_REQUIRE(global_batch >= 1, "global batch must be positive");
   const float norm =
       2.0f / (static_cast<float>(global_batch) * pred.cols());
-  return scale(sub(pred, target), norm);
+  Tensor out = TensorPool::global().acquire(pred.shape());
+  sub_into(out, pred, target);
+  scale_inplace(out, norm);
+  return out;
 }
 
 double DdpmProblem::loss(const Tensor& pred, const Tensor& target) const {
-  const Tensor diff = sub(pred, target);
+  DPIPE_REQUIRE(pred.shape() == target.shape(), "pred/target shape mismatch");
   double acc = 0.0;
-  for (std::int64_t i = 0; i < diff.numel(); ++i) {
-    acc += static_cast<double>(diff.data()[i]) * diff.data()[i];
+  for (std::int64_t i = 0; i < pred.numel(); ++i) {
+    const float d = pred.data()[i] - target.data()[i];
+    acc += static_cast<double>(d) * d;
   }
-  return acc / static_cast<double>(diff.numel());
+  return acc / static_cast<double>(pred.numel());
 }
 
 bool DdpmProblem::self_cond_active(int iteration) const {

@@ -1,5 +1,9 @@
 #include "runtime/dp_trainer.h"
 
+#include <utility>
+
+#include "runtime/pool.h"
+
 namespace dpipe::rt {
 
 ReferenceTrainer::ReferenceTrainer(const DdpmProblem& problem,
@@ -13,32 +17,36 @@ ReferenceTrainer::ReferenceTrainer(const DdpmProblem& problem,
 }
 
 void ReferenceTrainer::train(int iterations) {
+  TensorPool& pool = TensorPool::global();
   for (int k = 0; k < iterations; ++k, ++iteration_) {
     const DdpmProblem::Batch batch =
         problem_->make_batch(iteration_, global_batch_);
-    const Tensor cond = problem_->encode_condition(batch.cond_raw);
+    Tensor cond = problem_->encode_condition(batch.cond_raw);
 
     const Tensor* self_cond = nullptr;
     Tensor sc_pred;
     if (problem_->self_cond_active(iteration_)) {
       // First (no-grad) pass with a zero self-conditioning slot.
-      const Tensor input0 = problem_->make_input(batch, cond, nullptr);
-      sc_pred = net_->forward(input0);
+      sc_pred = net_->forward(problem_->make_input(batch, cond, nullptr));
       net_->drop_context();
       self_cond = &sc_pred;
     }
-    const Tensor input = problem_->make_input(batch, cond, self_cond);
-    const Tensor pred = net_->forward(input);
+    Tensor pred =
+        net_->forward(problem_->make_input(batch, cond, self_cond));
     losses_.push_back(problem_->loss(pred, batch.noise));
-    const Tensor grad =
-        problem_->loss_grad(pred, batch.noise, global_batch_);
-    (void)net_->backward(grad);
+    Tensor grad = problem_->loss_grad(pred, batch.noise, global_batch_);
+    pool.release(net_->backward(std::move(grad)));
     if (adam_ != nullptr) {
       adam_->step(net_->params(), net_->grads());
     } else {
       sgd_.step(net_->params(), net_->grads());
     }
     net_->zero_grad();
+    pool.release(std::move(pred));
+    if (self_cond != nullptr) {
+      pool.release(std::move(sc_pred));
+    }
+    pool.release(std::move(cond));
   }
 }
 

@@ -1,0 +1,372 @@
+#include "runtime/kernels.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+
+#include "common/parallel.h"
+
+namespace dpipe::rt {
+
+namespace {
+
+// Fixed tiling. These are part of the determinism contract only insofar as
+// they are *constants*: per-element accumulation order is ascending over
+// the inner dimension in every kernel, so any tile sizes give bit-identical
+// results — but keeping them fixed also keeps cache behaviour reproducible.
+constexpr int kRowBlock = 64;  ///< Parallel grain: output rows per task.
+constexpr int kKc = 64;        ///< Inner-dimension panel height.
+constexpr int kNc = 256;       ///< Output-column panel width.
+
+/// Work below this many FLOPs runs single-threaded even in
+/// kBlockedParallel mode; the threshold depends only on the shape, so the
+/// dispatch decision is deterministic.
+constexpr std::int64_t kParallelFlopThreshold = 1 << 20;
+
+std::atomic<KernelMode> g_mode{KernelMode::kBlockedParallel};
+
+/// The shared intra-op pool. parallel_for is not reentrant and the pipeline
+/// trainer's stage threads call kernels concurrently, so entry is guarded
+/// by a try-lock: one thread fans out, everyone else falls back to the
+/// inline loop (bit-identical by the fixed-tiling contract).
+struct KernelPool {
+  std::mutex run_mutex;
+  std::mutex state_mutex;
+  std::unique_ptr<ThreadPool> pool;  ///< Guarded by state_mutex.
+  int requested_threads = 0;         ///< <= 0: default_thread_count().
+};
+
+KernelPool& kernel_pool() {
+  static KernelPool instance;
+  return instance;
+}
+
+ThreadPool* acquire_pool() {
+  KernelPool& kp = kernel_pool();
+  const std::lock_guard<std::mutex> lock(kp.state_mutex);
+  if (kp.pool == nullptr) {
+    kp.pool = std::make_unique<ThreadPool>(kp.requested_threads);
+  }
+  return kp.pool.get();
+}
+
+/// Runs fn(block) for every row block, fanning out over the kernel pool
+/// when profitable and available. fn must write only to its block's rows.
+template <typename Fn>
+void for_each_row_block(int rows, std::int64_t flops, KernelMode mode,
+                        const Fn& fn) {
+  const int num_blocks = (rows + kRowBlock - 1) / kRowBlock;
+  if (mode == KernelMode::kBlockedParallel && num_blocks > 1 &&
+      flops >= kParallelFlopThreshold) {
+    KernelPool& kp = kernel_pool();
+    std::unique_lock<std::mutex> lock(kp.run_mutex, std::try_to_lock);
+    if (lock.owns_lock()) {
+      ThreadPool* pool = acquire_pool();
+      if (pool->size() > 1) {
+        pool->parallel_for(static_cast<std::size_t>(num_blocks),
+                           [&](std::size_t b) { fn(static_cast<int>(b)); });
+        return;
+      }
+    }
+  }
+  for (int b = 0; b < num_blocks; ++b) {
+    fn(b);
+  }
+}
+
+void check_matmul_shapes(const Tensor& out, const Tensor& a, const Tensor& b,
+                         int m, int k, int n, const char* what) {
+  DPIPE_REQUIRE(out.rows() == m && out.cols() == n,
+                std::string(what) + ": output shape mismatch");
+  DPIPE_REQUIRE(out.numel() == 0 ||
+                    (out.data() != a.data() && out.data() != b.data()),
+                std::string(what) + ": output must not alias an input");
+  (void)k;
+}
+
+// --- Naive kernels: faithful ports of the pre-substrate triple loops -----
+// (bounds-checked at() access, zeroed output, ascending inner loop; the
+// data-dependent `av == 0` skip is gone — it made FLOPs input-dependent and
+// put a branch in the hot loop without changing results on finite inputs).
+
+void nn_naive(Tensor& out, const Tensor& a, const Tensor& b) {
+  std::fill(out.data(), out.data() + out.numel(), 0.0f);
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int k = 0; k < a.cols(); ++k) {
+      const float av = a.at(i, k);
+      for (int j = 0; j < b.cols(); ++j) {
+        out.at(i, j) += av * b.at(k, j);
+      }
+    }
+  }
+}
+
+void tn_naive(Tensor& out, const Tensor& a, const Tensor& b) {
+  std::fill(out.data(), out.data() + out.numel(), 0.0f);
+  for (int m = 0; m < a.rows(); ++m) {
+    for (int i = 0; i < a.cols(); ++i) {
+      const float av = a.at(m, i);
+      for (int j = 0; j < b.cols(); ++j) {
+        out.at(i, j) += av * b.at(m, j);
+      }
+    }
+  }
+}
+
+void nt_naive(Tensor& out, const Tensor& a, const Tensor& b) {
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int j = 0; j < b.rows(); ++j) {
+      float acc = 0.0f;
+      for (int k = 0; k < a.cols(); ++k) {
+        acc += a.at(i, k) * b.at(j, k);
+      }
+      out.at(i, j) = acc;
+    }
+  }
+}
+
+// --- Blocked kernels ------------------------------------------------------
+// NN/TN are outer-product style: the output panel accumulates rank-1
+// updates with the inner index ascending (in kKc panels, then singly), so
+// each element sees the same addition chain as the naive loop. NT keeps one
+// scalar accumulator per output element with k ascending. The j loops are
+// the vectorizable ones; accumulation chains are never split.
+
+/// out rows [i0, i1) of a [m,k] x b [k,n].
+void nn_block(float* out, const float* a, const float* b, int i0, int i1,
+              int cols_a, int cols_b) {
+  const int k_total = cols_a;
+  const int n = cols_b;
+  for (int i = i0; i < i1; ++i) {
+    std::fill(out + static_cast<std::ptrdiff_t>(i) * n,
+              out + static_cast<std::ptrdiff_t>(i + 1) * n, 0.0f);
+  }
+  for (int jc = 0; jc < n; jc += kNc) {
+    const int jend = std::min(jc + kNc, n);
+    for (int kc = 0; kc < k_total; kc += kKc) {
+      const int kend = std::min(kc + kKc, k_total);
+      for (int i = i0; i < i1; ++i) {
+        float* orow = out + static_cast<std::ptrdiff_t>(i) * n;
+        const float* arow = a + static_cast<std::ptrdiff_t>(i) * k_total;
+        int k = kc;
+        for (; k + 4 <= kend; k += 4) {
+          const float av0 = arow[k];
+          const float av1 = arow[k + 1];
+          const float av2 = arow[k + 2];
+          const float av3 = arow[k + 3];
+          const float* b0 = b + static_cast<std::ptrdiff_t>(k) * n;
+          const float* b1 = b0 + n;
+          const float* b2 = b1 + n;
+          const float* b3 = b2 + n;
+          for (int j = jc; j < jend; ++j) {
+            float acc = orow[j];
+            acc += av0 * b0[j];
+            acc += av1 * b1[j];
+            acc += av2 * b2[j];
+            acc += av3 * b3[j];
+            orow[j] = acc;
+          }
+        }
+        for (; k < kend; ++k) {
+          const float av = arow[k];
+          const float* brow = b + static_cast<std::ptrdiff_t>(k) * n;
+          for (int j = jc; j < jend; ++j) {
+            orow[j] += av * brow[j];
+          }
+        }
+      }
+    }
+  }
+}
+
+/// out rows [i0, i1) of a^T [m,k] x b [m,n]: out[i][j] accumulates over the
+/// shared row index m (ascending, in kKc panels).
+void tn_block(float* out, const float* a, const float* b, int i0, int i1,
+              int rows_a, int cols_a, int cols_b) {
+  const int n = cols_b;
+  for (int i = i0; i < i1; ++i) {
+    std::fill(out + static_cast<std::ptrdiff_t>(i) * n,
+              out + static_cast<std::ptrdiff_t>(i + 1) * n, 0.0f);
+  }
+  for (int jc = 0; jc < n; jc += kNc) {
+    const int jend = std::min(jc + kNc, n);
+    for (int mc = 0; mc < rows_a; mc += kKc) {
+      const int mend = std::min(mc + kKc, rows_a);
+      for (int i = i0; i < i1; ++i) {
+        float* orow = out + static_cast<std::ptrdiff_t>(i) * n;
+        int m = mc;
+        for (; m + 4 <= mend; m += 4) {
+          const float av0 = a[static_cast<std::ptrdiff_t>(m) * cols_a + i];
+          const float av1 =
+              a[static_cast<std::ptrdiff_t>(m + 1) * cols_a + i];
+          const float av2 =
+              a[static_cast<std::ptrdiff_t>(m + 2) * cols_a + i];
+          const float av3 =
+              a[static_cast<std::ptrdiff_t>(m + 3) * cols_a + i];
+          const float* b0 = b + static_cast<std::ptrdiff_t>(m) * n;
+          const float* b1 = b0 + n;
+          const float* b2 = b1 + n;
+          const float* b3 = b2 + n;
+          for (int j = jc; j < jend; ++j) {
+            float acc = orow[j];
+            acc += av0 * b0[j];
+            acc += av1 * b1[j];
+            acc += av2 * b2[j];
+            acc += av3 * b3[j];
+            orow[j] = acc;
+          }
+        }
+        for (; m < mend; ++m) {
+          const float av = a[static_cast<std::ptrdiff_t>(m) * cols_a + i];
+          const float* brow = b + static_cast<std::ptrdiff_t>(m) * n;
+          for (int j = jc; j < jend; ++j) {
+            orow[j] += av * brow[j];
+          }
+        }
+      }
+    }
+  }
+}
+
+/// out rows [i0, i1) of a [m,k] x b^T [n,k]: independent dot products, one
+/// scalar chain per element (k ascending), four b rows per pass so each
+/// a-row load feeds four accumulators.
+void nt_block(float* out, const float* a, const float* b, int i0, int i1,
+              int cols_a, int rows_b) {
+  const int k_total = cols_a;
+  const int n = rows_b;
+  for (int i = i0; i < i1; ++i) {
+    const float* arow = a + static_cast<std::ptrdiff_t>(i) * k_total;
+    float* orow = out + static_cast<std::ptrdiff_t>(i) * n;
+    int j = 0;
+    for (; j + 4 <= n; j += 4) {
+      const float* b0 = b + static_cast<std::ptrdiff_t>(j) * k_total;
+      const float* b1 = b0 + k_total;
+      const float* b2 = b1 + k_total;
+      const float* b3 = b2 + k_total;
+      float acc0 = 0.0f;
+      float acc1 = 0.0f;
+      float acc2 = 0.0f;
+      float acc3 = 0.0f;
+      for (int k = 0; k < k_total; ++k) {
+        const float av = arow[k];
+        acc0 += av * b0[k];
+        acc1 += av * b1[k];
+        acc2 += av * b2[k];
+        acc3 += av * b3[k];
+      }
+      orow[j] = acc0;
+      orow[j + 1] = acc1;
+      orow[j + 2] = acc2;
+      orow[j + 3] = acc3;
+    }
+    for (; j < n; ++j) {
+      const float* brow = b + static_cast<std::ptrdiff_t>(j) * k_total;
+      float acc = 0.0f;
+      for (int k = 0; k < k_total; ++k) {
+        acc += arow[k] * brow[k];
+      }
+      orow[j] = acc;
+    }
+  }
+}
+
+}  // namespace
+
+KernelMode kernel_mode() { return g_mode.load(std::memory_order_relaxed); }
+
+void set_kernel_mode(KernelMode mode) {
+  g_mode.store(mode, std::memory_order_relaxed);
+}
+
+int kernel_threads() {
+  KernelPool& kp = kernel_pool();
+  const std::lock_guard<std::mutex> lock(kp.state_mutex);
+  if (kp.pool != nullptr) {
+    return kp.pool->size();
+  }
+  return kp.requested_threads > 0 ? kp.requested_threads
+                                  : default_thread_count();
+}
+
+void set_kernel_threads(int num_threads) {
+  KernelPool& kp = kernel_pool();
+  // Exclude concurrent parallel_for users while the pool is swapped.
+  const std::lock_guard<std::mutex> run_lock(kp.run_mutex);
+  const std::lock_guard<std::mutex> lock(kp.state_mutex);
+  kp.requested_threads = num_threads;
+  kp.pool = std::make_unique<ThreadPool>(num_threads);
+}
+
+void matmul_into(Tensor& out, const Tensor& a, const Tensor& b,
+                 KernelMode mode) {
+  DPIPE_REQUIRE(a.cols() == b.rows(), "matmul inner dimension mismatch");
+  const int m = a.rows();
+  const int k = a.cols();
+  const int n = b.cols();
+  check_matmul_shapes(out, a, b, m, k, n, "matmul_into");
+  if (mode == KernelMode::kNaive) {
+    nn_naive(out, a, b);
+    return;
+  }
+  const std::int64_t flops = 2LL * m * k * n;
+  for_each_row_block(m, flops, mode, [&](int block) {
+    const int i0 = block * kRowBlock;
+    const int i1 = std::min(i0 + kRowBlock, m);
+    nn_block(out.data(), a.data(), b.data(), i0, i1, k, n);
+  });
+}
+
+void matmul_tn_into(Tensor& out, const Tensor& a, const Tensor& b,
+                    KernelMode mode) {
+  DPIPE_REQUIRE(a.rows() == b.rows(), "matmul_tn outer dimension mismatch");
+  const int m = a.rows();
+  const int k = a.cols();  // Output rows.
+  const int n = b.cols();
+  check_matmul_shapes(out, a, b, k, m, n, "matmul_tn_into");
+  if (mode == KernelMode::kNaive) {
+    tn_naive(out, a, b);
+    return;
+  }
+  const std::int64_t flops = 2LL * m * k * n;
+  for_each_row_block(k, flops, mode, [&](int block) {
+    const int i0 = block * kRowBlock;
+    const int i1 = std::min(i0 + kRowBlock, k);
+    tn_block(out.data(), a.data(), b.data(), i0, i1, m, k, n);
+  });
+}
+
+void matmul_nt_into(Tensor& out, const Tensor& a, const Tensor& b,
+                    KernelMode mode) {
+  DPIPE_REQUIRE(a.cols() == b.cols(), "matmul_nt inner dimension mismatch");
+  const int m = a.rows();
+  const int k = a.cols();
+  const int n = b.rows();  // Output cols.
+  check_matmul_shapes(out, a, b, m, k, n, "matmul_nt_into");
+  if (mode == KernelMode::kNaive) {
+    nt_naive(out, a, b);
+    return;
+  }
+  const std::int64_t flops = 2LL * m * k * n;
+  for_each_row_block(m, flops, mode, [&](int block) {
+    const int i0 = block * kRowBlock;
+    const int i1 = std::min(i0 + kRowBlock, m);
+    nt_block(out.data(), a.data(), b.data(), i0, i1, k, n);
+  });
+}
+
+void matmul_into(Tensor& out, const Tensor& a, const Tensor& b) {
+  matmul_into(out, a, b, kernel_mode());
+}
+
+void matmul_tn_into(Tensor& out, const Tensor& a, const Tensor& b) {
+  matmul_tn_into(out, a, b, kernel_mode());
+}
+
+void matmul_nt_into(Tensor& out, const Tensor& a, const Tensor& b) {
+  matmul_nt_into(out, a, b, kernel_mode());
+}
+
+}  // namespace dpipe::rt

@@ -1,0 +1,47 @@
+#pragma once
+
+#include "runtime/tensor.h"
+
+namespace dpipe::rt {
+
+/// Which matmul implementation the runtime dispatches to. All three modes
+/// are bit-identical by construction: every output element is a single
+/// accumulation chain over the inner dimension in ascending order, so
+/// blocking and row-block parallelism reorder *memory traffic* only, never
+/// the floating-point reduction. The modes exist so tests can pin the
+/// parity down and benchmarks can attribute the speedup.
+enum class KernelMode {
+  kNaive,            ///< Bounds-checked triple loop (the pre-substrate code).
+  kBlocked,          ///< Cache-blocked, register-tiled, raw pointers.
+  kBlockedParallel,  ///< kBlocked + row-block fan-out over the kernel pool.
+};
+
+/// Process-wide dispatch mode (default kBlockedParallel).
+[[nodiscard]] KernelMode kernel_mode();
+void set_kernel_mode(KernelMode mode);
+
+/// Width of the intra-op worker pool. The pool is created lazily from
+/// DPIPE_THREADS / hardware_concurrency; set_kernel_threads(n) rebuilds it
+/// with n threads (n <= 0 restores the default). Results never depend on
+/// this value — the row-block tiling is fixed — only wall time does.
+[[nodiscard]] int kernel_threads();
+void set_kernel_threads(int num_threads);
+
+// Out-parameter matmuls: `out` must already have the result shape and must
+// not alias an input. Every element of `out` is overwritten (recycled pool
+// buffers with stale contents are safe inputs).
+
+/// out = a [m,k] x b [k,n].
+void matmul_into(Tensor& out, const Tensor& a, const Tensor& b);
+void matmul_into(Tensor& out, const Tensor& a, const Tensor& b,
+                 KernelMode mode);
+/// out = a^T [m,k] x b [m,n] -> [k,n] (weight gradients).
+void matmul_tn_into(Tensor& out, const Tensor& a, const Tensor& b);
+void matmul_tn_into(Tensor& out, const Tensor& a, const Tensor& b,
+                    KernelMode mode);
+/// out = a [m,k] x b^T [n,k] -> [m,n] (input gradients).
+void matmul_nt_into(Tensor& out, const Tensor& a, const Tensor& b);
+void matmul_nt_into(Tensor& out, const Tensor& a, const Tensor& b,
+                    KernelMode mode);
+
+}  // namespace dpipe::rt

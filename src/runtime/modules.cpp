@@ -1,6 +1,10 @@
 #include "runtime/modules.h"
 
 #include <cmath>
+#include <utility>
+
+#include "runtime/kernels.h"
+#include "runtime/pool.h"
 
 namespace dpipe::rt {
 
@@ -11,32 +15,55 @@ Linear::Linear(int in_features, int out_features, Rng& rng)
       grad_weight(Tensor::zeros({in_features, out_features})),
       grad_bias(Tensor::zeros({1, out_features})) {}
 
-Tensor Linear::forward(const Tensor& x) {
-  inputs_.push_back(x);
-  Tensor y = matmul(x, weight);
+Tensor Linear::forward(Tensor x) {
+  Tensor y = TensorPool::global().acquire({x.rows(), weight.cols()});
+  matmul_into(y, x, weight);
+  const int n = weight.cols();
   for (int i = 0; i < y.rows(); ++i) {
-    for (int j = 0; j < y.cols(); ++j) {
-      y.at(i, j) += bias.at(0, j);
+    float* row = y.data() + static_cast<std::ptrdiff_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      row[j] += bias.data()[j];
     }
   }
+  inputs_.push_back(std::move(x));
   return y;
 }
 
-Tensor Linear::backward(const Tensor& grad_out) {
+Tensor Linear::backward(Tensor grad_out) {
   DPIPE_ENSURE(!inputs_.empty(), "Linear::backward without stashed forward");
-  const Tensor x = std::move(inputs_.front());
+  Tensor x = std::move(inputs_.front());
   inputs_.pop_front();
-  grad_weight = add(grad_weight, matmul_tn(x, grad_out));
-  grad_bias = add(grad_bias, sum_rows(grad_out));
-  return matmul_nt(grad_out, weight);
+  TensorPool& pool = TensorPool::global();
+  // grad_weight += x^T grad_out, via a pooled scratch so the accumulation
+  // is a single add (same addition order as the old add(grad, matmul_tn)).
+  Tensor gw = pool.acquire(grad_weight.shape());
+  matmul_tn_into(gw, x, grad_out);
+  add_inplace(grad_weight, gw);
+  pool.release(std::move(gw));
+  Tensor gb = pool.acquire(grad_bias.shape());
+  sum_rows_into(gb, grad_out);
+  add_inplace(grad_bias, gb);
+  pool.release(std::move(gb));
+  Tensor grad_in = pool.acquire({grad_out.rows(), weight.rows()});
+  matmul_nt_into(grad_in, grad_out, weight);
+  pool.release(std::move(x));
+  pool.release(std::move(grad_out));
+  return grad_in;
 }
 
 std::vector<Tensor*> Linear::params() { return {&weight, &bias}; }
 std::vector<Tensor*> Linear::grads() { return {&grad_weight, &grad_bias}; }
 
 void Linear::zero_grad() {
-  grad_weight = Tensor::zeros(grad_weight.shape());
-  grad_bias = Tensor::zeros(grad_bias.shape());
+  fill(grad_weight, 0.0f);
+  fill(grad_bias, 0.0f);
+}
+
+void Linear::drop_context() {
+  if (!inputs_.empty()) {
+    TensorPool::global().release(std::move(inputs_.front()));
+    inputs_.pop_front();
+  }
 }
 
 namespace {
@@ -45,57 +72,66 @@ float sigmoid(float x) { return 1.0f / (1.0f + std::exp(-x)); }
 
 }  // namespace
 
-Tensor SiLU::forward(const Tensor& x) {
-  inputs_.push_back(x);
-  Tensor y(x.shape());
+Tensor SiLU::forward(Tensor x) {
+  Tensor y = TensorPool::global().acquire(x.shape());
   for (std::int64_t i = 0; i < x.numel(); ++i) {
     y.data()[i] = x.data()[i] * sigmoid(x.data()[i]);
   }
+  inputs_.push_back(std::move(x));
   return y;
 }
 
-Tensor SiLU::backward(const Tensor& grad_out) {
+Tensor SiLU::backward(Tensor grad_out) {
   DPIPE_ENSURE(!inputs_.empty(), "SiLU::backward without stashed forward");
-  const Tensor x = std::move(inputs_.front());
+  Tensor x = std::move(inputs_.front());
   inputs_.pop_front();
-  Tensor grad_in(x.shape());
+  TensorPool& pool = TensorPool::global();
+  Tensor grad_in = pool.acquire(x.shape());
   for (std::int64_t i = 0; i < x.numel(); ++i) {
     const float s = sigmoid(x.data()[i]);
     grad_in.data()[i] =
         grad_out.data()[i] * (s + x.data()[i] * s * (1.0f - s));
   }
+  pool.release(std::move(x));
+  pool.release(std::move(grad_out));
   return grad_in;
+}
+
+void SiLU::drop_context() {
+  if (!inputs_.empty()) {
+    TensorPool::global().release(std::move(inputs_.front()));
+    inputs_.pop_front();
+  }
 }
 
 void Sequential::push(std::unique_ptr<Module> module) {
   modules_.push_back(std::move(module));
 }
 
-Tensor Sequential::forward(const Tensor& x) {
-  return forward_range(x, 0, size());
+Tensor Sequential::forward(Tensor x) {
+  return forward_range(std::move(x), 0, size());
 }
 
-Tensor Sequential::backward(const Tensor& grad_out) {
-  return backward_range(grad_out, 0, size());
+Tensor Sequential::backward(Tensor grad_out) {
+  return backward_range(std::move(grad_out), 0, size());
 }
 
-Tensor Sequential::forward_range(const Tensor& x, int begin, int end) {
+Tensor Sequential::forward_range(Tensor x, int begin, int end) {
   DPIPE_REQUIRE(begin >= 0 && begin <= end && end <= size(),
           "module range out of bounds");
-  Tensor y = x;
+  Tensor y = std::move(x);
   for (int i = begin; i < end; ++i) {
-    y = modules_[i]->forward(y);
+    y = modules_[i]->forward(std::move(y));
   }
   return y;
 }
 
-Tensor Sequential::backward_range(const Tensor& grad_out, int begin,
-                                  int end) {
+Tensor Sequential::backward_range(Tensor grad_out, int begin, int end) {
   DPIPE_REQUIRE(begin >= 0 && begin <= end && end <= size(),
           "module range out of bounds");
-  Tensor g = grad_out;
+  Tensor g = std::move(grad_out);
   for (int i = end - 1; i >= begin; --i) {
-    g = modules_[i]->backward(g);
+    g = modules_[i]->backward(std::move(g));
   }
   return g;
 }
@@ -169,12 +205,17 @@ FrozenEncoder::FrozenEncoder(int in_features, int out_features, Rng& rng)
       b2_(Tensor::zeros({1, out_features})) {}
 
 Tensor FrozenEncoder::encode(const Tensor& x) const {
-  Tensor h = matmul(x, w1_);
+  TensorPool& pool = TensorPool::global();
+  Tensor h = pool.acquire({x.rows(), w1_.cols()});
+  matmul_into(h, x, w1_);
   for (std::int64_t i = 0; i < h.numel(); ++i) {
     const float v = h.data()[i];
     h.data()[i] = v * (1.0f / (1.0f + std::exp(-v)));
   }
-  return matmul(h, w2_);
+  Tensor out = pool.acquire({x.rows(), w2_.cols()});
+  matmul_into(out, h, w2_);
+  pool.release(std::move(h));
+  return out;
 }
 
 }  // namespace dpipe::rt

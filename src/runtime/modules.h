@@ -12,13 +12,18 @@ namespace dpipe::rt {
 /// stage backward-processes micro-batches in the same order it
 /// forward-processed them (Fig. 2); gradients accumulate across
 /// micro-batches until zero_grad().
+///
+/// forward/backward take their tensor by value: pipeline hot paths move
+/// activations through the chain (stash, channel, next layer) without
+/// copying, and consumed buffers are recycled into the TensorPool when the
+/// matching backward (or drop_context) retires them.
 class Module {
  public:
   virtual ~Module() = default;
 
-  [[nodiscard]] virtual Tensor forward(const Tensor& x) = 0;
+  [[nodiscard]] virtual Tensor forward(Tensor x) = 0;
   /// Returns dL/dx; accumulates dL/dW internally.
-  [[nodiscard]] virtual Tensor backward(const Tensor& grad_out) = 0;
+  [[nodiscard]] virtual Tensor backward(Tensor grad_out) = 0;
 
   [[nodiscard]] virtual std::vector<Tensor*> params() { return {}; }
   [[nodiscard]] virtual std::vector<Tensor*> grads() { return {}; }
@@ -35,19 +40,15 @@ class Linear : public Module {
  public:
   Linear(int in_features, int out_features, Rng& rng);
 
-  [[nodiscard]] Tensor forward(const Tensor& x) override;
-  [[nodiscard]] Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] Tensor forward(Tensor x) override;
+  [[nodiscard]] Tensor backward(Tensor grad_out) override;
   [[nodiscard]] std::vector<Tensor*> params() override;
   [[nodiscard]] std::vector<Tensor*> grads() override;
   void zero_grad() override;
   [[nodiscard]] int pending_contexts() const override {
     return static_cast<int>(inputs_.size());
   }
-  void drop_context() override {
-    if (!inputs_.empty()) {
-      inputs_.pop_front();
-    }
-  }
+  void drop_context() override;
 
   Tensor weight;  ///< [in, out]
   Tensor bias;    ///< [1, out]
@@ -61,16 +62,12 @@ class Linear : public Module {
 /// y = x * sigmoid(x).
 class SiLU : public Module {
  public:
-  [[nodiscard]] Tensor forward(const Tensor& x) override;
-  [[nodiscard]] Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] Tensor forward(Tensor x) override;
+  [[nodiscard]] Tensor backward(Tensor grad_out) override;
   [[nodiscard]] int pending_contexts() const override {
     return static_cast<int>(inputs_.size());
   }
-  void drop_context() override {
-    if (!inputs_.empty()) {
-      inputs_.pop_front();
-    }
-  }
+  void drop_context() override;
 
  private:
   std::deque<Tensor> inputs_;
@@ -83,11 +80,10 @@ class Sequential : public Module {
   Sequential() = default;
   void push(std::unique_ptr<Module> module);
 
-  [[nodiscard]] Tensor forward(const Tensor& x) override;
-  [[nodiscard]] Tensor backward(const Tensor& grad_out) override;
-  [[nodiscard]] Tensor forward_range(const Tensor& x, int begin, int end);
-  [[nodiscard]] Tensor backward_range(const Tensor& grad_out, int begin,
-                                      int end);
+  [[nodiscard]] Tensor forward(Tensor x) override;
+  [[nodiscard]] Tensor backward(Tensor grad_out) override;
+  [[nodiscard]] Tensor forward_range(Tensor x, int begin, int end);
+  [[nodiscard]] Tensor backward_range(Tensor grad_out, int begin, int end);
   [[nodiscard]] std::vector<Tensor*> params() override;
   [[nodiscard]] std::vector<Tensor*> grads() override;
   void zero_grad() override;

@@ -11,9 +11,9 @@ void Sgd::step(const std::vector<Tensor*>& params,
     Tensor& p = *params[i];
     const Tensor& g = *grads[i];
     DPIPE_REQUIRE(p.shape() == g.shape(), "param/grad shape mismatch");
-    for (std::int64_t j = 0; j < p.numel(); ++j) {
-      p.data()[j] -= lr_ * g.data()[j];
-    }
+    // p += (-lr) * g; IEEE sign symmetry makes this bit-identical to the
+    // historical p -= lr * g.
+    axpy_inplace(p, g, -lr_);
   }
 }
 
@@ -38,13 +38,16 @@ void Adam::step(const std::vector<Tensor*>& params,
   for (std::size_t i = 0; i < params.size(); ++i) {
     Tensor& p = *params[i];
     const Tensor& g = *grads[i];
+    float* pd = p.data();
+    const float* gd = g.data();
+    float* md = m_[i].data();
+    float* vd = v_[i].data();
     for (std::int64_t j = 0; j < p.numel(); ++j) {
-      m_[i].data()[j] = beta1_ * m_[i].data()[j] + (1 - beta1_) * g.data()[j];
-      v_[i].data()[j] =
-          beta2_ * v_[i].data()[j] + (1 - beta2_) * g.data()[j] * g.data()[j];
-      const float mhat = m_[i].data()[j] / bc1;
-      const float vhat = v_[i].data()[j] / bc2;
-      p.data()[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+      md[j] = beta1_ * md[j] + (1 - beta1_) * gd[j];
+      vd[j] = beta2_ * vd[j] + (1 - beta2_) * gd[j] * gd[j];
+      const float mhat = md[j] / bc1;
+      const float vhat = vd[j] / bc2;
+      pd[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
     }
   }
 }

@@ -115,7 +115,7 @@ PipelineTrainer::PipelineTrainer(const DdpmProblem& problem,
 }
 
 std::vector<Tensor> PipelineTrainer::forward_wave(
-    Replica& replica, const std::vector<Tensor>& micro_inputs) {
+    Replica& replica, std::vector<Tensor> micro_inputs) {
   const int S = config_.num_stages;
   const int M = static_cast<int>(micro_inputs.size());
   std::vector<Channel<Tensor>> act(S);  // act[s]: stage s -> s+1.
@@ -131,7 +131,7 @@ std::vector<Tensor> PipelineTrainer::forward_wave(
         for (int m = 0; m < M; ++m) {
           Tensor x;
           if (s == 0) {
-            x = micro_inputs[m];
+            x = std::move(micro_inputs[m]);
           } else {
             std::optional<Tensor> in = act[s - 1].pop();
             if (!in.has_value()) {
@@ -139,8 +139,9 @@ std::vector<Tensor> PipelineTrainer::forward_wave(
             }
             x = std::move(*in);
           }
-          Tensor y = replica.net->forward_range(x, replica.stage_begin[s],
-                                                replica.stage_begin[s + 1]);
+          Tensor y = replica.net->forward_range(
+              std::move(x), replica.stage_begin[s],
+              replica.stage_begin[s + 1]);
           if (s < S - 1) {
             act[s].push(std::move(y));
           } else {
@@ -158,7 +159,7 @@ std::vector<Tensor> PipelineTrainer::forward_wave(
 }
 
 double PipelineTrainer::train_wave(Replica& replica, int replica_index,
-                                   const std::vector<Tensor>& micro_inputs,
+                                   std::vector<Tensor> micro_inputs,
                                    const std::vector<Tensor>& micro_targets) {
   const int S = config_.num_stages;
   const int M = static_cast<int>(micro_inputs.size());
@@ -191,7 +192,7 @@ double PipelineTrainer::train_wave(Replica& replica, int replica_index,
             }
             Tensor x;
             if (s == 0) {
-              x = micro_inputs[m];
+              x = std::move(micro_inputs[m]);
             } else {
               std::optional<Tensor> in = act[s - 1].pop();
               if (!in.has_value()) {
@@ -199,8 +200,9 @@ double PipelineTrainer::train_wave(Replica& replica, int replica_index,
               }
               x = std::move(*in);
             }
-            Tensor y = replica.net->forward_range(x, replica.stage_begin[s],
-                                                  replica.stage_begin[s + 1]);
+            Tensor y = replica.net->forward_range(
+                std::move(x), replica.stage_begin[s],
+                replica.stage_begin[s + 1]);
             if (s < S - 1) {
               act[s].push(std::move(y));
             } else {
@@ -221,9 +223,12 @@ double PipelineTrainer::train_wave(Replica& replica, int replica_index,
               g = std::move(*in);
             }
             Tensor gi = replica.net->backward_range(
-                g, replica.stage_begin[s], replica.stage_begin[s + 1]);
+                std::move(g), replica.stage_begin[s],
+                replica.stage_begin[s + 1]);
             if (s > 0) {
               grad[s - 1].push(std::move(gi));
+            } else {
+              TensorPool::global().release(std::move(gi));
             }
           }
         }
@@ -231,10 +236,14 @@ double PipelineTrainer::train_wave(Replica& replica, int replica_index,
       abort_wave);
   double sse = 0.0;
   for (int m = 0; m < M; ++m) {
-    const Tensor diff = sub(preds[m], micro_targets[m]);
-    for (std::int64_t i = 0; i < diff.numel(); ++i) {
-      sse += static_cast<double>(diff.data()[i]) * diff.data()[i];
+    const Tensor& p = preds[m];
+    const Tensor& t = micro_targets[m];
+    DPIPE_ENSURE(p.shape() == t.shape(), "pred/target shape mismatch");
+    for (std::int64_t i = 0; i < p.numel(); ++i) {
+      const float d = p.data()[i] - t.data()[i];
+      sse += static_cast<double>(d) * d;
     }
+    TensorPool::global().release(std::move(preds[m]));
   }
   return sse;  // Caller normalizes over the global batch.
 }
@@ -264,6 +273,7 @@ void PipelineTrainer::train_one_iteration() {
   }
 
   const bool sc_active = problem_->self_cond_active(iteration_);
+  TensorPool& pool = TensorPool::global();
   double sse = 0.0;
   for (int g = 0; g < G; ++g) {
     const int lo = g * per_replica;
@@ -282,13 +292,14 @@ void PipelineTrainer::train_one_iteration() {
             micro, cond_shard.slice_rows(m * per_micro, (m + 1) * per_micro),
             nullptr));
       }
-      const std::vector<Tensor> outputs =
-          forward_wave(replicas_[g], sc_inputs);
-      Tensor stacked;
-      for (const Tensor& out : outputs) {
-        stacked = concat_rows(stacked, out);
+      std::vector<Tensor> outputs =
+          forward_wave(replicas_[g], std::move(sc_inputs));
+      sc_pred = pool.acquire({per_replica, problem_->config().data_dim});
+      float* dst = sc_pred.data();
+      for (Tensor& out : outputs) {
+        dst = std::copy(out.data(), out.data() + out.numel(), dst);
+        pool.release(std::move(out));
       }
-      sc_pred = std::move(stacked);
     }
 
     std::vector<Tensor> inputs;
@@ -296,15 +307,18 @@ void PipelineTrainer::train_one_iteration() {
     for (int m = 0; m < M; ++m) {
       const int mlo = m * per_micro;
       const int mhi = (m + 1) * per_micro;
-      const DdpmProblem::Batch micro = slice_batch(shard, mlo, mhi);
+      DdpmProblem::Batch micro = slice_batch(shard, mlo, mhi);
       const Tensor micro_sc =
           sc_active ? sc_pred.slice_rows(mlo, mhi) : Tensor();
       inputs.push_back(problem_->make_input(
           micro, cond_shard.slice_rows(mlo, mhi),
           sc_active ? &micro_sc : nullptr));
-      targets.push_back(micro.noise);
+      targets.push_back(std::move(micro.noise));
     }
-    sse += train_wave(replicas_[g], g, inputs, targets);
+    if (sc_active) {
+      pool.release(std::move(sc_pred));
+    }
+    sse += train_wave(replicas_[g], g, std::move(inputs), targets);
   }
   losses_.push_back(sse /
                     (static_cast<double>(B) * problem_->config().data_dim));
@@ -316,15 +330,18 @@ void PipelineTrainer::train_one_iteration() {
     grads.push_back(r.net->grads());
   }
   for (std::size_t i = 0; i < grads[0].size(); ++i) {
-    Tensor avg = *grads[0][i];
+    Tensor avg = pool.acquire(grads[0][i]->shape());
+    std::copy(grads[0][i]->data(), grads[0][i]->data() + avg.numel(),
+              avg.data());
     for (int g = 1; g < G; ++g) {
-      avg = add(avg, *grads[g][i]);
+      add_inplace(avg, *grads[g][i]);
     }
     // Micro gradients were normalized by the global batch already, so the
     // replica sum IS the full-batch gradient: no division needed.
     for (int g = 0; g < G; ++g) {
-      *grads[g][i] = avg;
+      std::copy(avg.data(), avg.data() + avg.numel(), grads[g][i]->data());
     }
+    pool.release(std::move(avg));
   }
   for (Replica& r : replicas_) {
     if (r.adam != nullptr) {

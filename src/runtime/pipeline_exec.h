@@ -9,6 +9,7 @@
 
 #include "runtime/ddpm.h"
 #include "runtime/optim.h"
+#include "runtime/pool.h"
 
 namespace dpipe::rt {
 
@@ -164,6 +165,11 @@ class PipelineTrainer {
   /// Parameters of replica 0 (all replicas stay identical).
   [[nodiscard]] std::vector<Tensor> snapshot_params() const;
   [[nodiscard]] const std::vector<double>& losses() const { return losses_; }
+  /// Allocation-recycling stats of the process-wide TensorPool the trainer
+  /// runs on (allocs avoided, peak bytes; see runtime/pool.h).
+  [[nodiscard]] TensorPool::Stats pool_stats() const {
+    return TensorPool::global().stats();
+  }
   /// Largest max-abs parameter divergence observed between replicas after
   /// any optimizer step (should be exactly 0).
   [[nodiscard]] float replica_divergence() const {
@@ -178,13 +184,14 @@ class PipelineTrainer {
   };
   void train_one_iteration();
   /// Runs one forward-only wave, returning the last stage's per-micro
-  /// outputs; contexts are dropped (no-grad pass).
+  /// outputs; contexts are dropped (no-grad pass). Takes the inputs by
+  /// value: stage 0 moves each micro-batch into the pipeline.
   [[nodiscard]] std::vector<Tensor> forward_wave(
-      Replica& replica, const std::vector<Tensor>& micro_inputs);
+      Replica& replica, std::vector<Tensor> micro_inputs);
   /// Runs the 1F1B forward+backward wave; returns summed micro losses.
   /// `replica_index` routes the fault-injection check.
   double train_wave(Replica& replica, int replica_index,
-                    const std::vector<Tensor>& micro_inputs,
+                    std::vector<Tensor> micro_inputs,
                     const std::vector<Tensor>& micro_targets);
   /// Drops stashed micro-batch contexts and accumulated gradients on every
   /// replica — the cleanup step after an aborted wave or before a restore.

@@ -1,0 +1,84 @@
+#include "runtime/pool.h"
+
+#include <utility>
+
+namespace dpipe::rt {
+
+namespace {
+
+std::int64_t checked_numel(const std::vector<int>& shape) {
+  std::int64_t n = 1;
+  for (const int d : shape) {
+    DPIPE_REQUIRE(d >= 0, "tensor dimensions must be non-negative");
+    n *= d;
+  }
+  return n;
+}
+
+}  // namespace
+
+Tensor TensorPool::acquire(std::vector<int> shape) {
+  const std::int64_t n = checked_numel(shape);
+  std::vector<float> storage;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto it = free_.find(n);
+    if (it != free_.end() && !it->second.empty()) {
+      storage = std::move(it->second.back());
+      it->second.pop_back();
+      ++stats_.allocs_avoided;
+      stats_.bytes_free -= n * sizeof(float);
+    } else {
+      ++stats_.allocs_fresh;
+    }
+    bytes_outstanding_ += static_cast<std::uint64_t>(n) * sizeof(float);
+    stats_.peak_bytes =
+        std::max(stats_.peak_bytes, bytes_outstanding_ + stats_.bytes_free);
+  }
+  if (storage.empty() && n > 0) {
+    storage.resize(static_cast<std::size_t>(n));
+  }
+  return Tensor::from_storage(std::move(shape), std::move(storage));
+}
+
+void TensorPool::release(Tensor&& t) {
+  if (!t.defined() || t.numel() == 0) {
+    return;
+  }
+  const std::int64_t n = t.numel();
+  std::vector<float> storage = std::move(t).release_storage();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.released;
+  stats_.bytes_free += static_cast<std::uint64_t>(n) * sizeof(float);
+  const std::uint64_t bytes = static_cast<std::uint64_t>(n) * sizeof(float);
+  bytes_outstanding_ -= std::min(bytes_outstanding_, bytes);
+  stats_.peak_bytes =
+      std::max(stats_.peak_bytes, bytes_outstanding_ + stats_.bytes_free);
+  free_[n].push_back(std::move(storage));
+}
+
+TensorPool::Stats TensorPool::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void TensorPool::reset_stats() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t bytes_free = stats_.bytes_free;
+  stats_ = Stats{};
+  stats_.bytes_free = bytes_free;
+  bytes_outstanding_ = 0;
+}
+
+void TensorPool::trim() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  free_.clear();
+  stats_.bytes_free = 0;
+}
+
+TensorPool& TensorPool::global() {
+  static TensorPool instance;
+  return instance;
+}
+
+}  // namespace dpipe::rt

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/tensor.h"
+
+namespace dpipe::rt {
+
+/// Recycling arena for tensor storage. The training runtime's working set
+/// is a small number of fixed shapes repeated every micro-batch and
+/// iteration (activations, gradients, stashed inputs), so a free list
+/// keyed by element count turns almost every allocation after the first
+/// iteration into a pop.
+///
+/// acquire() returns a tensor whose *contents are unspecified* — callers
+/// must fully overwrite it (every kernel and fused loop in the runtime
+/// does). release() donates a tensor's storage back; tensors that are
+/// simply destroyed instead are freed normally, so forgetting a release is
+/// a missed optimization, never a bug.
+///
+/// Thread-safe: pipeline stage threads acquire/release concurrently.
+class TensorPool {
+ public:
+  struct Stats {
+    std::uint64_t allocs_avoided = 0;  ///< acquire() served from free list.
+    std::uint64_t allocs_fresh = 0;    ///< acquire() hit the allocator.
+    std::uint64_t released = 0;        ///< Buffers donated back.
+    std::uint64_t bytes_free = 0;      ///< Currently parked in free lists.
+    /// Peak of (outstanding acquired bytes + free-list bytes). Outstanding
+    /// is decremented on release, so buffers that die without a release
+    /// stay counted — treat this as an upper bound on pool-managed memory.
+    std::uint64_t peak_bytes = 0;
+  };
+
+  /// A tensor of `shape` with unspecified contents (recycled when a buffer
+  /// of the exact element count is free, freshly allocated otherwise).
+  [[nodiscard]] Tensor acquire(std::vector<int> shape);
+
+  /// Donates `t`'s storage to the free list. Undefined/empty tensors are
+  /// ignored.
+  void release(Tensor&& t);
+
+  [[nodiscard]] Stats stats() const;
+  void reset_stats();
+
+  /// Frees every parked buffer (stats keep their counters).
+  void trim();
+
+  /// The process-wide pool used by the runtime's hot paths.
+  [[nodiscard]] static TensorPool& global();
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::int64_t, std::vector<std::vector<float>>> free_;
+  Stats stats_;
+  std::uint64_t bytes_outstanding_ = 0;
+};
+
+}  // namespace dpipe::rt

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "runtime/kernels.h"
+
 namespace dpipe::rt {
 
 namespace {
@@ -31,9 +33,25 @@ Tensor Tensor::zeros(std::vector<int> shape) {
 }
 
 Tensor Tensor::full(std::vector<int> shape, float value) {
-  Tensor t(std::move(shape));
-  std::fill(t.data_.begin(), t.data_.end(), value);
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.data_.assign(static_cast<std::size_t>(shape_numel(t.shape_)), value);
   return t;
+}
+
+Tensor Tensor::from_storage(std::vector<int> shape,
+                            std::vector<float> storage) {
+  const std::int64_t n = shape_numel(shape);
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.data_ = std::move(storage);
+  t.data_.resize(static_cast<std::size_t>(n));
+  return t;
+}
+
+std::vector<float> Tensor::release_storage() && {
+  shape_.clear();
+  return std::move(data_);
 }
 
 float& Tensor::at(int r, int c) {
@@ -97,9 +115,7 @@ Tensor add(const Tensor& a, const Tensor& b) {
 Tensor sub(const Tensor& a, const Tensor& b) {
   check_same_shape(a, b);
   Tensor out(a.shape());
-  for (std::int64_t i = 0; i < a.numel(); ++i) {
-    out.data()[i] = a.data()[i] - b.data()[i];
-  }
+  sub_into(out, a, b);
   return out;
 }
 
@@ -121,64 +137,34 @@ Tensor scale(const Tensor& a, float s) {
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
-  DPIPE_REQUIRE(a.cols() == b.rows(), "matmul inner dimension mismatch");
   Tensor out({a.rows(), b.cols()});
-  for (int i = 0; i < a.rows(); ++i) {
-    for (int k = 0; k < a.cols(); ++k) {
-      const float av = a.at(i, k);
-      if (av == 0.0f) {
-        continue;
-      }
-      for (int j = 0; j < b.cols(); ++j) {
-        out.at(i, j) += av * b.at(k, j);
-      }
-    }
-  }
+  matmul_into(out, a, b);
   return out;
 }
 
 Tensor matmul_tn(const Tensor& a, const Tensor& b) {
-  DPIPE_REQUIRE(a.rows() == b.rows(), "matmul_tn outer dimension mismatch");
   Tensor out({a.cols(), b.cols()});
-  for (int m = 0; m < a.rows(); ++m) {
-    for (int i = 0; i < a.cols(); ++i) {
-      const float av = a.at(m, i);
-      if (av == 0.0f) {
-        continue;
-      }
-      for (int j = 0; j < b.cols(); ++j) {
-        out.at(i, j) += av * b.at(m, j);
-      }
-    }
-  }
+  matmul_tn_into(out, a, b);
   return out;
 }
 
 Tensor matmul_nt(const Tensor& a, const Tensor& b) {
-  DPIPE_REQUIRE(a.cols() == b.cols(), "matmul_nt inner dimension mismatch");
   Tensor out({a.rows(), b.rows()});
-  for (int i = 0; i < a.rows(); ++i) {
-    for (int j = 0; j < b.rows(); ++j) {
-      float acc = 0.0f;
-      for (int k = 0; k < a.cols(); ++k) {
-        acc += a.at(i, k) * b.at(j, k);
-      }
-      out.at(i, j) = acc;
-    }
-  }
+  matmul_nt_into(out, a, b);
   return out;
 }
 
 Tensor concat_cols(const Tensor& a, const Tensor& b) {
   DPIPE_REQUIRE(a.rows() == b.rows(), "concat_cols row mismatch");
   Tensor out({a.rows(), a.cols() + b.cols()});
+  const int ac = a.cols();
+  const int bc = b.cols();
   for (int i = 0; i < a.rows(); ++i) {
-    for (int j = 0; j < a.cols(); ++j) {
-      out.at(i, j) = a.at(i, j);
-    }
-    for (int j = 0; j < b.cols(); ++j) {
-      out.at(i, a.cols() + j) = b.at(i, j);
-    }
+    float* row = out.data() + static_cast<std::ptrdiff_t>(i) * (ac + bc);
+    std::copy(a.data() + static_cast<std::ptrdiff_t>(i) * ac,
+              a.data() + static_cast<std::ptrdiff_t>(i + 1) * ac, row);
+    std::copy(b.data() + static_cast<std::ptrdiff_t>(i) * bc,
+              b.data() + static_cast<std::ptrdiff_t>(i + 1) * bc, row + ac);
   }
   return out;
 }
@@ -189,26 +175,14 @@ Tensor concat_rows(const Tensor& a, const Tensor& b) {
   }
   DPIPE_REQUIRE(a.cols() == b.cols(), "concat_rows column mismatch");
   Tensor out({a.rows() + b.rows(), a.cols()});
-  for (int i = 0; i < a.rows(); ++i) {
-    for (int j = 0; j < a.cols(); ++j) {
-      out.at(i, j) = a.at(i, j);
-    }
-  }
-  for (int i = 0; i < b.rows(); ++i) {
-    for (int j = 0; j < b.cols(); ++j) {
-      out.at(a.rows() + i, j) = b.at(i, j);
-    }
-  }
+  std::copy(a.data(), a.data() + a.numel(), out.data());
+  std::copy(b.data(), b.data() + b.numel(), out.data() + a.numel());
   return out;
 }
 
 Tensor sum_rows(const Tensor& a) {
   Tensor out({1, a.cols()});
-  for (int i = 0; i < a.rows(); ++i) {
-    for (int j = 0; j < a.cols(); ++j) {
-      out.at(0, j) += a.at(i, j);
-    }
-  }
+  sum_rows_into(out, a);
   return out;
 }
 
@@ -219,6 +193,51 @@ float max_abs_diff(const Tensor& a, const Tensor& b) {
     worst = std::max(worst, std::abs(a.data()[i] - b.data()[i]));
   }
   return worst;
+}
+
+void add_inplace(Tensor& a, const Tensor& b) {
+  check_same_shape(a, b);
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    a.data()[i] += b.data()[i];
+  }
+}
+
+void sub_into(Tensor& out, const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b);
+  DPIPE_REQUIRE(out.shape() == a.shape(), "sub_into output shape mismatch");
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    out.data()[i] = a.data()[i] - b.data()[i];
+  }
+}
+
+void scale_inplace(Tensor& a, float s) {
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    a.data()[i] *= s;
+  }
+}
+
+void axpy_inplace(Tensor& y, const Tensor& x, float alpha) {
+  check_same_shape(y, x);
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    y.data()[i] += alpha * x.data()[i];
+  }
+}
+
+void sum_rows_into(Tensor& out, const Tensor& a) {
+  DPIPE_REQUIRE(out.rows() == 1 && out.cols() == a.cols(),
+                "sum_rows_into output shape mismatch");
+  std::fill(out.data(), out.data() + out.numel(), 0.0f);
+  const int n = a.cols();
+  for (int i = 0; i < a.rows(); ++i) {
+    const float* row = a.data() + static_cast<std::ptrdiff_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      out.data()[j] += row[j];
+    }
+  }
+}
+
+void fill(Tensor& t, float value) {
+  std::fill(t.data(), t.data() + t.numel(), value);
 }
 
 }  // namespace dpipe::rt

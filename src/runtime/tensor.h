@@ -8,9 +8,10 @@
 namespace dpipe::rt {
 
 /// Minimal dense float tensor (row-major, rank <= 2 in practice) backing the
-/// functional mini-training runtime. The runtime exists to validate the
-/// *mathematical equivalence* claims of cross-iteration pipelining (§3.2)
-/// with real numbers, not to be fast.
+/// functional mini-training runtime. Hot paths use the out-parameter kernels
+/// (runtime/kernels.h) and recycled storage (runtime/pool.h); the
+/// value-returning helpers below remain as thin wrappers for tests and cold
+/// paths.
 class Tensor {
  public:
   Tensor() = default;
@@ -18,6 +19,14 @@ class Tensor {
 
   [[nodiscard]] static Tensor zeros(std::vector<int> shape);
   [[nodiscard]] static Tensor full(std::vector<int> shape, float value);
+
+  /// Wraps recycled storage (TensorPool's hook): the buffer is resized to
+  /// the shape's element count; any recycled contents are preserved, so the
+  /// result must be fully overwritten before use.
+  [[nodiscard]] static Tensor from_storage(std::vector<int> shape,
+                                           std::vector<float> storage);
+  /// Extracts the storage buffer, leaving the tensor undefined.
+  [[nodiscard]] std::vector<float> release_storage() &&;
 
   [[nodiscard]] const std::vector<int>& shape() const { return shape_; }
   [[nodiscard]] std::int64_t numel() const {
@@ -42,10 +51,13 @@ class Tensor {
   std::vector<float> data_;
 };
 
-/// Deterministic xorshift-based normal sampler (Box-Muller).
+/// Deterministic xorshift64-based normal sampler (Box-Muller). A zero seed
+/// is remapped in the constructor: xorshift's only fixed point is 0, so a
+/// zero state would lock the generator into an all-zero stream forever.
 class Rng {
  public:
-  explicit Rng(std::uint64_t seed) : state_(seed ? seed : 1) {}
+  explicit Rng(std::uint64_t seed)
+      : state_(seed != 0 ? seed : 0x9E3779B97F4A7C15ull) {}
   [[nodiscard]] float uniform();        ///< [0, 1)
   [[nodiscard]] float normal();         ///< N(0, 1)
   [[nodiscard]] std::uint64_t next_u64();
@@ -74,5 +86,14 @@ class Rng {
 [[nodiscard]] Tensor sum_rows(const Tensor& a);
 /// max |a - b| over all elements.
 [[nodiscard]] float max_abs_diff(const Tensor& a, const Tensor& b);
+
+// In-place / out-parameter variants used by the hot paths (all fully
+// overwrite or accumulate into existing storage — no allocation).
+void add_inplace(Tensor& a, const Tensor& b);    ///< a += b
+void sub_into(Tensor& out, const Tensor& a, const Tensor& b);
+void scale_inplace(Tensor& a, float s);          ///< a *= s
+void axpy_inplace(Tensor& y, const Tensor& x, float alpha);  ///< y += a*x
+void sum_rows_into(Tensor& out, const Tensor& a);
+void fill(Tensor& t, float value);
 
 }  // namespace dpipe::rt

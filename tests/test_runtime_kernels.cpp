@@ -1,0 +1,303 @@
+// Kernel substrate tests: bit-exact parity between the naive, blocked, and
+// blocked+parallel matmul paths; TensorPool recycling; the Rng zero-seed
+// regression; and end-to-end training-trajectory bit-identity across kernel
+// modes and thread counts (the determinism contract in DESIGN.md §8).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "runtime/dp_trainer.h"
+#include "runtime/kernels.h"
+#include "runtime/pipeline_exec.h"
+#include "runtime/pool.h"
+
+namespace dpipe::rt {
+namespace {
+
+/// Restores the process-wide kernel mode and pool width on scope exit so a
+/// test cannot leak its overrides into suites that assume the defaults.
+struct KernelStateGuard {
+  KernelMode mode = kernel_mode();
+  ~KernelStateGuard() {
+    set_kernel_mode(mode);
+    set_kernel_threads(0);
+  }
+};
+
+void expect_bit_equal(const Tensor& a, const Tensor& b) {
+  ASSERT_EQ(a.shape(), b.shape());
+  if (a.numel() == 0) {
+    return;
+  }
+  ASSERT_EQ(std::memcmp(a.data(), b.data(),
+                        static_cast<std::size_t>(a.numel()) * sizeof(float)),
+            0);
+}
+
+/// Runs all three transpose variants at (m, k, n) under every kernel mode
+/// and pool width and requires bit-identical results. Covers the contract
+/// that blocking and parallel fan-out reorder memory traffic only.
+void check_parity(int m, int k, int n) {
+  SCOPED_TRACE(::testing::Message()
+               << "m=" << m << " k=" << k << " n=" << n);
+  Rng rng(static_cast<std::uint64_t>(m) * 7919 +
+          static_cast<std::uint64_t>(k) * 131 + n + 1);
+  const Tensor a = rng.randn({m, k});
+  const Tensor b_nn = rng.randn({k, n});
+  const Tensor b_tn = rng.randn({m, n});  // a^T b : [m,k]^T [m,n] -> [k,n]
+  const Tensor b_nt = rng.randn({n, k});  // a b^T : [m,k] [n,k]^T -> [m,n]
+
+  Tensor ref_nn({m, n});
+  Tensor ref_tn({k, n});
+  Tensor ref_nt({m, n});
+  matmul_into(ref_nn, a, b_nn, KernelMode::kNaive);
+  matmul_tn_into(ref_tn, a, b_tn, KernelMode::kNaive);
+  matmul_nt_into(ref_nt, a, b_nt, KernelMode::kNaive);
+
+  for (const int threads : {1, 4, 0}) {  // 0 = DPIPE_THREADS / hardware.
+    SCOPED_TRACE(::testing::Message() << "threads=" << threads);
+    set_kernel_threads(threads);
+    for (const KernelMode mode :
+         {KernelMode::kBlocked, KernelMode::kBlockedParallel}) {
+      Tensor out_nn({m, n});
+      Tensor out_tn({k, n});
+      Tensor out_nt({m, n});
+      matmul_into(out_nn, a, b_nn, mode);
+      matmul_tn_into(out_tn, a, b_tn, mode);
+      matmul_nt_into(out_nt, a, b_nt, mode);
+      expect_bit_equal(ref_nn, out_nn);
+      expect_bit_equal(ref_tn, out_tn);
+      expect_bit_equal(ref_nt, out_nt);
+    }
+  }
+}
+
+TEST(Kernels, ParityAcrossModesAndThreadCounts) {
+  KernelStateGuard guard;
+  // Square, rectangular, tile-boundary straddling, and panel-crossing
+  // shapes (kRowBlock=64, kKc=64, kNc=256), plus one past the parallel
+  // flop threshold so kBlockedParallel actually fans out.
+  check_parity(1, 1, 1);
+  check_parity(2, 3, 4);
+  check_parity(64, 64, 64);
+  check_parity(65, 67, 63);
+  check_parity(33, 130, 70);
+  check_parity(3, 300, 5);
+  check_parity(17, 64, 257);
+  check_parity(128, 128, 128);
+}
+
+TEST(Kernels, DegenerateAndEmptyShapes) {
+  KernelStateGuard guard;
+  check_parity(0, 4, 5);
+  check_parity(4, 0, 5);  // k = 0: output must still be zeroed.
+  check_parity(4, 5, 0);
+  check_parity(1, 512, 1);
+  check_parity(512, 1, 1);
+}
+
+TEST(Kernels, EmptyInnerDimensionZeroesStaleOutput) {
+  KernelStateGuard guard;
+  const Tensor a = Tensor::zeros({3, 0});
+  const Tensor b = Tensor::zeros({0, 2});
+  for (const KernelMode mode :
+       {KernelMode::kNaive, KernelMode::kBlocked,
+        KernelMode::kBlockedParallel}) {
+    Tensor out = Tensor::full({3, 2}, 42.0f);  // Stale contents.
+    matmul_into(out, a, b, mode);
+    for (std::int64_t i = 0; i < out.numel(); ++i) {
+      EXPECT_EQ(out.data()[i], 0.0f);
+    }
+  }
+}
+
+TEST(Kernels, ValueReturningWrappersMatchIntoForms) {
+  KernelStateGuard guard;
+  Rng rng(11);
+  const Tensor a = rng.randn({9, 33});
+  const Tensor b = rng.randn({33, 17});
+  Tensor expected({9, 17});
+  matmul_into(expected, a, b, KernelMode::kNaive);
+  for (const KernelMode mode :
+       {KernelMode::kNaive, KernelMode::kBlocked,
+        KernelMode::kBlockedParallel}) {
+    set_kernel_mode(mode);
+    expect_bit_equal(expected, matmul(a, b));
+  }
+}
+
+TEST(Kernels, RejectsBadOutputShapeAndAliasing) {
+  Rng rng(13);
+  const Tensor a = rng.randn({4, 6});
+  const Tensor b = rng.randn({6, 5});
+  Tensor wrong({4, 4});
+  EXPECT_THROW(matmul_into(wrong, a, b), std::invalid_argument);
+  Tensor alias = rng.randn({4, 6});
+  EXPECT_THROW(matmul_into(alias, alias, b), std::invalid_argument);
+}
+
+TEST(RngSeed, ZeroSeedDoesNotLockUp) {
+  // xorshift64 has a fixed point at state 0: seeding with 0 used to yield
+  // an all-zero stream forever. The constructor must remap seed 0.
+  Rng rng(0);
+  std::uint64_t prev = rng.next_u64();
+  EXPECT_NE(prev, 0u);
+  int distinct = 0;
+  for (int i = 0; i < 16; ++i) {
+    const std::uint64_t next = rng.next_u64();
+    if (next != prev) {
+      ++distinct;
+    }
+    prev = next;
+  }
+  EXPECT_EQ(distinct, 16);
+  // And the remapped stream must not collide with a small nonzero seed.
+  Rng one(1);
+  Rng zero(0);
+  EXPECT_NE(zero.next_u64(), one.next_u64());
+}
+
+TEST(TensorPool, RecyclesExactSizeBuffers) {
+  TensorPool pool;
+  Tensor t = pool.acquire({4, 8});
+  const float* storage = t.data();
+  EXPECT_EQ(pool.stats().allocs_fresh, 1u);
+  pool.release(std::move(t));
+  EXPECT_EQ(pool.stats().released, 1u);
+  EXPECT_EQ(pool.stats().bytes_free, 4u * 8u * sizeof(float));
+  // Same element count, different shape: the bucket is keyed by numel.
+  Tensor u = pool.acquire({8, 4});
+  EXPECT_EQ(u.data(), storage);
+  EXPECT_EQ(u.rows(), 8);
+  EXPECT_EQ(u.cols(), 4);
+  EXPECT_EQ(pool.stats().allocs_avoided, 1u);
+  EXPECT_EQ(pool.stats().bytes_free, 0u);
+}
+
+TEST(TensorPool, TracksPeakAndTrims) {
+  TensorPool pool;
+  Tensor a = pool.acquire({16, 16});
+  Tensor b = pool.acquire({16, 16});
+  const std::uint64_t both = 2u * 16u * 16u * sizeof(float);
+  EXPECT_GE(pool.stats().peak_bytes, both);
+  pool.release(std::move(a));
+  pool.release(std::move(b));
+  EXPECT_EQ(pool.stats().bytes_free, both);
+  pool.trim();
+  EXPECT_EQ(pool.stats().bytes_free, 0u);
+  // A miss after trim allocates fresh again.
+  (void)pool.acquire({16, 16});
+  EXPECT_EQ(pool.stats().allocs_fresh, 3u);
+}
+
+TEST(TensorPool, EmptyTensorsAreIgnored) {
+  TensorPool pool;
+  pool.release(Tensor{});
+  EXPECT_EQ(pool.stats().released, 0u);
+  const Tensor e = pool.acquire({0, 5});
+  EXPECT_EQ(e.numel(), 0);
+}
+
+// --- Training-trajectory bit-identity across the substrate ------------------
+
+struct TrajectoryRun {
+  std::vector<double> losses;
+  std::vector<Tensor> params;
+};
+
+float params_diff(const std::vector<Tensor>& a,
+                  const std::vector<Tensor>& b) {
+  EXPECT_EQ(a.size(), b.size());
+  float worst = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, max_abs_diff(a[i], b[i]));
+  }
+  return worst;
+}
+
+/// Full-feature pipeline run (self-conditioning, cross-iteration frozen
+/// part, data parallelism) under an explicit kernel mode and pool width.
+TrajectoryRun run_pipeline(KernelMode mode, int threads, bool use_adam) {
+  set_kernel_mode(mode);
+  set_kernel_threads(threads);
+  DdpmConfig dc;
+  dc.self_conditioning = true;
+  dc.self_cond_prob = 0.5;
+  const DdpmProblem problem(dc);
+  PipelineRtConfig cfg;
+  cfg.num_stages = 3;
+  cfg.num_microbatches = 4;
+  cfg.data_parallel_degree = 2;
+  cfg.global_batch = 32;
+  cfg.lr = use_adam ? 0.01f : 0.2f;
+  cfg.use_adam = use_adam;
+  cfg.cross_iteration = true;
+  PipelineTrainer trainer(problem, cfg);
+  trainer.train(8);
+  return {trainer.losses(), trainer.snapshot_params()};
+}
+
+void expect_same_trajectory(const TrajectoryRun& a, const TrajectoryRun& b) {
+  ASSERT_EQ(a.losses.size(), b.losses.size());
+  for (std::size_t i = 0; i < a.losses.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.losses[i], b.losses[i]) << "iteration " << i;
+  }
+  EXPECT_EQ(params_diff(a.params, b.params), 0.0f);
+}
+
+TEST(Trajectory, SgdBitExactAcrossModesAndThreadCounts) {
+  KernelStateGuard guard;
+  const TrajectoryRun naive = run_pipeline(KernelMode::kNaive, 1, false);
+  expect_same_trajectory(naive,
+                         run_pipeline(KernelMode::kBlocked, 1, false));
+  expect_same_trajectory(
+      naive, run_pipeline(KernelMode::kBlockedParallel, 1, false));
+  expect_same_trajectory(
+      naive, run_pipeline(KernelMode::kBlockedParallel, 4, false));
+}
+
+TEST(Trajectory, AdamBitExactAcrossModesAndThreadCounts) {
+  KernelStateGuard guard;
+  const TrajectoryRun naive = run_pipeline(KernelMode::kNaive, 1, true);
+  expect_same_trajectory(naive,
+                         run_pipeline(KernelMode::kBlocked, 1, true));
+  expect_same_trajectory(
+      naive, run_pipeline(KernelMode::kBlockedParallel, 4, true));
+}
+
+TEST(Trajectory, ReferenceTrainerBitExactAcrossModes) {
+  KernelStateGuard guard;
+  const DdpmProblem problem(DdpmConfig{});
+  auto run = [&](KernelMode mode) {
+    set_kernel_mode(mode);
+    ReferenceTrainer trainer(problem, 16, 0.1f);
+    trainer.train(10);
+    return TrajectoryRun{trainer.losses(), trainer.snapshot_params()};
+  };
+  const TrajectoryRun naive = run(KernelMode::kNaive);
+  expect_same_trajectory(naive, run(KernelMode::kBlocked));
+  expect_same_trajectory(naive, run(KernelMode::kBlockedParallel));
+}
+
+TEST(Trajectory, TrainerSurfacesPoolStats) {
+  KernelStateGuard guard;
+  const DdpmProblem problem(DdpmConfig{});
+  PipelineRtConfig cfg;
+  cfg.num_stages = 2;
+  cfg.num_microbatches = 4;
+  cfg.global_batch = 16;
+  PipelineTrainer trainer(problem, cfg);
+  const std::uint64_t avoided_before =
+      trainer.pool_stats().allocs_avoided;
+  trainer.train(4);
+  const TensorPool::Stats after = trainer.pool_stats();
+  // After the first iteration the working set is warm: later iterations
+  // must be served from the free lists.
+  EXPECT_GT(after.allocs_avoided, avoided_before);
+  EXPECT_GT(after.peak_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace dpipe::rt

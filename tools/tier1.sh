@@ -2,8 +2,9 @@
 # Tier-1 verification: the standard build + full test suite, then a
 # ThreadSanitizer build running the concurrency-sensitive runtime and fault
 # tests (thread-per-stage pipeline trainer, channel shutdown, checkpoint
-# recovery) plus the parallel planner-search determinism tests. Run from
-# the repository root.
+# recovery) plus the parallel planner-search determinism tests and the
+# kernel/pool substrate tests (row-block fan-out, concurrent TensorPool).
+# Run from the repository root.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -17,6 +18,6 @@ echo "== tier-1: ThreadSanitizer build (runtime + fault tests) =="
 cmake -B build-tsan -S . -DDPIPE_SANITIZE=thread
 cmake --build build-tsan -j"$(nproc)" --target dpipe_tests
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/dpipe_tests \
-  --gtest_filter='Channel.*:PipelineTrainer.*:Equivalence.*:Fault.*:ParallelFor.*:PlannerSearch.*'
+  --gtest_filter='Channel.*:PipelineTrainer.*:Equivalence.*:Fault.*:ParallelFor.*:PlannerSearch.*:Kernels.*:TensorPool.*:Trajectory.*:RngSeed.*'
 
 echo "tier-1 OK"
