@@ -1,0 +1,80 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/instr/instructions.h"
+
+namespace dpipe {
+
+/// One well-formedness violation, anchored to the device whose stream (or
+/// pairing) is broken. device < 0 marks program-global issues.
+struct ValidationIssue {
+  int device = -1;
+  std::string message;
+};
+
+struct ValidationReport {
+  std::vector<ValidationIssue> issues;
+
+  [[nodiscard]] bool ok() const { return issues.empty(); }
+  /// All issues, one per line ("device <d>: <message>").
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Static well-formedness checker for InstructionPrograms — the contract a
+/// back-end (simulated or real) may assume before replaying a stream.
+/// Model-free: everything is checked against the program itself.
+///
+/// Invariants (see DESIGN.md §9):
+///  - shape/field sanity: stream count matches group_size, indices in
+///    range, compute ops carry non-empty layer ranges and positive samples;
+///  - stage monotonicity: a device hosts exactly one stage per backbone,
+///    stages 0..S-1 all hosted, replica layer ranges agree and tile the
+///    component contiguously in stage order;
+///  - micro-batch fencing: per (device, backbone) every micro 0..M-1 runs
+///    forward exactly once and backward exactly once, each backward after
+///    its forward, each forward fed by exactly one preceding load (stage 0)
+///    or recv-activation, boundary sends/recvs present exactly where a
+///    neighbouring stage exists and on the correct side of their compute;
+///  - send/recv pairing: the multiset of sends equals the multiset of
+///    receives under the boundary key (src, dst, backbone, receiver stage,
+///    micro, direction) with matching payload sizes — dangling receives,
+///    dangling sends and mismatched peers are all rejected;
+///  - allreduce/optimizer ordering: per hosted (device, backbone, stage)
+///    exactly one allreduce after the last backward and exactly one
+///    optimizer step after the allreduce, covering the stage's layer
+///    range; all replicas of the stage participate with equal payloads;
+///  - the preamble contains only kFrozenForward ops.
+class ProgramValidator {
+ public:
+  [[nodiscard]] ValidationReport validate(
+      const InstructionProgram& program) const;
+
+  /// validate() plus the stricter contract the functional runtime's
+  /// interpreter needs to bind a program onto one rt::Sequential:
+  /// a single backbone, exactly one replica per stage (so device<->stage is
+  /// a bijection), and FIFO micro order (each device's backward micro order
+  /// equals its forward micro order — required by the runtime's FIFO
+  /// autograd stashes; 1F1B satisfies this, GPipe's LIFO order does not).
+  [[nodiscard]] ValidationReport validate_runtime_bindable(
+      const InstructionProgram& program) const;
+};
+
+/// Throws std::invalid_argument carrying the full report when `program`
+/// fails ProgramValidator::validate. Back-ends call this before replay.
+void require_valid_program(const InstructionProgram& program);
+
+/// Compact human-readable identity of one instruction, e.g. "fwd b0 s2 m3",
+/// "frozen c1 l0:1", "opt b0 s1". Stable across back-ends.
+[[nodiscard]] std::string op_signature(const Instruction& instr);
+
+/// Expected per-device execution order of *device-occupying* ops (load,
+/// forward, backward, frozen, optimizer — communication excluded) over
+/// `iterations` replays of the program, preamble first. Both back-ends must
+/// execute in exactly this order; the cross-backend parity tests compare
+/// their logs against it.
+[[nodiscard]] std::vector<std::vector<std::string>> occupancy_trace(
+    const InstructionProgram& program, int iterations);
+
+}  // namespace dpipe

@@ -6,6 +6,7 @@
 
 #include "common/timeline.h"
 #include "common/units.h"
+#include "core/instr/validate.h"
 
 namespace dpipe {
 
@@ -60,6 +61,7 @@ EngineResult ExecutionEngine::run(const InstructionProgram& program,
                     static_cast<int>(program.per_device.size()) ==
                         program.group_size,
                 "program/device shape mismatch");
+  require_valid_program(program);  // Shared front-end/back-end contract.
   DPIPE_REQUIRE(opts.data_parallel_degree * program.group_size <=
                     comm_->cluster().world_size(),
                 "cluster too small for group_size x data_parallel_degree");

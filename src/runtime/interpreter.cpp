@@ -1,0 +1,784 @@
+#include "runtime/interpreter.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <thread>
+#include <utility>
+
+#include "cluster/comm_model.h"
+#include "core/fill/filler.h"
+#include "core/instr/validate.h"
+#include "core/partition/partitioner.h"
+#include "core/schedule/schedule.h"
+#include "profiler/cost_model.h"
+#include "profiler/profile_db.h"
+#include "runtime/pool.h"
+
+namespace dpipe::rt {
+
+namespace {
+
+/// Cross-replica rendezvous realizing kAllReduceGrads: all `parties` stage
+/// threads block until the last arriver runs the reduction (under the lock,
+/// so every replica's accumulated gradients happen-before the reduce and
+/// the reduced values happen-before every waiter's optimizer step).
+/// Single-use. abort() releases waiters with a false return.
+class ReduceBarrier {
+ public:
+  explicit ReduceBarrier(int parties) : parties_(parties) {}
+
+  template <typename Fn>
+  [[nodiscard]] bool arrive_and_wait(Fn&& reduce) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (aborted_) {
+      return false;
+    }
+    if (++arrived_ == parties_) {
+      try {
+        reduce();
+      } catch (...) {
+        aborted_ = true;
+        cv_.notify_all();
+        throw;
+      }
+      done_ = true;
+      cv_.notify_all();
+      return true;
+    }
+    cv_.wait(lock, [&] { return done_ || aborted_; });
+    return !aborted_;
+  }
+
+  void abort() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      aborted_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  int parties_;
+  int arrived_ = 0;
+  bool done_ = false;
+  bool aborted_ = false;
+};
+
+[[nodiscard]] bool occupies_device(InstrKind kind) {
+  return kind == InstrKind::kLoadMicroBatch || kind == InstrKind::kForward ||
+         kind == InstrKind::kBackward || kind == InstrKind::kFrozenForward ||
+         kind == InstrKind::kOptimizerStep;
+}
+
+/// Stage (component, layer range, stream position) facts of one device,
+/// extracted from its already-validated stream.
+struct DeviceStage {
+  int stage = -1;
+  int layer_begin = 0;
+  int layer_end = 0;
+};
+
+[[nodiscard]] DeviceStage device_stage(
+    const std::vector<Instruction>& stream) {
+  DeviceStage out;
+  for (const Instruction& instr : stream) {
+    if (instr.kind == InstrKind::kForward) {
+      out.stage = instr.stage;
+      out.layer_begin = instr.layer_begin;
+      out.layer_end = instr.layer_end;
+      return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ProgramBinding::ProgramBinding(const InstructionProgram& program,
+                               const Options& opts)
+    : program_(program), rows_per_replica_(opts.rows_per_replica) {
+  const ValidationReport report =
+      ProgramValidator().validate_runtime_bindable(program_);
+  if (!report.ok()) {
+    throw std::invalid_argument("program is not runtime-bindable:\n" +
+                                report.to_string());
+  }
+  DPIPE_REQUIRE(opts.num_modules >= 1, "need at least one runtime module");
+  DPIPE_REQUIRE(opts.rows_per_replica >= 1,
+                "rows_per_replica must be positive");
+
+  // Device <-> stage bijection (guaranteed by validate_runtime_bindable).
+  const int devices = program_.group_size;
+  stage_of_device_.assign(devices, -1);
+  std::vector<DeviceStage> stages(devices);
+  for (int dev = 0; dev < devices; ++dev) {
+    stages[dev] = device_stage(program_.per_device[dev]);
+    DPIPE_ENSURE(stages[dev].stage >= 0, "device hosts no backbone stage");
+    stage_of_device_[dev] = stages[dev].stage;
+  }
+  num_stages_ = devices;
+  device_of_stage_.assign(num_stages_, -1);
+  for (int dev = 0; dev < devices; ++dev) {
+    device_of_stage_[stage_of_device_[dev]] = dev;
+  }
+  for (const std::vector<Instruction>& stream : program_.per_device) {
+    for (const Instruction& instr : stream) {
+      if (instr.kind == InstrKind::kForward) {
+        num_micros_ = std::max(num_micros_, instr.micro + 1);
+      }
+    }
+  }
+
+  // Map planner layer cuts onto runtime module indices. Proportional and
+  // monotone (each stage keeps at least one module); the identity mapping
+  // when the planner layer count equals the module count.
+  const int planner_layers = stages[device_of_stage_[num_stages_ - 1]].layer_end;
+  DPIPE_REQUIRE(opts.num_modules >= num_stages_,
+                "more pipeline stages than runtime modules");
+  module_cut_.assign(num_stages_ + 1, 0);
+  module_cut_[num_stages_] = opts.num_modules;
+  for (int s = 1; s < num_stages_; ++s) {
+    const int begin = stages[device_of_stage_[s]].layer_begin;
+    const int mapped = static_cast<int>(std::llround(
+        static_cast<double>(begin) * opts.num_modules / planner_layers));
+    module_cut_[s] = std::clamp(mapped, module_cut_[s - 1] + 1,
+                                opts.num_modules - (num_stages_ - s));
+  }
+
+  // Bind kFrozenForward occurrences to shard rows: per frozen layer
+  // identity, the occurrences (canonical order: device ascending, stream
+  // order within a device) split [0, rows_per_replica) proportionally to
+  // their scheduled samples, with cumulative rounding so the union is an
+  // exact disjoint cover.
+  struct Occurrence {
+    int dev = 0;
+    int index = 0;  ///< Occurrence position within the device's slot list.
+    double samples = 0.0;
+  };
+  const auto bind_frozen =
+      [&](const std::vector<std::vector<Instruction>>& streams,
+          std::vector<std::vector<FrozenSlot>>& slots) {
+        slots.assign(streams.size(), {});
+        std::map<std::pair<int, int>, std::vector<Occurrence>> groups;
+        for (std::size_t dev = 0; dev < streams.size(); ++dev) {
+          for (const Instruction& instr : streams[dev]) {
+            if (instr.kind != InstrKind::kFrozenForward) {
+              continue;
+            }
+            for (int layer = instr.layer_begin; layer < instr.layer_end;
+                 ++layer) {
+              FrozenSlot slot;
+              slot.component = instr.component;
+              slot.layer = layer;
+              groups[{instr.component, layer}].push_back(
+                  {static_cast<int>(dev),
+                   static_cast<int>(slots[dev].size()), instr.samples});
+              slots[dev].push_back(slot);
+            }
+          }
+        }
+        for (auto& [key, occurrences] : groups) {
+          double total = 0.0;
+          for (const Occurrence& occ : occurrences) {
+            total += occ.samples;
+          }
+          DPIPE_REQUIRE(total > 0.0,
+                        "frozen layer scheduled with zero total samples");
+          double cum = 0.0;
+          int prev = 0;
+          for (const Occurrence& occ : occurrences) {
+            cum += occ.samples;
+            const int next = static_cast<int>(
+                std::llround(cum / total * rows_per_replica_));
+            slots[occ.dev][occ.index].rows = {prev, next};
+            prev = next;
+          }
+          DPIPE_ENSURE(prev == rows_per_replica_,
+                       "frozen row partition does not cover the shard");
+        }
+      };
+  bind_frozen(program_.per_device, steady_frozen_);
+  bind_frozen(program_.preamble, preamble_frozen_);
+
+  // Resolve which frozen layer identity produces the conditioning the
+  // backbone consumes. Explicit via Options, else inferred as the final
+  // layer of the lowest-numbered frozen component — the encoder's output
+  // layer. (A multi-layer frozen encoder runs every layer; only the last
+  // one's output is the conditioning.)
+  int prod_component = opts.producer_component;
+  int prod_layer = opts.producer_layer;
+  if (prod_component < 0) {
+    std::map<std::pair<int, int>, int> identities;
+    for (const std::vector<std::vector<FrozenSlot>>* slots :
+         {&steady_frozen_, &preamble_frozen_}) {
+      for (const std::vector<FrozenSlot>& dev_slots : *slots) {
+        for (const FrozenSlot& slot : dev_slots) {
+          identities[{slot.component, slot.layer}] += 1;
+        }
+      }
+    }
+    if (!identities.empty()) {
+      prod_component = identities.begin()->first.first;
+      for (const auto& [key, count] : identities) {
+        if (key.first == prod_component) {
+          prod_layer = key.second;
+        }
+      }
+    }
+  }
+  for (std::vector<std::vector<FrozenSlot>>* slots :
+       {&steady_frozen_, &preamble_frozen_}) {
+    for (std::vector<FrozenSlot>& dev_slots : *slots) {
+      for (FrozenSlot& slot : dev_slots) {
+        slot.produces_cond =
+            slot.component == prod_component && slot.layer == prod_layer;
+      }
+    }
+  }
+}
+
+ProgramInterpreter::ProgramInterpreter(const DdpmProblem& problem,
+                                       const ProgramBinding& binding,
+                                       int global_batch)
+    : problem_(&problem), binding_(&binding), global_batch_(global_batch) {
+  DPIPE_REQUIRE(global_batch >= 1, "global batch must be positive");
+}
+
+double ProgramInterpreter::train_wave(
+    const std::vector<ReplicaState>& replicas,
+    const std::vector<WaveInputs>& inputs, int iteration,
+    const RtFaultInjection& fault, ExecutionLog* log) const {
+  const ProgramBinding& b = *binding_;
+  const int S = b.num_stages();
+  const int M = b.num_micros();
+  const int G = static_cast<int>(replicas.size());
+  DPIPE_REQUIRE(G >= 1, "need at least one replica");
+  DPIPE_REQUIRE(static_cast<int>(inputs.size()) == G,
+                "one WaveInputs per replica");
+  for (const WaveInputs& in : inputs) {
+    DPIPE_REQUIRE(static_cast<int>(in.micros.size()) == M,
+                  "micro-batch count mismatch with the program");
+    DPIPE_REQUIRE(in.cond != nullptr, "wave needs encoder outputs");
+  }
+  if (log != nullptr) {
+    log->resize(b.program().group_size);
+  }
+
+  // Per-stage parameter/gradient slices of every replica, precomputed so
+  // the allreduce reducer and the optimizer steps need no module walks.
+  std::vector<std::vector<std::vector<Tensor*>>> stage_params(G);
+  std::vector<std::vector<std::vector<Tensor*>>> stage_grads(G);
+  for (int g = 0; g < G; ++g) {
+    stage_params[g].resize(S);
+    stage_grads[g].resize(S);
+    for (int s = 0; s < S; ++s) {
+      for (int i = b.module_begin(s); i < b.module_end(s); ++i) {
+        Module& mod = replicas[g].net->module(i);
+        for (Tensor* p : mod.params()) {
+          stage_params[g][s].push_back(p);
+        }
+        for (Tensor* gr : mod.grads()) {
+          stage_grads[g][s].push_back(gr);
+        }
+      }
+    }
+  }
+
+  // Inter-stage channels, flat-indexed [g * S + s]: act[s] carries stage
+  // s -> s+1 activations, grad[s] carries stage s+1 -> s gradients.
+  std::vector<Channel<Tensor>> act(static_cast<std::size_t>(G) * S);
+  std::vector<Channel<Tensor>> grad(static_cast<std::size_t>(G) * S);
+  // The cross-iteration fence: kLoadMicroBatch may not start before this
+  // iteration's non-trainable outputs exist. The driver arms the gate once
+  // the conditioning tensor is ready (here: before the wave spawns).
+  std::vector<Channel<int>> cond_gate(G);
+  std::vector<std::unique_ptr<ReduceBarrier>> barriers;
+  barriers.reserve(S);
+  for (int s = 0; s < S; ++s) {
+    barriers.push_back(std::make_unique<ReduceBarrier>(G));
+  }
+  for (int g = 0; g < G; ++g) {
+    DPIPE_ENSURE(cond_gate[g].push(1),
+                 "cond gate closed before the wave started");
+  }
+
+  const auto abort_all = [&] {
+    for (Channel<Tensor>& ch : act) {
+      ch.close();
+    }
+    for (Channel<Tensor>& ch : grad) {
+      ch.close();
+    }
+    for (Channel<int>& ch : cond_gate) {
+      ch.close();
+    }
+    for (const std::unique_ptr<ReduceBarrier>& barrier : barriers) {
+      barrier->abort();
+    }
+  };
+
+  const int per_micro = b.rows_per_replica() / M;
+  std::vector<std::vector<Tensor>> preds(G);
+  for (int g = 0; g < G; ++g) {
+    preds[g].resize(M);
+  }
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(G) * S);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(G) * S);
+
+  for (int g = 0; g < G; ++g) {
+    for (int s = 0; s < S; ++s) {
+      threads.emplace_back([&, g, s] {
+        try {
+          const int dev = b.device_of_stage(s);
+          const std::vector<Instruction>& stream =
+              b.program().per_device[dev];
+          const WaveInputs& in = inputs[g];
+          const ReplicaState& replica = replicas[g];
+          const int mb = b.module_begin(s);
+          const int me = b.module_end(s);
+          TensorPool& pool = TensorPool::global();
+          std::vector<Tensor> loaded(M);      // Stage-0 assembled inputs.
+          std::vector<Tensor> inbox_act(M);   // Received activations.
+          std::vector<Tensor> inbox_grad(M);  // Received gradients.
+          std::vector<Tensor> local_grads(M); // Last stage's loss grads.
+          bool gate_passed = false;
+          int frozen_seen = 0;
+          for (const Instruction& instr : stream) {
+            if (log != nullptr && g == 0 && occupies_device(instr.kind)) {
+              (*log)[dev].push_back(op_signature(instr));
+            }
+            switch (instr.kind) {
+              case InstrKind::kLoadMicroBatch: {
+                if (!gate_passed) {
+                  if (!cond_gate[g].pop().has_value()) {
+                    return;  // Wave aborted before the inputs arrived.
+                  }
+                  gate_passed = true;
+                }
+                const int m = instr.micro;
+                const int lo = m * per_micro;
+                const int hi = lo + per_micro;
+                const Tensor cond_rows =
+                    in.cond->slice_rows(in.row_offset + lo,
+                                        in.row_offset + hi);
+                const Tensor sc_rows =
+                    in.self_cond != nullptr
+                        ? in.self_cond->slice_rows(lo, hi)
+                        : Tensor();
+                loaded[m] = problem_->make_input(
+                    in.micros[m], cond_rows,
+                    in.self_cond != nullptr ? &sc_rows : nullptr);
+                break;
+              }
+              case InstrKind::kRecvActivation: {
+                std::optional<Tensor> recv = act[g * S + (s - 1)].pop();
+                if (!recv.has_value()) {
+                  return;  // Peer aborted the wave.
+                }
+                inbox_act[instr.micro] = std::move(*recv);
+                break;
+              }
+              case InstrKind::kRecvGradient: {
+                std::optional<Tensor> recv = grad[g * S + s].pop();
+                if (!recv.has_value()) {
+                  return;  // Peer aborted the wave.
+                }
+                inbox_grad[instr.micro] = std::move(*recv);
+                break;
+              }
+              case InstrKind::kForward: {
+                const int m = instr.micro;
+                if (fault.armed() && iteration == fault.iteration &&
+                    g == fault.replica && s == fault.stage &&
+                    m == fault.micro) {
+                  throw StageFailure(
+                      "injected stage failure: iteration " +
+                      std::to_string(iteration) + ", stage " +
+                      std::to_string(s) + ", micro " + std::to_string(m));
+                }
+                Tensor x = s == 0 ? std::move(loaded[m])
+                                  : std::move(inbox_act[m]);
+                Tensor y = replica.net->forward_range(std::move(x), mb, me);
+                if (s == S - 1) {
+                  local_grads[m] = problem_->loss_grad(
+                      y, in.micros[m].noise, global_batch_);
+                  preds[g][m] = std::move(y);
+                } else {
+                  inbox_act[m] = std::move(y);  // Outbox until the send.
+                }
+                break;
+              }
+              case InstrKind::kSendActivation: {
+                if (!act[g * S + s].push(std::move(inbox_act[instr.micro]))) {
+                  return;  // Consumer gone: the wave is being aborted.
+                }
+                break;
+              }
+              case InstrKind::kBackward: {
+                const int m = instr.micro;
+                Tensor gin = s == S - 1 ? std::move(local_grads[m])
+                                        : std::move(inbox_grad[m]);
+                Tensor gout =
+                    replica.net->backward_range(std::move(gin), mb, me);
+                if (s == 0) {
+                  pool.release(std::move(gout));
+                } else {
+                  inbox_grad[m] = std::move(gout);  // Outbox until the send.
+                }
+                break;
+              }
+              case InstrKind::kSendGradient: {
+                if (!grad[g * S + (s - 1)].push(
+                        std::move(inbox_grad[instr.micro]))) {
+                  return;  // Consumer gone: the wave is being aborted.
+                }
+                break;
+              }
+              case InstrKind::kFrozenForward: {
+                // One bound slot per covered layer (see ProgramBinding).
+                for (int layer = instr.layer_begin; layer < instr.layer_end;
+                     ++layer) {
+                  const ProgramBinding::FrozenSlot& slot =
+                      b.steady_frozen()[dev][frozen_seen++];
+                  if (!slot.produces_cond || in.next_cond_raw == nullptr ||
+                      in.next_cond == nullptr || slot.rows.rows() == 0) {
+                    continue;  // Modeled compute only.
+                  }
+                  const Tensor raw = in.next_cond_raw->slice_rows(
+                      in.row_offset + slot.rows.begin,
+                      in.row_offset + slot.rows.end);
+                  Tensor enc = problem_->encode_condition(raw);
+                  const int cols = enc.cols();
+                  std::copy(enc.data(), enc.data() + enc.numel(),
+                            in.next_cond->data() +
+                                static_cast<std::int64_t>(in.row_offset +
+                                                          slot.rows.begin) *
+                                    cols);
+                  pool.release(std::move(enc));
+                }
+                break;
+              }
+              case InstrKind::kAllReduceGrads: {
+                const bool reduced = barriers[s]->arrive_and_wait([&] {
+                  // Sum replica gradients (ascending replica order) and
+                  // broadcast the result — micro gradients are already
+                  // global-batch normalized, so the sum IS the full-batch
+                  // gradient.
+                  for (std::size_t i = 0; i < stage_grads[0][s].size();
+                       ++i) {
+                    Tensor avg = pool.acquire(stage_grads[0][s][i]->shape());
+                    std::copy(stage_grads[0][s][i]->data(),
+                              stage_grads[0][s][i]->data() + avg.numel(),
+                              avg.data());
+                    for (int r = 1; r < G; ++r) {
+                      add_inplace(avg, *stage_grads[r][s][i]);
+                    }
+                    for (int r = 0; r < G; ++r) {
+                      std::copy(avg.data(), avg.data() + avg.numel(),
+                                stage_grads[r][s][i]->data());
+                    }
+                    pool.release(std::move(avg));
+                  }
+                });
+                if (!reduced) {
+                  return;  // Wave aborted while waiting for peers.
+                }
+                break;
+              }
+              case InstrKind::kOptimizerStep: {
+                if (!replica.stage_adam.empty()) {
+                  replica.stage_adam[s]->step(stage_params[g][s],
+                                              stage_grads[g][s]);
+                } else {
+                  replica.sgd->step(stage_params[g][s], stage_grads[g][s]);
+                }
+                for (Tensor* gt : stage_grads[g][s]) {
+                  fill(*gt, 0.0f);
+                }
+                break;
+              }
+            }
+          }
+        } catch (...) {
+          errors[static_cast<std::size_t>(g) * S + s] =
+              std::current_exception();
+          abort_all();
+        }
+      });
+    }
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  for (int s = 0; s < S; ++s) {
+    for (int g = 0; g < G; ++g) {
+      if (errors[static_cast<std::size_t>(g) * S + s] != nullptr) {
+        std::rethrow_exception(errors[static_cast<std::size_t>(g) * S + s]);
+      }
+    }
+  }
+
+  // Loss accumulation in the reference order: a per-replica partial sum
+  // (micros ascending, elements in order), partials folded in ascending
+  // replica order — bit-identical to summing each replica's wave result
+  // sequentially.
+  TensorPool& pool = TensorPool::global();
+  double sse = 0.0;
+  for (int g = 0; g < G; ++g) {
+    double replica_sse = 0.0;
+    for (int m = 0; m < M; ++m) {
+      const Tensor& p = preds[g][m];
+      const Tensor& t = inputs[g].micros[m].noise;
+      DPIPE_ENSURE(p.shape() == t.shape(), "pred/target shape mismatch");
+      for (std::int64_t i = 0; i < p.numel(); ++i) {
+        const float d = p.data()[i] - t.data()[i];
+        replica_sse += static_cast<double>(d) * d;
+      }
+      pool.release(std::move(preds[g][m]));
+    }
+    sse += replica_sse;
+  }
+  return sse;  // Caller normalizes over the global batch.
+}
+
+std::vector<Tensor> ProgramInterpreter::forward_wave(
+    const ReplicaState& replica, const WaveInputs& inputs) const {
+  const ProgramBinding& b = *binding_;
+  const int S = b.num_stages();
+  const int M = b.num_micros();
+  DPIPE_REQUIRE(static_cast<int>(inputs.micros.size()) == M,
+                "micro-batch count mismatch with the program");
+  DPIPE_REQUIRE(inputs.cond != nullptr, "wave needs encoder outputs");
+  const int per_micro = b.rows_per_replica() / M;
+  std::vector<Channel<Tensor>> act(S);
+  std::vector<Tensor> outputs(M);
+  std::vector<std::exception_ptr> errors(S);
+  const auto abort_all = [&] {
+    for (Channel<Tensor>& ch : act) {
+      ch.close();
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(S);
+  for (int s = 0; s < S; ++s) {
+    threads.emplace_back([&, s] {
+      try {
+        const std::vector<Instruction>& stream =
+            b.program().per_device[b.device_of_stage(s)];
+        const int mb = b.module_begin(s);
+        const int me = b.module_end(s);
+        std::vector<Tensor> loaded(M);
+        std::vector<Tensor> inbox(M);
+        for (const Instruction& instr : stream) {
+          switch (instr.kind) {
+            case InstrKind::kLoadMicroBatch: {
+              const int m = instr.micro;
+              const int lo = m * per_micro;
+              const Tensor cond_rows = inputs.cond->slice_rows(
+                  inputs.row_offset + lo, inputs.row_offset + lo + per_micro);
+              loaded[m] =
+                  problem_->make_input(inputs.micros[m], cond_rows, nullptr);
+              break;
+            }
+            case InstrKind::kRecvActivation: {
+              std::optional<Tensor> recv = act[s - 1].pop();
+              if (!recv.has_value()) {
+                return;
+              }
+              inbox[instr.micro] = std::move(*recv);
+              break;
+            }
+            case InstrKind::kForward: {
+              const int m = instr.micro;
+              Tensor x =
+                  s == 0 ? std::move(loaded[m]) : std::move(inbox[m]);
+              Tensor y = replica.net->forward_range(std::move(x), mb, me);
+              if (s == S - 1) {
+                outputs[m] = std::move(y);
+              } else {
+                inbox[m] = std::move(y);
+              }
+              break;
+            }
+            case InstrKind::kSendActivation: {
+              if (!act[s].push(std::move(inbox[instr.micro]))) {
+                return;
+              }
+              break;
+            }
+            default:
+              break;  // No-grad pass: backward/opt/frozen ops are inert.
+          }
+        }
+        // Discard the stashed contexts of this no-grad pass.
+        for (int m = 0; m < M; ++m) {
+          replica.net->drop_context_range(mb, me);
+        }
+      } catch (...) {
+        errors[s] = std::current_exception();
+        abort_all();
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  for (const std::exception_ptr& error : errors) {
+    if (error != nullptr) {
+      std::rethrow_exception(error);
+    }
+  }
+  return outputs;
+}
+
+void ProgramInterpreter::run_preamble(const Tensor& cond_raw, Tensor& cond,
+                                      int replicas,
+                                      ExecutionLog* log) const {
+  const ProgramBinding& b = *binding_;
+  const int devices = b.program().group_size;
+  if (log != nullptr) {
+    log->resize(devices);
+  }
+  std::vector<std::exception_ptr> errors(
+      static_cast<std::size_t>(replicas) * devices);
+  std::vector<std::thread> threads;
+  threads.reserve(errors.size());
+  for (int g = 0; g < replicas; ++g) {
+    for (int dev = 0; dev < devices; ++dev) {
+      threads.emplace_back([&, g, dev] {
+        try {
+          const int row_offset = g * b.rows_per_replica();
+          int frozen_seen = 0;
+          TensorPool& pool = TensorPool::global();
+          for (const Instruction& instr : b.program().preamble[dev]) {
+            if (log != nullptr && g == 0) {
+              (*log)[dev].push_back(op_signature(instr));
+            }
+            // One bound slot per covered layer (see ProgramBinding).
+            for (int layer = instr.layer_begin; layer < instr.layer_end;
+                 ++layer) {
+              const ProgramBinding::FrozenSlot& slot =
+                  b.preamble_frozen()[dev][frozen_seen++];
+              if (!slot.produces_cond || slot.rows.rows() == 0) {
+                continue;  // Modeled compute only.
+              }
+              const Tensor raw = cond_raw.slice_rows(
+                  row_offset + slot.rows.begin, row_offset + slot.rows.end);
+              Tensor enc = problem_->encode_condition(raw);
+              const int cols = enc.cols();
+              std::copy(enc.data(), enc.data() + enc.numel(),
+                        cond.data() +
+                            static_cast<std::int64_t>(row_offset +
+                                                      slot.rows.begin) *
+                                cols);
+              pool.release(std::move(enc));
+            }
+          }
+        } catch (...) {
+          errors[static_cast<std::size_t>(g) * devices + dev] =
+              std::current_exception();
+        }
+      });
+    }
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  for (const std::exception_ptr& error : errors) {
+    if (error != nullptr) {
+      std::rethrow_exception(error);
+    }
+  }
+}
+
+TrainerLowering lower_trainer_program(const TrainerLoweringSpec& spec) {
+  const int S = spec.num_stages;
+  const int M = spec.num_microbatches;
+  const int G = spec.data_parallel_degree;
+  DPIPE_REQUIRE(S >= 1, "need at least one stage");
+  DPIPE_REQUIRE(M >= 1, "need at least one micro-batch");
+  DPIPE_REQUIRE(G >= 1, "need at least one replica");
+  DPIPE_REQUIRE(spec.global_batch % (G * M) == 0,
+                "global batch must divide into replicas x micro-batches");
+  DPIPE_REQUIRE(spec.num_modules >= S, "more stages than runtime modules");
+  const int L = spec.num_modules;
+  const int per_replica = spec.global_batch / G;
+
+  TrainerLowering out;
+  // Synthetic model whose backbone layers are 1:1 with the runtime's
+  // Sequential modules; sizes are nominal (the planner only needs relative
+  // costs, the interpreter executes real kernels regardless).
+  ComponentDesc backbone;
+  backbone.name = "backbone";
+  backbone.trainable = true;
+  backbone.deps = {1};
+  for (int l = 0; l < L; ++l) {
+    LayerDesc layer;
+    layer.name = "mlp" + std::to_string(l);
+    layer.kind = LayerKind::kLinear;
+    layer.fwd_gflop = 1.0;
+    layer.param_mb = 1.0;
+    layer.output_mb = 0.1;
+    layer.act_mb = 0.1;
+    backbone.layers.push_back(layer);
+  }
+  ComponentDesc encoder;
+  encoder.name = "frozen_encoder";
+  encoder.trainable = false;
+  LayerDesc enc_layer;
+  enc_layer.name = "encode";
+  enc_layer.kind = LayerKind::kEmbedding;
+  enc_layer.fwd_gflop = 0.5;
+  enc_layer.param_mb = 1.0;
+  enc_layer.grad_mb = 0.0;
+  enc_layer.output_mb = 0.1;
+  encoder.layers.push_back(enc_layer);
+  out.model.name = "rt_trainer";
+  out.model.components = {backbone, encoder};
+  out.model.backbone_ids = {0};
+  validate(out.model);
+
+  const ClusterSpec cluster = make_p4de_cluster((S * G + 7) / 8);
+  const AnalyticCostModel cost(cluster.device, NoiseSource(1, 0.0));
+  const ProfileDb db(out.model, cost, default_batch_grid());
+  const CommModel comm(cluster);
+
+  out.options.num_stages = S;
+  out.options.num_microbatches = M;
+  out.options.group_size = S;
+  out.options.data_parallel_degree = G;
+  out.options.microbatch_size =
+      static_cast<double>(per_replica) / M;
+
+  // The trainer's historical stage split: module s*L/S .. (s+1)*L/S.
+  std::vector<StagePlan> stages(S);
+  for (int s = 0; s < S; ++s) {
+    stages[s].layer_begin = s * L / S;
+    stages[s].layer_end = (s + 1) * L / S;
+    stages[s].replicas = 1;
+    stages[s].device_ranks = {s};
+  }
+
+  const ScheduleBuilder builder(db, comm);
+  const Schedule schedule = builder.build_1f1b(0, stages, out.options);
+
+  FillResult fill;
+  if (spec.cross_iteration) {
+    FillOptions fill_opts;
+    fill_opts.training_batch = per_replica;
+    fill = BubbleFiller(db).fill(schedule, fill_opts);
+  } else {
+    // No steady-state frozen work: the non-trainable part runs as the
+    // (per-iteration) preamble, un-overlapped.
+    fill.filled_schedule = schedule;
+  }
+  out.program =
+      generate_instructions(db, fill.filled_schedule, fill, out.options);
+  return out;
+}
+
+}  // namespace dpipe::rt

@@ -1,0 +1,200 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/instr/instructions.h"
+#include "runtime/channel.h"
+#include "runtime/ddpm.h"
+#include "runtime/optim.h"
+
+namespace dpipe::rt {
+
+/// Integer row range [begin, end) within one replica's batch shard.
+struct RowRange {
+  int begin = 0;
+  int end = 0;
+
+  [[nodiscard]] int rows() const { return end - begin; }
+};
+
+/// Per-device execution record: op_signature() strings of device-occupying
+/// ops (load/forward/backward/frozen/optimizer) in the order the real
+/// runtime executed them. Directly comparable to occupancy_trace() and to
+/// the engine's measured timelines — the cross-backend parity artifact.
+using ExecutionLog = std::vector<std::vector<std::string>>;
+
+/// Binds a validated InstructionProgram onto the functional runtime: maps
+/// `Instruction.component`/`layer_begin..end` onto rt::Sequential module
+/// slices, devices onto stages, and frozen-forward placements onto integer
+/// row ranges of the replica's batch shard.
+///
+/// Requires ProgramValidator::validate_runtime_bindable to pass (single
+/// backbone, one replica per stage, FIFO micro order); throws
+/// std::invalid_argument carrying the report otherwise.
+///
+/// Planner layers need not be 1:1 with runtime modules: stage layer cuts
+/// are mapped proportionally onto module indices (monotone, at least one
+/// module per stage). When the program was lowered from the runtime's own
+/// synthetic model (lower_trainer_program) the mapping is the identity.
+class ProgramBinding {
+ public:
+  struct Options {
+    int num_modules = 0;       ///< rt::Sequential size to bind onto.
+    int rows_per_replica = 0;  ///< Integer samples behind one iteration of
+                               ///< the program (its group batch).
+    /// The frozen (component, layer) placement whose outputs are the
+    /// encoder embeddings consumed by kLoadMicroBatch. -1 = infer: the
+    /// final layer of the lowest-numbered frozen component (a multi-layer
+    /// frozen encoder runs every layer, but only the last one's output is
+    /// the conditioning). Other frozen placements are replayed as modeled
+    /// compute only.
+    int producer_component = -1;
+    int producer_layer = -1;
+  };
+
+  ProgramBinding(const InstructionProgram& program, const Options& opts);
+
+  [[nodiscard]] const InstructionProgram& program() const {
+    return program_;
+  }
+  [[nodiscard]] int num_stages() const { return num_stages_; }
+  [[nodiscard]] int num_micros() const { return num_micros_; }
+  [[nodiscard]] int rows_per_replica() const { return rows_per_replica_; }
+  [[nodiscard]] int stage_of_device(int dev) const {
+    return stage_of_device_[dev];
+  }
+  [[nodiscard]] int device_of_stage(int stage) const {
+    return device_of_stage_[stage];
+  }
+  /// Module range [begin, end) of `stage` within the bound Sequential.
+  [[nodiscard]] int module_begin(int stage) const {
+    return module_cut_[stage];
+  }
+  [[nodiscard]] int module_end(int stage) const {
+    return module_cut_[stage + 1];
+  }
+
+  /// One kFrozenForward occurrence bound to shard rows.
+  struct FrozenSlot {
+    int component = -1;
+    int layer = -1;
+    RowRange rows;               ///< Shard rows this occurrence encodes.
+    bool produces_cond = false;  ///< Writes encoder outputs (vs modeled).
+  };
+  /// steady_frozen()[dev][j]: j-th kFrozenForward in dev's steady stream.
+  [[nodiscard]] const std::vector<std::vector<FrozenSlot>>& steady_frozen()
+      const {
+    return steady_frozen_;
+  }
+  [[nodiscard]] const std::vector<std::vector<FrozenSlot>>& preamble_frozen()
+      const {
+    return preamble_frozen_;
+  }
+
+ private:
+  InstructionProgram program_;  ///< Owned copy: the bound contract.
+  int num_stages_ = 0;
+  int num_micros_ = 0;
+  int rows_per_replica_ = 0;
+  std::vector<int> stage_of_device_;
+  std::vector<int> device_of_stage_;
+  std::vector<int> module_cut_;  ///< Length num_stages + 1.
+  std::vector<std::vector<FrozenSlot>> steady_frozen_;
+  std::vector<std::vector<FrozenSlot>> preamble_frozen_;
+};
+
+/// Executes a bound InstructionProgram on the functional runtime: one
+/// thread per device walks its instruction stream over real tensors,
+/// rt::Channels carry activations/gradients between stage threads, a
+/// cross-replica rendezvous realizes kAllReduceGrads, and kOptimizerStep
+/// updates the stage's parameter slice in place. The cross-iteration
+/// kLoadMicroBatch fence is a channel the driver signals once the
+/// iteration's encoder outputs exist; kFrozenForward ops encode their bound
+/// row slice of the *next* iteration's conditioning into the sink tensor.
+///
+/// All data-parallel replicas execute the program concurrently
+/// (num_stages x replicas threads per wave). Determinism: every value is a
+/// pure function of the inputs — thread interleaving cannot change results
+/// because tensors flow point-to-point, the gradient reduction runs in
+/// ascending replica order under a lock, and per-stage optimizer updates
+/// touch disjoint parameter slices.
+class ProgramInterpreter {
+ public:
+  /// Mutable training state of one data-parallel replica.
+  struct ReplicaState {
+    Sequential* net = nullptr;
+    const Sgd* sgd = nullptr;       ///< Used when stage_adam is empty.
+    std::vector<Adam*> stage_adam;  ///< Per-stage Adam (or empty for SGD).
+  };
+
+  /// One replica's inputs for one iteration of the program.
+  struct WaveInputs {
+    std::vector<DdpmProblem::Batch> micros;  ///< Per-micro batch slices.
+    const Tensor* cond = nullptr;  ///< Encoder outputs, all replicas' rows.
+    int row_offset = 0;            ///< This replica's first row in `cond`.
+    const Tensor* self_cond = nullptr;      ///< [shard rows, data_dim].
+    const Tensor* next_cond_raw = nullptr;  ///< Next iteration's raw cond
+                                            ///< (all replicas' rows).
+    Tensor* next_cond = nullptr;   ///< Sink for kFrozenForward outputs.
+  };
+
+  ProgramInterpreter(const DdpmProblem& problem,
+                     const ProgramBinding& binding, int global_batch);
+
+  /// One full training iteration across all replicas: 1F1B forward/backward
+  /// waves, gradient allreduce, optimizer steps, and (cross-iteration mode)
+  /// frozen-forward encoding of the next iteration's inputs. Returns the
+  /// summed squared error over all replicas (ascending replica order).
+  /// `log` (optional) records replica 0's per-device execution order.
+  double train_wave(const std::vector<ReplicaState>& replicas,
+                    const std::vector<WaveInputs>& inputs, int iteration,
+                    const RtFaultInjection& fault, ExecutionLog* log) const;
+
+  /// Forward-only (no-grad) replay of the program's load/recv/forward/send
+  /// instructions for one replica — the self-conditioning first pass.
+  /// Returns the last stage's per-micro outputs; contexts are dropped.
+  [[nodiscard]] std::vector<Tensor> forward_wave(
+      const ReplicaState& replica, const WaveInputs& inputs) const;
+
+  /// Executes the iteration-0 preamble streams: every device encodes its
+  /// bound row slice of `cond_raw` into `cond` (one thread per device per
+  /// replica; rows are disjoint). Also used every iteration when
+  /// cross-iteration mode is off — the program then has no steady frozen
+  /// ops and the whole non-trainable part runs un-overlapped.
+  void run_preamble(const Tensor& cond_raw, Tensor& cond, int replicas,
+                    ExecutionLog* log) const;
+
+ private:
+  const DdpmProblem* problem_;
+  const ProgramBinding* binding_;
+  int global_batch_;
+};
+
+/// The PipelineTrainer's program generation: a synthetic ModelDesc whose
+/// backbone layers are 1:1 with the runtime Sequential's modules (plus a
+/// one-layer frozen encoder component), partitioned with the trainer's
+/// historical stage split, scheduled by ScheduleBuilder::build_1f1b,
+/// bubble-filled (cross-iteration mode only), and lowered through
+/// generate_instructions. The engine can replay `program` against a
+/// ProfileDb built from `model` — that is the cross-backend parity setup.
+struct TrainerLowering {
+  ModelDesc model;
+  PartitionOptions options;
+  InstructionProgram program;
+};
+
+struct TrainerLoweringSpec {
+  int num_stages = 1;
+  int num_microbatches = 1;
+  int data_parallel_degree = 1;
+  int global_batch = 1;
+  bool cross_iteration = true;
+  int num_modules = 1;  ///< rt::Sequential size; must be >= num_stages.
+};
+
+[[nodiscard]] TrainerLowering lower_trainer_program(
+    const TrainerLoweringSpec& spec);
+
+}  // namespace dpipe::rt

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <string>
-#include <thread>
+#include <utility>
 
 namespace dpipe::rt {
 
@@ -19,54 +19,6 @@ DdpmProblem::Batch slice_batch(const DdpmProblem::Batch& batch, int lo,
   return out;
 }
 
-/// FIFO-1F1B per-stage op order: +m = forward micro m, -(m+1) = backward m.
-std::vector<int> one_f_one_b_order(int stage, int num_stages, int micros) {
-  const int warmup = std::min(num_stages - 1 - stage, micros);
-  std::vector<int> order;
-  for (int m = 0; m < warmup; ++m) {
-    order.push_back(m);
-  }
-  for (int i = 0; i + warmup < micros; ++i) {
-    order.push_back(warmup + i);
-    order.push_back(-(i + 1));
-  }
-  for (int m = micros - warmup; m < micros; ++m) {
-    order.push_back(-(m + 1));
-  }
-  return order;
-}
-
-/// Runs `body(stage)` on one thread per stage with cooperative abort: a
-/// throwing stage records its exception and invokes `abort_wave` (which
-/// must close every channel so blocked peers drain out as nullopt), all
-/// threads are joined unconditionally, and the lowest-stage exception is
-/// rethrown. A body that returns early because a peer aborted records
-/// nothing — only root causes propagate.
-template <typename Body, typename Abort>
-void run_wave(int num_stages, const Body& body, const Abort& abort_wave) {
-  std::vector<std::exception_ptr> errors(num_stages);
-  std::vector<std::thread> threads;
-  threads.reserve(num_stages);
-  for (int s = 0; s < num_stages; ++s) {
-    threads.emplace_back([&, s] {
-      try {
-        body(s);
-      } catch (...) {
-        errors[s] = std::current_exception();
-        abort_wave();
-      }
-    });
-  }
-  for (std::thread& t : threads) {
-    t.join();
-  }
-  for (const std::exception_ptr& error : errors) {
-    if (error != nullptr) {
-      std::rethrow_exception(error);
-    }
-  }
-}
-
 }  // namespace
 
 PipelineTrainer::PipelineTrainer(const DdpmProblem& problem,
@@ -81,8 +33,53 @@ PipelineTrainer::PipelineTrainer(const DdpmProblem& problem,
                                         config_.num_microbatches) ==
                     0,
                 "global batch must divide into replicas x micro-batches");
+
+  // Probe the runtime model's module count, then lower the configuration
+  // through the planner pipeline (partition -> 1F1B schedule -> bubble
+  // fill -> instruction generation) into the program this trainer runs.
+  const int num_modules = problem.make_backbone()->size();
+  DPIPE_REQUIRE(config_.num_stages <= num_modules,
+                "more stages than modules");
+  TrainerLoweringSpec spec;
+  spec.num_stages = config_.num_stages;
+  spec.num_microbatches = config_.num_microbatches;
+  spec.data_parallel_degree = config_.data_parallel_degree;
+  spec.global_batch = config_.global_batch;
+  spec.cross_iteration = config_.cross_iteration;
+  spec.num_modules = num_modules;
+  init(problem, lower_trainer_program(spec).program);
+}
+
+PipelineTrainer::PipelineTrainer(const DdpmProblem& problem,
+                                 PipelineRtConfig config,
+                                 const InstructionProgram& program)
+    : problem_(&problem), config_(config), optimizer_(config.lr) {
+  DPIPE_REQUIRE(config_.data_parallel_degree >= 1,
+                "need at least one replica");
+  init(problem, program);
+}
+
+void PipelineTrainer::init(const DdpmProblem& problem,
+                           const InstructionProgram& program) {
   DPIPE_REQUIRE(config_.checkpoint_interval >= 0,
                 "checkpoint interval must be non-negative");
+  // One probe network determines the binding geometry; replicas share it.
+  std::unique_ptr<Sequential> probe = problem.make_backbone();
+  ProgramBinding::Options bind_opts;
+  bind_opts.num_modules = probe->size();
+  bind_opts.rows_per_replica =
+      config_.global_batch / config_.data_parallel_degree;
+  bind_opts.producer_component = config_.frozen_producer_component;
+  bind_opts.producer_layer = config_.frozen_producer_layer;
+  binding_.emplace(program, bind_opts);
+  // The externally supplied program is the source of truth for the
+  // pipeline geometry.
+  config_.num_stages = binding_->num_stages();
+  config_.num_microbatches = binding_->num_micros();
+  DPIPE_REQUIRE(config_.global_batch % (config_.data_parallel_degree *
+                                        config_.num_microbatches) ==
+                    0,
+                "global batch must divide into replicas x micro-batches");
   if (config_.fault.armed()) {
     DPIPE_REQUIRE(config_.fault.stage >= 0 &&
                       config_.fault.stage < config_.num_stages,
@@ -94,18 +91,15 @@ PipelineTrainer::PipelineTrainer(const DdpmProblem& problem,
                       config_.fault.replica < config_.data_parallel_degree,
                   "fault-injection replica out of range");
   }
+  interpreter_.emplace(problem, *binding_, config_.global_batch);
   for (int g = 0; g < config_.data_parallel_degree; ++g) {
     Replica replica;
     replica.net = problem.make_backbone();  // Same seed: identical weights.
     if (config_.use_adam) {
-      replica.adam = std::make_unique<Adam>(config_.lr);
+      for (int s = 0; s < config_.num_stages; ++s) {
+        replica.stage_adam.push_back(std::make_unique<Adam>(config_.lr));
+      }
     }
-    const int modules = replica.net->size();
-    DPIPE_REQUIRE(config_.num_stages <= modules, "more stages than modules");
-    for (int s = 0; s < config_.num_stages; ++s) {
-      replica.stage_begin.push_back(s * modules / config_.num_stages);
-    }
-    replica.stage_begin.push_back(modules);
     replicas_.push_back(std::move(replica));
   }
   if (config_.checkpoint_interval > 0) {
@@ -114,138 +108,20 @@ PipelineTrainer::PipelineTrainer(const DdpmProblem& problem,
   }
 }
 
-std::vector<Tensor> PipelineTrainer::forward_wave(
-    Replica& replica, std::vector<Tensor> micro_inputs) {
-  const int S = config_.num_stages;
-  const int M = static_cast<int>(micro_inputs.size());
-  std::vector<Channel<Tensor>> act(S);  // act[s]: stage s -> s+1.
-  std::vector<Tensor> outputs(M);
-  const auto abort_wave = [&] {
-    for (Channel<Tensor>& ch : act) {
-      ch.close();
+std::vector<ProgramInterpreter::ReplicaState>
+PipelineTrainer::replica_states() const {
+  std::vector<ProgramInterpreter::ReplicaState> states;
+  states.reserve(replicas_.size());
+  for (const Replica& r : replicas_) {
+    ProgramInterpreter::ReplicaState state;
+    state.net = r.net.get();
+    state.sgd = &optimizer_;
+    for (const std::unique_ptr<Adam>& adam : r.stage_adam) {
+      state.stage_adam.push_back(adam.get());
     }
-  };
-  run_wave(
-      S,
-      [&](int s) {
-        for (int m = 0; m < M; ++m) {
-          Tensor x;
-          if (s == 0) {
-            x = std::move(micro_inputs[m]);
-          } else {
-            std::optional<Tensor> in = act[s - 1].pop();
-            if (!in.has_value()) {
-              return;  // Upstream stage aborted the wave.
-            }
-            x = std::move(*in);
-          }
-          Tensor y = replica.net->forward_range(
-              std::move(x), replica.stage_begin[s],
-              replica.stage_begin[s + 1]);
-          if (s < S - 1) {
-            act[s].push(std::move(y));
-          } else {
-            outputs[m] = std::move(y);
-          }
-        }
-        // No-grad wave: discard the stashed contexts.
-        for (int m = 0; m < M; ++m) {
-          replica.net->drop_context_range(replica.stage_begin[s],
-                                          replica.stage_begin[s + 1]);
-        }
-      },
-      abort_wave);
-  return outputs;
-}
-
-double PipelineTrainer::train_wave(Replica& replica, int replica_index,
-                                   std::vector<Tensor> micro_inputs,
-                                   const std::vector<Tensor>& micro_targets) {
-  const int S = config_.num_stages;
-  const int M = static_cast<int>(micro_inputs.size());
-  std::vector<Channel<Tensor>> act(S);   // stage s -> s+1 activations.
-  std::vector<Channel<Tensor>> grad(S);  // stage s+1 -> s gradients.
-  std::vector<Tensor> preds(M);
-  const RtFaultInjection fault = config_.fault;
-  const auto abort_wave = [&] {
-    for (Channel<Tensor>& ch : act) {
-      ch.close();
-    }
-    for (Channel<Tensor>& ch : grad) {
-      ch.close();
-    }
-  };
-  run_wave(
-      S,
-      [&](int s) {
-        std::vector<Tensor> local_grads(M);  // Last stage's loss gradients.
-        for (const int step : one_f_one_b_order(s, S, M)) {
-          if (step >= 0) {
-            const int m = step;
-            if (fault.armed() && iteration_ == fault.iteration &&
-                replica_index == fault.replica && s == fault.stage &&
-                m == fault.micro) {
-              throw StageFailure(
-                  "injected stage failure: iteration " +
-                  std::to_string(iteration_) + ", stage " +
-                  std::to_string(s) + ", micro " + std::to_string(m));
-            }
-            Tensor x;
-            if (s == 0) {
-              x = std::move(micro_inputs[m]);
-            } else {
-              std::optional<Tensor> in = act[s - 1].pop();
-              if (!in.has_value()) {
-                return;  // Peer stage aborted the wave.
-              }
-              x = std::move(*in);
-            }
-            Tensor y = replica.net->forward_range(
-                std::move(x), replica.stage_begin[s],
-                replica.stage_begin[s + 1]);
-            if (s < S - 1) {
-              act[s].push(std::move(y));
-            } else {
-              local_grads[m] = problem_->loss_grad(y, micro_targets[m],
-                                                   config_.global_batch);
-              preds[m] = std::move(y);
-            }
-          } else {
-            const int m = -step - 1;
-            Tensor g;
-            if (s == S - 1) {
-              g = std::move(local_grads[m]);
-            } else {
-              std::optional<Tensor> in = grad[s].pop();
-              if (!in.has_value()) {
-                return;  // Peer stage aborted the wave.
-              }
-              g = std::move(*in);
-            }
-            Tensor gi = replica.net->backward_range(
-                std::move(g), replica.stage_begin[s],
-                replica.stage_begin[s + 1]);
-            if (s > 0) {
-              grad[s - 1].push(std::move(gi));
-            } else {
-              TensorPool::global().release(std::move(gi));
-            }
-          }
-        }
-      },
-      abort_wave);
-  double sse = 0.0;
-  for (int m = 0; m < M; ++m) {
-    const Tensor& p = preds[m];
-    const Tensor& t = micro_targets[m];
-    DPIPE_ENSURE(p.shape() == t.shape(), "pred/target shape mismatch");
-    for (std::int64_t i = 0; i < p.numel(); ++i) {
-      const float d = p.data()[i] - t.data()[i];
-      sse += static_cast<double>(d) * d;
-    }
-    TensorPool::global().release(std::move(preds[m]));
+    states.push_back(std::move(state));
   }
-  return sse;  // Caller normalizes over the global batch.
+  return states;
 }
 
 void PipelineTrainer::train_one_iteration() {
@@ -254,103 +130,85 @@ void PipelineTrainer::train_one_iteration() {
   const int B = config_.global_batch;
   const int per_replica = B / G;
   const int per_micro = per_replica / M;
+  const int cond_dim = problem_->config().cond_dim;
+  TensorPool& pool = TensorPool::global();
+  ExecutionLog* log = config_.record_execution ? &log_ : nullptr;
 
   const DdpmProblem::Batch batch = problem_->make_batch(iteration_, B);
 
-  // Frozen-encoder outputs for THIS iteration: in cross-iteration mode
-  // they were produced during the previous iteration (or the iteration-0
-  // preamble); otherwise compute them now. Identical values either way.
+  // Frozen-encoder outputs for THIS iteration: in cross-iteration mode they
+  // were produced during the previous iteration's wave (kFrozenForward ops
+  // in the program's bubbles) or, at iteration 0, by the program's
+  // un-overlapped preamble. Off = run the preamble every iteration.
+  // Identical values either way: the encoder is row-pure.
   Tensor cond;
-  if (config_.cross_iteration) {
-    if (pending_cond_.empty()) {
-      pending_cond_.push_back(
-          problem_->encode_condition(batch.cond_raw));  // Preamble.
-    }
+  if (config_.cross_iteration && !pending_cond_.empty()) {
     cond = std::move(pending_cond_.front());
     pending_cond_.clear();
   } else {
-    cond = problem_->encode_condition(batch.cond_raw);
+    cond = pool.acquire({B, cond_dim});
+    interpreter_->run_preamble(batch.cond_raw, cond, G, log);
   }
 
   const bool sc_active = problem_->self_cond_active(iteration_);
-  TensorPool& pool = TensorPool::global();
-  double sse = 0.0;
+  const std::vector<ProgramInterpreter::ReplicaState> states =
+      replica_states();
+
+  // Cross-iteration: the wave's kFrozenForward ops encode the NEXT
+  // iteration's conditioning into next_cond (disjoint row slices).
+  DdpmProblem::Batch next_batch;
+  Tensor next_cond;
+  if (config_.cross_iteration) {
+    next_batch = problem_->make_batch(iteration_ + 1, B);
+    next_cond = pool.acquire({B, cond_dim});
+  }
+
+  std::vector<ProgramInterpreter::WaveInputs> wave(G);
+  std::vector<Tensor> sc_preds(G);
   for (int g = 0; g < G; ++g) {
     const int lo = g * per_replica;
     const DdpmProblem::Batch shard = slice_batch(batch, lo, lo + per_replica);
-    const Tensor cond_shard = cond.slice_rows(lo, lo + per_replica);
+    for (int m = 0; m < M; ++m) {
+      wave[g].micros.push_back(
+          slice_batch(shard, m * per_micro, (m + 1) * per_micro));
+    }
+    wave[g].cond = &cond;
+    wave[g].row_offset = lo;
+    if (config_.cross_iteration) {
+      wave[g].next_cond_raw = &next_batch.cond_raw;
+      wave[g].next_cond = &next_cond;
+    }
 
-    // Optional self-conditioning: a no-grad pipeline wave whose last-stage
-    // outputs feed back into the trainable wave's inputs (Fig. 10).
-    Tensor sc_pred;
+    // Optional self-conditioning: a no-grad replay of the program's forward
+    // instructions whose last-stage outputs feed back into the trainable
+    // wave's inputs (Fig. 10).
     if (sc_active) {
-      std::vector<Tensor> sc_inputs;
-      for (int m = 0; m < M; ++m) {
-        const DdpmProblem::Batch micro =
-            slice_batch(shard, m * per_micro, (m + 1) * per_micro);
-        sc_inputs.push_back(problem_->make_input(
-            micro, cond_shard.slice_rows(m * per_micro, (m + 1) * per_micro),
-            nullptr));
-      }
       std::vector<Tensor> outputs =
-          forward_wave(replicas_[g], std::move(sc_inputs));
-      sc_pred = pool.acquire({per_replica, problem_->config().data_dim});
-      float* dst = sc_pred.data();
+          interpreter_->forward_wave(states[g], wave[g]);
+      sc_preds[g] = pool.acquire({per_replica, problem_->config().data_dim});
+      float* dst = sc_preds[g].data();
       for (Tensor& out : outputs) {
         dst = std::copy(out.data(), out.data() + out.numel(), dst);
         pool.release(std::move(out));
       }
+      wave[g].self_cond = &sc_preds[g];
     }
-
-    std::vector<Tensor> inputs;
-    std::vector<Tensor> targets;
-    for (int m = 0; m < M; ++m) {
-      const int mlo = m * per_micro;
-      const int mhi = (m + 1) * per_micro;
-      DdpmProblem::Batch micro = slice_batch(shard, mlo, mhi);
-      const Tensor micro_sc =
-          sc_active ? sc_pred.slice_rows(mlo, mhi) : Tensor();
-      inputs.push_back(problem_->make_input(
-          micro, cond_shard.slice_rows(mlo, mhi),
-          sc_active ? &micro_sc : nullptr));
-      targets.push_back(std::move(micro.noise));
-    }
-    if (sc_active) {
-      pool.release(std::move(sc_pred));
-    }
-    sse += train_wave(replicas_[g], g, std::move(inputs), targets);
   }
+
+  // The trainable wave: all replicas execute the program concurrently
+  // (stages x replicas threads); allreduce + optimizer steps are
+  // instructions inside it.
+  const double sse =
+      interpreter_->train_wave(states, wave, iteration_, config_.fault, log);
   losses_.push_back(sse /
                     (static_cast<double>(B) * problem_->config().data_dim));
+  for (int g = 0; g < G; ++g) {
+    if (sc_preds[g].defined()) {
+      pool.release(std::move(sc_preds[g]));
+    }
+  }
+  pool.release(std::move(cond));
 
-  // Gradient "allreduce": average across replicas, then identical steps.
-  std::vector<std::vector<Tensor*>> grads;
-  grads.reserve(replicas_.size());
-  for (Replica& r : replicas_) {
-    grads.push_back(r.net->grads());
-  }
-  for (std::size_t i = 0; i < grads[0].size(); ++i) {
-    Tensor avg = pool.acquire(grads[0][i]->shape());
-    std::copy(grads[0][i]->data(), grads[0][i]->data() + avg.numel(),
-              avg.data());
-    for (int g = 1; g < G; ++g) {
-      add_inplace(avg, *grads[g][i]);
-    }
-    // Micro gradients were normalized by the global batch already, so the
-    // replica sum IS the full-batch gradient: no division needed.
-    for (int g = 0; g < G; ++g) {
-      std::copy(avg.data(), avg.data() + avg.numel(), grads[g][i]->data());
-    }
-    pool.release(std::move(avg));
-  }
-  for (Replica& r : replicas_) {
-    if (r.adam != nullptr) {
-      r.adam->step(r.net->params(), r.net->grads());
-    } else {
-      optimizer_.step(r.net->params(), r.net->grads());
-    }
-    r.net->zero_grad();
-  }
   // Replicas must stay bit-identical.
   const std::vector<Tensor*> p0 = replicas_[0].net->params();
   for (int g = 1; g < G; ++g) {
@@ -361,11 +219,8 @@ void PipelineTrainer::train_one_iteration() {
     }
   }
 
-  // Cross-iteration: produce the NEXT iteration's encoder outputs now
-  // (in the real system this compute sits in this iteration's bubbles).
   if (config_.cross_iteration) {
-    const DdpmProblem::Batch next = problem_->make_batch(iteration_ + 1, B);
-    pending_cond_.push_back(problem_->encode_condition(next.cond_raw));
+    pending_cond_.push_back(std::move(next_cond));
   }
   ++iteration_;
 }
@@ -398,9 +253,29 @@ TrainerCheckpoint PipelineTrainer::checkpoint() const {
   ckpt.iteration = iteration_;
   ckpt.losses = losses_;
   ckpt.params = snapshot_params();
-  if (replicas_[0].adam != nullptr) {
+  if (config_.use_adam) {
+    // Assemble the canonical (global) Adam state from the per-stage
+    // instances: stage order equals module order, so the concatenated
+    // moment lists match a whole-network Adam tensor-for-tensor.
     ckpt.has_adam = true;
-    ckpt.adam = replicas_[0].adam->state();
+    const Replica& r0 = replicas_[0];
+    Adam::State merged;
+    merged.t = -1;
+    for (const std::unique_ptr<Adam>& adam : r0.stage_adam) {
+      const Adam::State stage = adam->state();
+      if (merged.t < 0) {
+        merged.t = stage.t;
+      }
+      DPIPE_ENSURE(stage.t == merged.t,
+                   "per-stage Adam step counters diverged");
+      for (const Tensor& m : stage.m) {
+        merged.m.push_back(m);
+      }
+      for (const Tensor& v : stage.v) {
+        merged.v.push_back(v);
+      }
+    }
+    ckpt.adam = std::move(merged);
   }
   ckpt.pending_cond = pending_cond_;
   ckpt.replica_divergence = replica_divergence_;
@@ -420,8 +295,31 @@ void PipelineTrainer::restore(const TrainerCheckpoint& ckpt) {
                     "checkpoint parameter shape mismatch");
       *params[i] = ckpt.params[i];
     }
-    if (r.adam != nullptr) {
-      r.adam->load_state(ckpt.adam);
+    if (config_.use_adam) {
+      // Split the canonical state back into per-stage slices.
+      const bool has_moments = !ckpt.adam.m.empty();
+      std::size_t offset = 0;
+      for (int s = 0; s < config_.num_stages; ++s) {
+        std::size_t count = 0;
+        for (int i = binding_->module_begin(s); i < binding_->module_end(s);
+             ++i) {
+          count += r.net->module(i).params().size();
+        }
+        Adam::State stage;
+        stage.t = ckpt.adam.t;
+        if (has_moments) {
+          DPIPE_REQUIRE(offset + count <= ckpt.adam.m.size(),
+                        "checkpoint Adam state size mismatch");
+          stage.m.assign(ckpt.adam.m.begin() + offset,
+                         ckpt.adam.m.begin() + offset + count);
+          stage.v.assign(ckpt.adam.v.begin() + offset,
+                         ckpt.adam.v.begin() + offset + count);
+        }
+        r.stage_adam[s]->load_state(stage);
+        offset += count;
+      }
+      DPIPE_REQUIRE(!has_moments || offset == ckpt.adam.m.size(),
+                    "checkpoint Adam state size mismatch");
     }
   }
   losses_ = ckpt.losses;

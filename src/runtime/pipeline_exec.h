@@ -1,102 +1,17 @@
 #pragma once
 
-#include <chrono>
-#include <condition_variable>
-#include <mutex>
+#include <memory>
 #include <optional>
-#include <queue>
-#include <stdexcept>
+#include <vector>
 
+#include "core/instr/instructions.h"
+#include "runtime/channel.h"
 #include "runtime/ddpm.h"
+#include "runtime/interpreter.h"
 #include "runtime/optim.h"
 #include "runtime/pool.h"
 
 namespace dpipe::rt {
-
-/// Blocking FIFO channel between pipeline stage threads.
-///
-/// Supports cooperative shutdown: `close()` wakes every blocked consumer,
-/// after which `pop()` drains any queued values and then returns nullopt.
-/// Producers pushing into a closed channel drop the value silently (the
-/// consumer is gone — this happens only while a wave is being aborted).
-template <typename T>
-class Channel {
- public:
-  void push(T value) {
-    {
-      const std::lock_guard<std::mutex> lock(mutex_);
-      if (closed_) {
-        return;
-      }
-      queue_.push(std::move(value));
-    }
-    cv_.notify_one();
-  }
-
-  /// Blocks until a value is available or the channel is closed and empty.
-  [[nodiscard]] std::optional<T> pop() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [&] { return !queue_.empty() || closed_; });
-    return take_locked();
-  }
-
-  /// Like pop(), but gives up after `timeout_ms`; nullopt on timeout too.
-  [[nodiscard]] std::optional<T> pop_for(double timeout_ms) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait_for(lock,
-                 std::chrono::duration<double, std::milli>(timeout_ms),
-                 [&] { return !queue_.empty() || closed_; });
-    return take_locked();
-  }
-
-  /// Marks the channel closed and wakes all blocked consumers. Idempotent.
-  void close() {
-    {
-      const std::lock_guard<std::mutex> lock(mutex_);
-      closed_ = true;
-    }
-    cv_.notify_all();
-  }
-
-  [[nodiscard]] bool closed() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    return closed_;
-  }
-
- private:
-  [[nodiscard]] std::optional<T> take_locked() {
-    if (queue_.empty()) {
-      return std::nullopt;
-    }
-    std::optional<T> value = std::move(queue_.front());
-    queue_.pop();
-    return value;
-  }
-
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::queue<T> queue_;
-  bool closed_ = false;
-};
-
-/// Thrown by a stage thread killed via PipelineRtConfig::fault — the
-/// test-visible stand-in for a crashed pipeline worker.
-class StageFailure : public std::runtime_error {
- public:
-  using std::runtime_error::runtime_error;
-};
-
-/// Test-visible fault injection: the matching stage thread throws
-/// StageFailure while processing forward micro-batch `micro` of training
-/// iteration `iteration` on replica `replica`. iteration < 0 disables it.
-struct RtFaultInjection {
-  int iteration = -1;
-  int stage = 0;
-  int micro = 0;
-  int replica = 0;
-
-  [[nodiscard]] bool armed() const { return iteration >= 0; }
-};
 
 struct PipelineRtConfig {
   int num_stages = 2;
@@ -117,6 +32,13 @@ struct PipelineRtConfig {
   /// exposes the most recent one for crash recovery.
   int checkpoint_interval = 0;
   RtFaultInjection fault;  ///< Kill-a-stage-thread injection point.
+  /// Record every iteration's per-device op order (execution_log()) for
+  /// cross-backend parity checks against occupancy_trace() and the engine.
+  bool record_execution = false;
+  /// Conditioning producer override for externally supplied programs
+  /// (see ProgramBinding::Options); -1 = infer from the program.
+  int frozen_producer_component = -1;
+  int frozen_producer_layer = -1;
 };
 
 /// Complete PipelineTrainer state at an iteration boundary: parameters,
@@ -134,18 +56,35 @@ struct TrainerCheckpoint {
   float replica_divergence = 0.0f;
 };
 
-/// Thread-per-stage synchronous 1F1B pipeline trainer over the toy DDPM.
-/// Demonstrates functionally (real tensors, real threads, real channels)
-/// that DiffusionPipe's schedule — FIFO-1F1B with micro-batch gradient
-/// accumulation, data-parallel replicas with gradient averaging, optional
-/// self-conditioning feedback and cross-iteration frozen-part execution —
-/// reproduces the reference full-batch trajectory exactly, and that it
-/// survives stage failures: a throwing stage aborts the wave cleanly
-/// (channels closed, threads joined, exception propagated) and training
-/// resumes bit-exactly from the last checkpoint.
+/// Program-driven synchronous pipeline trainer over the toy DDPM.
+///
+/// The trainer does not hand-roll its wave loops: it lowers its
+/// configuration through the planner's own pipeline (partition ->
+/// ScheduleBuilder::build_1f1b -> BubbleFiller -> generate_instructions)
+/// into the same InstructionProgram the simulated engine replays, validates
+/// it (ProgramValidator), binds it onto the runtime model (ProgramBinding),
+/// and executes it with the ProgramInterpreter: one thread per (replica,
+/// stage) walks its device's instruction stream over real tensors and
+/// rt::Channels. Front-end and back-end thereby share one program — the
+/// "one program, two backends" contract checked by the parity tests.
+///
+/// Demonstrates functionally that DiffusionPipe's schedule — FIFO-1F1B with
+/// micro-batch gradient accumulation, data-parallel replicas with gradient
+/// averaging, optional self-conditioning feedback and cross-iteration
+/// frozen-part execution — reproduces the reference full-batch trajectory
+/// exactly, and that it survives stage failures: a throwing stage aborts
+/// the wave cleanly (channels closed, threads joined, exception propagated)
+/// and training resumes bit-exactly from the last checkpoint.
 class PipelineTrainer {
  public:
   PipelineTrainer(const DdpmProblem& problem, PipelineRtConfig config);
+
+  /// Binds and runs an externally supplied program (e.g. parsed from a
+  /// .dpipe file) instead of self-lowering one. The program must be
+  /// runtime-bindable (see ProgramValidator::validate_runtime_bindable);
+  /// config.num_stages/num_microbatches are taken from the program.
+  PipelineTrainer(const DdpmProblem& problem, PipelineRtConfig config,
+                  const InstructionProgram& program);
 
   void train(int iterations);
 
@@ -176,34 +115,41 @@ class PipelineTrainer {
     return replica_divergence_;
   }
 
+  /// The validated instruction program this trainer executes.
+  [[nodiscard]] const InstructionProgram& program() const {
+    return binding_->program();
+  }
+  /// Per-device op order of everything executed so far (replica 0);
+  /// requires config.record_execution.
+  [[nodiscard]] const ExecutionLog& execution_log() const { return log_; }
+
  private:
   struct Replica {
     std::unique_ptr<Sequential> net;
-    std::vector<int> stage_begin;  ///< Module index of each stage start.
-    std::unique_ptr<Adam> adam;    ///< Non-null when Adam was requested.
+    /// Per-stage Adam instances (empty for SGD). Stepping each stage's
+    /// parameter slice with its own Adam is bit-identical to one global
+    /// Adam over the whole list: state is kept per tensor and every stage
+    /// steps exactly once per iteration.
+    std::vector<std::unique_ptr<Adam>> stage_adam;
   };
+  void init(const DdpmProblem& problem, const InstructionProgram& program);
   void train_one_iteration();
-  /// Runs one forward-only wave, returning the last stage's per-micro
-  /// outputs; contexts are dropped (no-grad pass). Takes the inputs by
-  /// value: stage 0 moves each micro-batch into the pipeline.
-  [[nodiscard]] std::vector<Tensor> forward_wave(
-      Replica& replica, std::vector<Tensor> micro_inputs);
-  /// Runs the 1F1B forward+backward wave; returns summed micro losses.
-  /// `replica_index` routes the fault-injection check.
-  double train_wave(Replica& replica, int replica_index,
-                    std::vector<Tensor> micro_inputs,
-                    const std::vector<Tensor>& micro_targets);
   /// Drops stashed micro-batch contexts and accumulated gradients on every
   /// replica — the cleanup step after an aborted wave or before a restore.
   void reset_transient_state();
+  [[nodiscard]] std::vector<ProgramInterpreter::ReplicaState>
+  replica_states() const;
 
   const DdpmProblem* problem_;
   PipelineRtConfig config_;
+  std::optional<ProgramBinding> binding_;
+  std::optional<ProgramInterpreter> interpreter_;
   std::vector<Replica> replicas_;
   Sgd optimizer_;
   std::vector<double> losses_;
   std::vector<Tensor> pending_cond_;  ///< Cross-iteration encoder outputs
                                       ///< (one per replica) for iteration_.
+  ExecutionLog log_;
   TrainerCheckpoint last_checkpoint_;
   bool has_checkpoint_ = false;
   bool failed_ = false;

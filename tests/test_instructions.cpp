@@ -175,6 +175,18 @@ TEST(Serialize, RoundTripPreservesEveryField) {
   }
 }
 
+TEST(Serialize, ReserializationIsByteIdentical) {
+  // serialize -> parse -> re-serialize is the identity on the textual
+  // form: the .dpipe format loses nothing, so a program can cross the
+  // front-end/back-end hand-off any number of times.
+  const Lowered l(make_stable_diffusion_v21(), 4, 4, 64.0);
+  const std::string text = program_to_string(l.program);
+  EXPECT_EQ(program_to_string(program_from_string(text)), text);
+  const Lowered cascade(make_cdm_lsun(), 2, 4, 64.0);
+  const std::string text2 = program_to_string(cascade.program);
+  EXPECT_EQ(program_to_string(program_from_string(text2)), text2);
+}
+
 TEST(Serialize, DeserializedProgramExecutesIdentically) {
   const Lowered l(make_stable_diffusion_v21(), 2, 4, 64.0);
   const InstructionProgram copy =

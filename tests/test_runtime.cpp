@@ -333,14 +333,14 @@ TEST(PipelineTrainer, RejectsIndivisibleBatch) {
 
 TEST(Channel, PopDrainsThenReportsClosed) {
   Channel<int> ch;
-  ch.push(1);
-  ch.push(2);
+  EXPECT_TRUE(ch.push(1));
+  EXPECT_TRUE(ch.push(2));
   ch.close();
   EXPECT_EQ(ch.pop(), 1);  // Queued values drain after close...
   EXPECT_EQ(ch.pop(), 2);
   EXPECT_EQ(ch.pop(), std::nullopt);  // ...then closed-and-empty.
-  ch.push(3);  // Pushing into a closed channel drops the value.
-  EXPECT_EQ(ch.pop(), std::nullopt);
+  EXPECT_FALSE(ch.push(3));  // A closed channel refuses the value...
+  EXPECT_EQ(ch.pop(), std::nullopt);  // ...and stays empty.
 }
 
 TEST(Channel, CloseWakesBlockedConsumer) {
@@ -355,7 +355,7 @@ TEST(Channel, CloseWakesBlockedConsumer) {
 TEST(Channel, PopForTimesOutWithoutProducer) {
   Channel<int> ch;
   EXPECT_EQ(ch.pop_for(5.0), std::nullopt);
-  ch.push(7);
+  EXPECT_TRUE(ch.push(7));
   EXPECT_EQ(ch.pop_for(5.0), 7);
 }
 

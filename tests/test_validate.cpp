@@ -1,0 +1,200 @@
+// ProgramValidator: the well-formedness contract both back-ends assume.
+// Every program the planner pipeline emits — any builder, any geometry —
+// must pass; corrupted programs must be rejected with an anchored issue.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "core/fill/filler.h"
+#include "core/instr/instructions.h"
+#include "core/instr/validate.h"
+#include "core/partition/bidirectional.h"
+#include "core/partition/brute_force.h"
+#include "model/zoo.h"
+
+namespace dpipe {
+namespace {
+
+enum class Builder { k1f1b, kGpipe, kBidirectional };
+
+/// Lowers `model` through the planner pipeline (partition -> schedule ->
+/// bubble fill -> instruction generation) exactly as the planner does.
+InstructionProgram lowered(const ModelDesc& model, Builder which, int stages,
+                           int micros, int group_size, double batch) {
+  const ClusterSpec cluster = make_p4de_cluster(2);
+  const CommModel comm(cluster);
+  const ProfileDb db(model,
+                     AnalyticCostModel(cluster.device, NoiseSource(0, 0.0)),
+                     default_batch_grid());
+  PartitionOptions opts;
+  opts.num_stages = stages;
+  opts.num_microbatches = micros;
+  opts.group_size = group_size;
+  opts.data_parallel_degree = 2;
+  opts.microbatch_size = batch / micros;
+  const DpPartitioner partitioner(db, comm);
+  const ScheduleBuilder builder(db, comm);
+  Schedule schedule;
+  if (which == Builder::kBidirectional) {
+    const BiPartitionResult part = partition_bidirectional(
+        partitioner, model.backbone_ids[0], model.backbone_ids[1], opts);
+    schedule = builder.build_bidirectional(
+        model.backbone_ids[0], part.down_stages, model.backbone_ids[1],
+        part.up_stages, opts);
+  } else {
+    const PartitionResult part =
+        partitioner.partition_single(model.backbone_ids[0], opts);
+    schedule = which == Builder::k1f1b
+                   ? builder.build_1f1b(model.backbone_ids[0], part.stages,
+                                        opts)
+                   : builder.build_gpipe(model.backbone_ids[0], part.stages,
+                                         opts);
+  }
+  FillOptions fill_opts;
+  fill_opts.training_batch = batch;
+  const FillResult fill = BubbleFiller(db).fill(schedule, fill_opts);
+  return generate_instructions(db, fill.filled_schedule, fill, opts);
+}
+
+TEST(Validator, AcceptsAllBuildersAcrossGeometries) {
+  const ProgramValidator validator;
+  const ModelDesc single = make_stable_diffusion_v21();
+  const ModelDesc cascade = make_cdm_lsun();
+  const struct {
+    int stages;
+    int micros;
+    int group_size;
+  } grid[] = {{2, 2, 4}, {2, 4, 8}, {4, 4, 8}, {4, 2, 4}, {4, 3, 4}};
+  for (const auto& g : grid) {
+    for (const Builder which :
+         {Builder::k1f1b, Builder::kGpipe, Builder::kBidirectional}) {
+      const ModelDesc& model =
+          which == Builder::kBidirectional ? cascade : single;
+      const InstructionProgram program =
+          lowered(model, which, g.stages, g.micros, g.group_size, 64.0);
+      const ValidationReport report = validator.validate(program);
+      EXPECT_TRUE(report.ok())
+          << "builder " << static_cast<int>(which) << " S=" << g.stages
+          << " M=" << g.micros << " D=" << g.group_size << ":\n"
+          << report.to_string();
+    }
+  }
+}
+
+TEST(Validator, RejectsDanglingRecv) {
+  InstructionProgram program =
+      lowered(make_stable_diffusion_v21(), Builder::k1f1b, 2, 4, 4, 64.0);
+  // Drop one send-activation; its paired recv now dangles.
+  bool erased = false;
+  for (std::vector<Instruction>& stream : program.per_device) {
+    const auto it =
+        std::find_if(stream.begin(), stream.end(), [](const Instruction& i) {
+          return i.kind == InstrKind::kSendActivation;
+        });
+    if (it != stream.end()) {
+      stream.erase(it);
+      erased = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(erased);
+  const ValidationReport report = ProgramValidator().validate(program);
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find("dangling receive"), std::string::npos)
+      << report.to_string();
+}
+
+TEST(Validator, RejectsReorderedOptimizerStep) {
+  InstructionProgram program =
+      lowered(make_stable_diffusion_v21(), Builder::k1f1b, 2, 4, 4, 64.0);
+  // Move the optimizer step in front of its allreduce on one device.
+  bool moved = false;
+  for (std::vector<Instruction>& stream : program.per_device) {
+    const auto reduce = std::find_if(
+        stream.begin(), stream.end(), [](const Instruction& i) {
+          return i.kind == InstrKind::kAllReduceGrads;
+        });
+    const auto opt = std::find_if(
+        stream.begin(), stream.end(), [](const Instruction& i) {
+          return i.kind == InstrKind::kOptimizerStep;
+        });
+    if (reduce != stream.end() && opt != stream.end() && reduce < opt) {
+      std::rotate(reduce, opt, opt + 1);
+      moved = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(moved);
+  EXPECT_FALSE(ProgramValidator().validate(program).ok());
+  EXPECT_THROW(require_valid_program(program), std::invalid_argument);
+}
+
+TEST(Validator, RejectsMismatchedPeer) {
+  InstructionProgram program =
+      lowered(make_stable_diffusion_v21(), Builder::k1f1b, 2, 4, 4, 64.0);
+  // Re-point one recv-activation at the wrong sender.
+  bool repointed = false;
+  for (std::vector<Instruction>& stream : program.per_device) {
+    for (Instruction& i : stream) {
+      if (i.kind == InstrKind::kRecvActivation) {
+        i.peer = (i.peer + 1) % program.group_size;
+        repointed = true;
+        break;
+      }
+    }
+    if (repointed) {
+      break;
+    }
+  }
+  ASSERT_TRUE(repointed);
+  EXPECT_FALSE(ProgramValidator().validate(program).ok());
+}
+
+TEST(Validator, RuntimeBindableNeedsOneReplicaPerStageAndFifo) {
+  const ProgramValidator validator;
+  // 4 stages on 8 devices: every stage replicated twice. Valid for the
+  // engine, not bindable onto one runtime Sequential.
+  const InstructionProgram replicated =
+      lowered(make_stable_diffusion_v21(), Builder::k1f1b, 4, 4, 8, 64.0);
+  EXPECT_TRUE(validator.validate(replicated).ok());
+  const ValidationReport rep = validator.validate_runtime_bindable(replicated);
+  EXPECT_FALSE(rep.ok());
+  EXPECT_NE(rep.to_string().find("replica"), std::string::npos)
+      << rep.to_string();
+
+  // GPipe's all-forwards-then-all-backwards order pops micro-batches LIFO;
+  // the runtime's FIFO autograd stashes cannot replay it.
+  const InstructionProgram gpipe =
+      lowered(make_stable_diffusion_v21(), Builder::kGpipe, 4, 4, 4, 64.0);
+  EXPECT_TRUE(validator.validate(gpipe).ok());
+  EXPECT_FALSE(validator.validate_runtime_bindable(gpipe).ok());
+
+  // One replica per stage, 1F1B: bindable.
+  const InstructionProgram bindable =
+      lowered(make_stable_diffusion_v21(), Builder::k1f1b, 4, 4, 4, 64.0);
+  const ValidationReport ok = validator.validate_runtime_bindable(bindable);
+  EXPECT_TRUE(ok.ok()) << ok.to_string();
+}
+
+TEST(Validator, OccupancyTraceRepeatsSteadyStateAfterPreamble) {
+  const InstructionProgram program =
+      lowered(make_stable_diffusion_v21(), Builder::k1f1b, 2, 2, 4, 64.0);
+  const auto once = occupancy_trace(program, 1);
+  const auto twice = occupancy_trace(program, 2);
+  ASSERT_EQ(once.size(), twice.size());
+  for (std::size_t dev = 0; dev < once.size(); ++dev) {
+    ASSERT_GT(once[dev].size(), 0u);
+    // The second iteration appends exactly one more steady-state round.
+    const std::size_t steady = twice[dev].size() - once[dev].size();
+    ASSERT_EQ(once[dev].size() + steady, twice[dev].size());
+    EXPECT_TRUE(std::equal(once[dev].begin(), once[dev].end(),
+                           twice[dev].begin()));
+    EXPECT_TRUE(std::equal(twice[dev].end() - steady, twice[dev].end(),
+                           twice[dev].end() - 2 * steady));
+  }
+}
+
+}  // namespace
+}  // namespace dpipe

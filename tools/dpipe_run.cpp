@@ -1,17 +1,31 @@
-// dpipe_run: DiffusionPipe's back-end as a CLI. Loads an instruction
-// program written by dpipe_plan and replays it on the discrete-event
-// engine.
+// dpipe_run: DiffusionPipe's back-ends as a CLI. Loads an instruction
+// program written by dpipe_plan and replays it on one of two backends that
+// interpret the same validated program:
 //
-//   dpipe_run <program.dpipe> <model> <machines> <group_batch>
-//             [data_parallel_degree] [iterations]
+//   --backend=sim   discrete-event engine (modeled time, default)
+//   --backend=real  functional runtime (real tensors, one thread per
+//                   device walking its instruction stream)
+//
+// With --backend=real the tool also replays the program on the engine and
+// cross-checks the per-device op order of both backends against the
+// program's occupancy trace — the "one program, two backends" parity check.
+//
+//   dpipe_run [--backend=sim|real] <program.dpipe> <model> <machines>
+//             <group_batch> [data_parallel_degree] [iterations]
 
+#include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <string>
+#include <vector>
 
 #include "core/instr/serialize.h"
+#include "core/instr/validate.h"
 #include "engine/engine.h"
 #include "model/zoo.h"
 #include "profiler/profiler.h"
+#include "runtime/pipeline_exec.h"
 
 namespace {
 
@@ -27,49 +41,228 @@ dpipe::ModelDesc model_by_name(const std::string& name) {
   throw std::invalid_argument("unknown model: " + name);
 }
 
+/// op_signature of a measured engine timeline op (occupying ops only).
+std::string timeline_signature(const dpipe::PipelineOp& op) {
+  dpipe::Instruction instr;
+  switch (op.kind) {
+    case dpipe::OpKind::kLoad:
+      instr.kind = dpipe::InstrKind::kLoadMicroBatch;
+      break;
+    case dpipe::OpKind::kForward:
+      instr.kind = dpipe::InstrKind::kForward;
+      break;
+    case dpipe::OpKind::kBackward:
+      instr.kind = dpipe::InstrKind::kBackward;
+      break;
+    case dpipe::OpKind::kFrozenForward:
+    case dpipe::OpKind::kFrozenForwardPartial:
+    case dpipe::OpKind::kLeftoverForward:
+      instr.kind = dpipe::InstrKind::kFrozenForward;
+      break;
+    case dpipe::OpKind::kOptimizer:
+      instr.kind = dpipe::InstrKind::kOptimizerStep;
+      break;
+    case dpipe::OpKind::kGradSync:
+      return {};  // Link op: occupies no device.
+  }
+  instr.backbone = op.backbone;
+  instr.stage = op.stage;
+  instr.micro = op.micro;
+  instr.component = op.component;
+  instr.layer_begin = op.layer;
+  instr.layer_end = op.layer + 1;
+  return op_signature(instr);
+}
+
+/// Measured timelines keep only a frozen op's first layer, so drop the
+/// ":end" half of frozen signatures before comparing against them.
+std::vector<std::vector<std::string>> drop_layer_end(
+    std::vector<std::vector<std::string>> log) {
+  for (std::vector<std::string>& stream : log) {
+    for (std::string& sig : stream) {
+      if (sig.rfind("frozen ", 0) == 0) {
+        sig.resize(sig.find(':'));
+      }
+    }
+  }
+  return log;
+}
+
+/// Per-device op-order parity between two execution records.
+bool check_parity(const std::vector<std::vector<std::string>>& expected,
+                  const std::vector<std::vector<std::string>>& actual,
+                  const char* what) {
+  if (expected.size() != actual.size()) {
+    std::fprintf(stderr, "parity FAILED (%s): device count %zu vs %zu\n",
+                 what, expected.size(), actual.size());
+    return false;
+  }
+  for (std::size_t dev = 0; dev < expected.size(); ++dev) {
+    if (expected[dev] == actual[dev]) {
+      continue;
+    }
+    std::fprintf(stderr, "parity FAILED (%s) on device %zu:\n", what, dev);
+    const std::size_t n = std::max(expected[dev].size(), actual[dev].size());
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::string& e =
+          i < expected[dev].size() ? expected[dev][i] : "<none>";
+      const std::string& a = i < actual[dev].size() ? actual[dev][i] : "<none>";
+      if (e != a) {
+        std::fprintf(stderr, "  op %zu: expected '%s', got '%s'\n", i,
+                     e.c_str(), a.c_str());
+        break;
+      }
+    }
+    return false;
+  }
+  return true;
+}
+
+int run_sim(const dpipe::InstructionProgram& program,
+            const dpipe::ProfileDb& db, const dpipe::CommModel& comm,
+            const char* path, double group_batch, int dp, int iterations) {
+  dpipe::EngineOptions options;
+  options.group_batch = group_batch;
+  options.data_parallel_degree = dp;
+  options.iterations = iterations;
+  const dpipe::ExecutionEngine engine(db, comm);
+  const dpipe::EngineResult result = engine.run(program, options);
+  std::printf("replayed %d iterations of %s (backend=sim):\n",
+              options.iterations, path);
+  std::printf("  steady iteration %.1f ms (first %.1f ms incl. "
+              "preamble)\n",
+              result.steady_iteration_ms,
+              result.iterations[0].duration_ms());
+  std::printf("  throughput %.1f samples/s, bubble ratio %.1f%%\n",
+              result.samples_per_second, 100.0 * result.steady_bubble_ratio);
+  return 0;
+}
+
+int run_real(const dpipe::InstructionProgram& program,
+             const dpipe::ProfileDb& db, const dpipe::CommModel& comm,
+             const char* path, int dp, int iterations) {
+  using namespace dpipe;
+  using namespace dpipe::rt;
+
+  // Geometry from the program itself: micro-batch rows from the stage-0
+  // load instructions, stage count from the binding.
+  int num_stages = 0;
+  int num_micros = 0;
+  int per_micro = 0;
+  for (const std::vector<Instruction>& stream : program.per_device) {
+    for (const Instruction& instr : stream) {
+      if (instr.kind == InstrKind::kLoadMicroBatch) {
+        per_micro = std::max(
+            per_micro, static_cast<int>(std::llround(instr.samples)));
+        num_micros = std::max(num_micros, instr.micro + 1);
+      } else if (instr.kind == InstrKind::kForward) {
+        num_stages = std::max(num_stages, instr.stage + 1);
+      }
+    }
+  }
+  if (per_micro < 1 || num_micros < 1 || num_stages < 1) {
+    std::fprintf(stderr, "error: program has no runnable backbone work\n");
+    return 1;
+  }
+
+  DdpmConfig ddpm;
+  // Enough MLP blocks that every pipeline stage gets at least one module.
+  ddpm.depth = std::max(4, num_stages);
+  const DdpmProblem problem(ddpm);
+
+  PipelineRtConfig cfg;
+  cfg.data_parallel_degree = dp;
+  cfg.global_batch = per_micro * num_micros * dp;
+  cfg.cross_iteration = true;
+  cfg.record_execution = true;
+  PipelineTrainer trainer(problem, cfg, program);
+  trainer.train(iterations);
+
+  std::printf("replayed %d iterations of %s (backend=real):\n", iterations,
+              path);
+  std::printf("  %d stages x %d micro-batches x %d replicas, "
+              "global batch %d\n",
+              num_stages, num_micros, dp, cfg.global_batch);
+  std::printf("  losses:");
+  for (double loss : trainer.losses()) {
+    std::printf(" %.6f", loss);
+  }
+  std::printf("\n");
+
+  // Cross-backend parity: the runtime's executed op order, the simulated
+  // engine's measured timelines, and the program's static occupancy trace
+  // must agree per device.
+  const std::vector<std::vector<std::string>> expected =
+      occupancy_trace(trainer.program(), iterations);
+  bool ok = check_parity(expected, trainer.execution_log(), "runtime");
+
+  EngineOptions sim;
+  sim.group_batch = static_cast<double>(per_micro) * num_micros;
+  sim.data_parallel_degree = dp;
+  sim.iterations = iterations;
+  sim.record_timelines = true;
+  const ExecutionEngine engine(db, comm);
+  const EngineResult result = engine.run(trainer.program(), sim);
+  std::vector<std::vector<std::string>> engine_log(
+      result.timelines.devices.size());
+  for (std::size_t dev = 0; dev < result.timelines.devices.size(); ++dev) {
+    for (const PipelineOp& op : result.timelines.devices[dev].ops) {
+      std::string sig = timeline_signature(op);
+      if (!sig.empty()) {
+        engine_log[dev].push_back(std::move(sig));
+      }
+    }
+  }
+  ok = check_parity(drop_layer_end(expected), drop_layer_end(engine_log),
+                    "engine") &&
+       ok;
+
+  std::printf("  cross-backend op order parity: %s\n",
+              ok ? "OK" : "FAILED");
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 5) {
+  std::string backend = "sim";
+  int arg = 1;
+  if (arg < argc && std::strncmp(argv[arg], "--backend=", 10) == 0) {
+    backend = argv[arg] + 10;
+    ++arg;
+  }
+  if (argc - arg < 4 || (backend != "sim" && backend != "real")) {
     std::fprintf(stderr,
-                 "usage: %s <program.dpipe> <model> <machines> "
-                 "<group_batch> [dp_degree] [iterations]\n",
+                 "usage: %s [--backend=sim|real] <program.dpipe> <model> "
+                 "<machines> <group_batch> [dp_degree] [iterations]\n",
                  argv[0]);
     return 2;
   }
   try {
-    std::ifstream in(argv[1]);
+    std::ifstream in(argv[arg]);
     if (!in) {
-      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      std::fprintf(stderr, "cannot open %s\n", argv[arg]);
       return 1;
     }
     const dpipe::InstructionProgram program = dpipe::load_program(in);
-    const dpipe::ModelDesc model = model_by_name(argv[2]);
+    dpipe::require_valid_program(program);
+    const dpipe::ModelDesc model = model_by_name(argv[arg + 1]);
     const dpipe::ClusterSpec cluster =
-        dpipe::make_p4de_cluster(std::atoi(argv[3]));
+        dpipe::make_p4de_cluster(std::atoi(argv[arg + 2]));
     const dpipe::CommModel comm(cluster);
     const dpipe::ProfileDb db(
         model,
         dpipe::AnalyticCostModel(cluster.device,
                                  dpipe::NoiseSource(0xD1FF, 0.02)),
         dpipe::default_batch_grid());
-
-    dpipe::EngineOptions options;
-    options.group_batch = std::atof(argv[4]);
-    options.data_parallel_degree = argc >= 6 ? std::atoi(argv[5]) : 1;
-    options.iterations = argc >= 7 ? std::atoi(argv[6]) : 4;
-    const dpipe::ExecutionEngine engine(db, comm);
-    const dpipe::EngineResult result = engine.run(program, options);
-    std::printf("replayed %d iterations of %s:\n", options.iterations,
-                argv[1]);
-    std::printf("  steady iteration %.1f ms (first %.1f ms incl. "
-                "preamble)\n",
-                result.steady_iteration_ms,
-                result.iterations[0].duration_ms());
-    std::printf("  throughput %.1f samples/s, bubble ratio %.1f%%\n",
-                result.samples_per_second,
-                100.0 * result.steady_bubble_ratio);
-    return 0;
+    const double group_batch = std::atof(argv[arg + 3]);
+    const int dp = argc - arg >= 5 ? std::atoi(argv[arg + 4]) : 1;
+    const int iterations = argc - arg >= 6 ? std::atoi(argv[arg + 5]) : 4;
+    if (backend == "sim") {
+      return run_sim(program, db, comm, argv[arg], group_batch, dp,
+                     iterations);
+    }
+    return run_real(program, db, comm, argv[arg], dp, iterations);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return 1;

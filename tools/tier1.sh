@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 verification: the standard build + full test suite, then a
 # ThreadSanitizer build running the concurrency-sensitive runtime and fault
-# tests (thread-per-stage pipeline trainer, channel shutdown, checkpoint
-# recovery) plus the parallel planner-search determinism tests and the
-# kernel/pool substrate tests (row-block fan-out, concurrent TensorPool).
+# tests (thread-per-stage program interpreter, channel shutdown, checkpoint
+# recovery, cross-backend parity) plus the parallel planner-search
+# determinism tests and the kernel/pool substrate tests (row-block fan-out,
+# concurrent TensorPool).
 # Run from the repository root.
 set -euo pipefail
 
@@ -18,6 +19,6 @@ echo "== tier-1: ThreadSanitizer build (runtime + fault tests) =="
 cmake -B build-tsan -S . -DDPIPE_SANITIZE=thread
 cmake --build build-tsan -j"$(nproc)" --target dpipe_tests
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/dpipe_tests \
-  --gtest_filter='Channel.*:PipelineTrainer.*:Equivalence.*:Fault.*:ParallelFor.*:PlannerSearch.*:Kernels.*:TensorPool.*:Trajectory.*:RngSeed.*'
+  --gtest_filter='Channel.*:PipelineTrainer.*:Equivalence.*:Fault.*:ParallelFor.*:PlannerSearch.*:Kernels.*:TensorPool.*:Trajectory.*:RngSeed.*:Interpreter.*:Parity.*'
 
 echo "tier-1 OK"
