@@ -28,18 +28,22 @@ struct Case {
 struct Row {
   std::string config;
   double seq_ms = 0.0;         ///< 1 thread, no stage cache.
-  double par_nocache_ms = 0.0; ///< All threads, no stage cache.
-  double par_ms = 0.0;         ///< All threads + stage cache.
-  double speedup = 0.0;        ///< seq_ms / par_ms.
+  double par_nocache_ms = 0.0; ///< All threads, no stage cache (forced).
+  double par_ms = 0.0;         ///< All threads + stage cache (forced).
+  double adaptive_ms = 0.0;    ///< Default options: the work-estimate
+                               ///< threshold picks seq or par per grid.
+  double speedup = 0.0;          ///< seq_ms / par_ms.
+  double adaptive_speedup = 0.0; ///< seq_ms / adaptive_ms (>= ~1 always:
+                                 ///< the small-grid regression fix).
   double cache_hit_rate = 0.0;
   int combos = 0;
 };
 
 double time_plan_ms(const Planner& planner, Plan* out) {
-  // Best of 3: the search is deterministic, so the minimum is the cleanest
+  // Best of 5: the search is deterministic, so the minimum is the cleanest
   // estimate of the actual work.
   double best = 0.0;
-  for (int rep = 0; rep < 3; ++rep) {
+  for (int rep = 0; rep < 5; ++rep) {
     const auto start = std::chrono::steady_clock::now();
     Plan plan = planner.plan();
     const double ms = std::chrono::duration<double, std::milli>(
@@ -65,33 +69,45 @@ Row run_case(const Case& c) {
 
   PlannerOptions par_nocache_opts = seq_opts;
   par_nocache_opts.search_threads = 0;  // All hardware threads.
+  par_nocache_opts.parallel_work_threshold = 0.0;  // Forced fan-out.
 
   PlannerOptions par_opts = par_nocache_opts;
   par_opts.enable_stage_cache = true;
 
+  // Out-of-the-box behavior: the work-estimate threshold decides, per
+  // grid, whether the fan-out + per-evaluation cache pay for themselves.
+  PlannerOptions adaptive_opts;
+  adaptive_opts.global_batch = c.global_batch;
+  adaptive_opts.search_threads = 0;
+
   const Planner seq_planner(c.model, cluster, seq_opts);
   const Planner par_nocache_planner(c.model, cluster, par_nocache_opts);
   const Planner par_planner(c.model, cluster, par_opts);
+  const Planner adaptive_planner(c.model, cluster, adaptive_opts);
 
   Row row;
   row.config = c.name;
   Plan seq_plan;
   Plan par_nocache_plan;
   Plan par_plan;
+  Plan adaptive_plan;
   row.seq_ms = time_plan_ms(seq_planner, &seq_plan);
   row.par_nocache_ms = time_plan_ms(par_nocache_planner, &par_nocache_plan);
   row.par_ms = time_plan_ms(par_planner, &par_plan);
+  row.adaptive_ms = time_plan_ms(adaptive_planner, &adaptive_plan);
   row.speedup = row.seq_ms / row.par_ms;
+  row.adaptive_speedup = row.seq_ms / row.adaptive_ms;
   row.combos = par_plan.search.combos_total;
   const double lookups = static_cast<double>(par_plan.search.cache_hits +
                                              par_plan.search.cache_misses);
   row.cache_hit_rate =
       lookups > 0.0 ? par_plan.search.cache_hits / lookups : 0.0;
 
-  // Sanity: all three variants must pick the same plan (the tentpole's
+  // Sanity: all variants must pick the same plan (the tentpole's
   // bit-identity contract; the parity tests check it exhaustively).
   if (!(seq_plan.config == par_plan.config) ||
-      !(seq_plan.config == par_nocache_plan.config)) {
+      !(seq_plan.config == par_nocache_plan.config) ||
+      !(seq_plan.config == adaptive_plan.config)) {
     std::fprintf(stderr, "FATAL: %s: plan mismatch across search variants\n",
                  c.name.c_str());
     std::exit(1);
@@ -113,28 +129,33 @@ int main(int argc, char** argv) {
   cases.push_back({"cdm_x1", make_cdm_lsun(), 1, 128.0});
   cases.push_back({"cdm_x2", make_cdm_lsun(), 2, 256.0});
 
-  bench::header("Planner search: sequential vs parallel vs parallel+cache");
+  bench::header(
+      "Planner search: sequential vs parallel vs parallel+cache vs adaptive");
   std::printf("host threads: %d\n", default_thread_count());
-  std::printf("%-16s %8s %14s %10s %9s %9s %7s\n", "config", "seq_ms",
-              "par_nocache_ms", "par_ms", "speedup", "hit_rate", "combos");
+  std::printf("%-16s %8s %14s %10s %11s %9s %9s %9s %7s\n", "config",
+              "seq_ms", "par_nocache_ms", "par_ms", "adaptive_ms", "speedup",
+              "adaptive", "hit_rate", "combos");
 
   std::vector<Row> rows;
   for (const Case& c : cases) {
     const Row row = run_case(c);
-    std::printf("%-16s %8.1f %14.1f %10.1f %8.2fx %8.1f%% %7d\n",
+    std::printf("%-16s %8.1f %14.1f %10.1f %11.1f %8.2fx %8.2fx %8.1f%% %7d\n",
                 row.config.c_str(), row.seq_ms, row.par_nocache_ms,
-                row.par_ms, row.speedup, 100.0 * row.cache_hit_rate,
-                row.combos);
+                row.par_ms, row.adaptive_ms, row.speedup,
+                row.adaptive_speedup, 100.0 * row.cache_hit_rate, row.combos);
     rows.push_back(row);
   }
 
   double total_seq = 0.0;
   double total_par = 0.0;
+  double total_adaptive = 0.0;
   for (const Row& r : rows) {
     total_seq += r.seq_ms;
     total_par += r.par_ms;
+    total_adaptive += r.adaptive_ms;
   }
-  std::printf("aggregate speedup: %.2fx\n", total_seq / total_par);
+  std::printf("aggregate speedup: forced %.2fx, adaptive %.2fx\n",
+              total_seq / total_par, total_seq / total_adaptive);
 
   std::ofstream json(out_path);
   json << "[\n";
@@ -143,6 +164,8 @@ int main(int argc, char** argv) {
     json << "  {\"config\": \"" << r.config << "\", \"seq_ms\": " << r.seq_ms
          << ", \"par_ms\": " << r.par_ms << ", \"speedup\": " << r.speedup
          << ", \"par_nocache_ms\": " << r.par_nocache_ms
+         << ", \"adaptive_ms\": " << r.adaptive_ms
+         << ", \"adaptive_speedup\": " << r.adaptive_speedup
          << ", \"cache_hit_rate\": " << r.cache_hit_rate
          << ", \"combos\": " << r.combos << "}"
          << (i + 1 < rows.size() ? "," : "") << "\n";

@@ -1,7 +1,9 @@
 #pragma once
 
 #include <cstddef>
+#include <map>
 #include <optional>
+#include <tuple>
 #include <unordered_map>
 #include <vector>
 
@@ -90,6 +92,35 @@ class StageCostCache {
   std::unordered_map<Key, StageCost, KeyHash> map_;
   mutable std::size_t hits_ = 0;
   mutable std::size_t misses_ = 0;
+};
+
+/// A persistent pool of StageCostCaches keyed by the full evaluation
+/// context (world size and the (S, M, D, dp, microbatch) combo), so costs
+/// memoized by one Planner::plan() survive into later plans — the warm
+/// re-plan path of elastic recovery. Keying by the whole context keeps
+/// every per-combo cache fingerprint-valid by construction: a key collision
+/// implies identical PartitionOptions, so bind() never trips.
+///
+/// Not thread-safe: get() mutates the map. Planner::plan() materializes
+/// every combo's cache sequentially before fanning out, after which each
+/// cache is touched by exactly one search thread.
+class StageCostStore {
+ public:
+  /// The cache for one (world, S, M, D, dp, microbatch_size) context,
+  /// created empty on first use.
+  [[nodiscard]] StageCostCache& get(int world, int num_stages,
+                                    int num_microbatches, int group_size,
+                                    int data_parallel_degree,
+                                    double microbatch_size) {
+    return map_[std::make_tuple(world, num_stages, num_microbatches,
+                                group_size, data_parallel_degree,
+                                microbatch_size)];
+  }
+
+  [[nodiscard]] std::size_t size() const { return map_.size(); }
+
+ private:
+  std::map<std::tuple<int, int, int, int, int, double>, StageCostCache> map_;
 };
 
 }  // namespace dpipe

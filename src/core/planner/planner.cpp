@@ -66,9 +66,16 @@ bool Planner::combo_shape_valid(int S, int M, int D) const {
   if (D > world || world % D != 0 || D % S != 0) {
     return false;
   }
+  if (options_.one_replica_per_stage && D != S) {
+    return false;
+  }
   const int dp = world / D;
   const double micro = options_.global_batch / dp / M;
   if (micro < 1.0) {
+    return false;
+  }
+  if (options_.integer_microbatches &&
+      micro != std::floor(micro)) {
     return false;
   }
   for (const int b : model_.backbone_ids) {
@@ -106,8 +113,25 @@ double Planner::search_lower_bound_ms(int S, int M, int D) const {
          (1.0 - 1e-9);
 }
 
-std::optional<Planner::Evaluation> Planner::evaluate(int S, int M,
-                                                     int D) const {
+double Planner::combo_work_estimate(int S, int M, int D) const {
+  if (!combo_shape_valid(S, M, D)) {
+    return 0.0;
+  }
+  double layer_sq = 0.0;
+  for (const int b : model_.backbone_ids) {
+    const double L = model_.components[b].num_layers();
+    layer_sq += L * L;
+  }
+  double work = layer_sq * D;
+  if (model_.backbone_ids.size() > 1) {
+    work *= D;  // The bidirectional DP pairs every down/up device split.
+  }
+  return work;
+}
+
+std::optional<Planner::Evaluation> Planner::evaluate(
+    int S, int M, int D, StageCostCache* external_cache,
+    bool enable_eval_cache) const {
   if (!combo_shape_valid(S, M, D)) {
     return std::nullopt;
   }
@@ -127,9 +151,17 @@ std::optional<Planner::Evaluation> Planner::evaluate(int S, int M,
 
   // One cache per evaluation: caches are single-threaded by design, and the
   // DP, the bidirectional pairing, and the schedule builder of one combo all
-  // query the same (component, range, placement) keys.
+  // query the same (component, range, placement) keys. With a cache store
+  // the combo's persistent cache (pre-fetched by plan()) is used instead,
+  // carrying costs memoized by earlier plans into this one.
   StageCostCache cache;
-  StageCostCache* cache_ptr = options_.enable_stage_cache ? &cache : nullptr;
+  StageCostCache* cache_ptr =
+      external_cache != nullptr
+          ? external_cache
+          : (options_.enable_stage_cache && enable_eval_cache ? &cache
+                                                              : nullptr);
+  const std::size_t hits_before = cache_ptr ? cache_ptr->hits() : 0;
+  const std::size_t misses_before = cache_ptr ? cache_ptr->misses() : 0;
 
   const auto partition_start = std::chrono::steady_clock::now();
   const DpPartitioner partitioner(report_.db, comm_);
@@ -150,8 +182,8 @@ std::optional<Planner::Evaluation> Planner::evaluate(int S, int M,
   }
 
   Evaluation eval;
-  eval.cache_hits = cache.hits();
-  eval.cache_misses = cache.misses();
+  eval.cache_hits = cache_ptr ? cache_ptr->hits() - hits_before : 0;
+  eval.cache_misses = cache_ptr ? cache_ptr->misses() - misses_before : 0;
 
   if (options_.check_memory) {
     const MemoryReport memory =
@@ -200,6 +232,39 @@ Plan Planner::plan() const {
 
   const auto search_start = std::chrono::steady_clock::now();
 
+  // Adaptive granularity: estimate the grid's host work and skip the
+  // heavyweight search machinery when it cannot pay for itself — both the
+  // ThreadPool fan-out AND the per-evaluation stage cache, whose
+  // bookkeeping outweighs its savings on small single-backbone grids
+  // (BENCH_planner's small-grid regression). Results are bit-identical
+  // either way; only wall time changes. Persistent cache stores are exempt:
+  // their warmth spans plans, which is the point of having them.
+  double grid_work = 0.0;
+  for (const Combo& c : combos) {
+    grid_work += combo_work_estimate(c.S, c.M, c.D);
+  }
+  const bool small_grid = grid_work < options_.parallel_work_threshold;
+  const int search_threads =
+      (options_.search_threads != 1 && small_grid) ? 1
+                                                   : options_.search_threads;
+  const bool eval_cache = !small_grid;
+
+  // With a cache store, materialize every shape-valid combo's persistent
+  // cache up front (the store is not thread-safe); afterwards each cache is
+  // touched by exactly one search thread.
+  std::vector<StageCostCache*> combo_cache(n, nullptr);
+  if (options_.cache_store != nullptr && options_.enable_stage_cache) {
+    const int world = cluster_.world_size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const Combo& c = combos[i];
+      if (combo_shape_valid(c.S, c.M, c.D)) {
+        const int dp = world / c.D;
+        combo_cache[i] = &options_.cache_store->get(
+            world, c.S, c.M, c.D, dp, options_.global_batch / dp / c.M);
+      }
+    }
+  }
+
   // Optional exact pruning. The incumbent seed is chosen deterministically
   // (lowest lower bound, ties to the lowest combo index), evaluated up
   // front, and only combos whose lower bound is STRICTLY above the seed's
@@ -223,7 +288,8 @@ Plan Planner::plan() const {
     }
     if (seed_index != n) {
       seed_eval = evaluate(combos[seed_index].S, combos[seed_index].M,
-                           combos[seed_index].D);
+                           combos[seed_index].D, combo_cache[seed_index],
+                           eval_cache);
       const double threshold =
           (seed_eval.has_value() && seed_eval->config.memory_feasible)
               ? seed_eval->config.predicted_iteration_ms
@@ -241,7 +307,7 @@ Plan Planner::plan() const {
   // is bit-identical for any pool size (see ThreadPool's contract); the
   // reduction below runs sequentially in candidate order, reproducing the
   // sequential loop's earliest-minimum selection exactly.
-  ThreadPool pool(options_.search_threads);
+  ThreadPool pool(search_threads);
   std::vector<std::optional<Evaluation>> results(n);
   if (seed_index != n) {
     results[seed_index] = std::move(seed_eval);
@@ -249,7 +315,8 @@ Plan Planner::plan() const {
   }
   pool.parallel_for(n, [&](std::size_t i) {
     if (!skip[i]) {
-      results[i] = evaluate(combos[i].S, combos[i].M, combos[i].D);
+      results[i] = evaluate(combos[i].S, combos[i].M, combos[i].D,
+                            combo_cache[i], eval_cache);
     }
   });
 

@@ -5,6 +5,7 @@
 #include "core/instr/instructions.h"
 #include "core/partition/bidirectional.h"
 #include "core/partition/grouping.h"
+#include "core/partition/stage_cache.h"
 #include "core/schedule/schedule.h"
 #include "engine/memory.h"
 #include "profiler/profiler.h"
@@ -26,6 +27,29 @@ struct PlannerOptions {
   /// environment variable, else all hardware threads. The selected plan and
   /// explored list are bit-identical for every value.
   int search_threads = 0;
+  /// Adaptive granularity: the grid search stays sequential (one thread)
+  /// unless its estimated work — shape-valid combos weighted by backbone
+  /// DP size, sum of L^2 x D per combo, squared device factor for
+  /// bidirectional cascades — clears this threshold. Small grids (SD,
+  /// ControlNet testbeds) lose more to thread-pool startup than they gain;
+  /// CDM cascades clear the bar by an order of magnitude. 0 always fans
+  /// out; the plan is bit-identical either way (ThreadPool contract).
+  double parallel_work_threshold = 500e3;
+  /// Restrict the grid to D == S combos (one device per stage, no intra-
+  /// stage replication) — the shape the functional runtime can bind
+  /// (ProgramValidator::validate_runtime_bindable). Elastic re-plans set
+  /// this so every candidate program is executable.
+  bool one_replica_per_stage = false;
+  /// Reject combos whose micro-batch is fractional. The engine models
+  /// fractional micro-batches fine; the functional runtime slices real
+  /// tensors and needs global_batch divisible by dp x M.
+  bool integer_microbatches = false;
+  /// Optional cross-plan stage-cost persistence: combos look up their
+  /// StageCostCache here (keyed by world and combo, so reuse is always
+  /// fingerprint-valid) instead of a per-evaluation cache. Caller owns the
+  /// store and must keep it alive and unshared across concurrent plan()
+  /// calls. nullptr = per-evaluation caches (the default).
+  StageCostStore* cache_store = nullptr;
   /// Memoize DpPartitioner::stage_cost per configuration (shared between
   /// the DP and the schedule builder). Invisible to results; off only for
   /// benchmarking the unmemoized path.
@@ -101,6 +125,13 @@ class Planner {
   [[nodiscard]] const ClusterSpec& cluster() const { return cluster_; }
   [[nodiscard]] const PlannerOptions& options() const { return options_; }
 
+  /// Estimated host work of evaluating one shape-valid combo, in the
+  /// arbitrary units parallel_work_threshold is expressed in (roughly
+  /// stage_cost evaluations: DP table size L^2 x D, with another device
+  /// factor for the bidirectional pairing loop). plan() sums this over the
+  /// grid to decide between sequential and parallel search.
+  [[nodiscard]] double combo_work_estimate(int S, int M, int D) const;
+
  private:
   struct Evaluation {
     PlanConfig config;
@@ -111,8 +142,14 @@ class Planner {
     std::size_t cache_hits = 0;
     std::size_t cache_misses = 0;
   };
-  [[nodiscard]] std::optional<Evaluation> evaluate(int S, int M,
-                                                   int D) const;
+  /// `external_cache` (optional) is a pre-bound-or-empty StageCostCache
+  /// from options_.cache_store; nullptr = per-evaluation cache (itself
+  /// skipped when `enable_eval_cache` is false — plan()'s small-grid
+  /// adaptive path). Hit/miss stats in the returned Evaluation are deltas
+  /// for this call either way.
+  [[nodiscard]] std::optional<Evaluation> evaluate(
+      int S, int M, int D, StageCostCache* external_cache = nullptr,
+      bool enable_eval_cache = true) const;
   /// The cheap structural validity checks shared by evaluate() and the
   /// pruning lower bound (divisibility, micro-batch >= 1 sample, enough
   /// layers per stage, CDM self-conditioning exclusion).

@@ -695,20 +695,8 @@ void ProgramInterpreter::run_preamble(const Tensor& cond_raw, Tensor& cond,
   }
 }
 
-TrainerLowering lower_trainer_program(const TrainerLoweringSpec& spec) {
-  const int S = spec.num_stages;
-  const int M = spec.num_microbatches;
-  const int G = spec.data_parallel_degree;
-  DPIPE_REQUIRE(S >= 1, "need at least one stage");
-  DPIPE_REQUIRE(M >= 1, "need at least one micro-batch");
-  DPIPE_REQUIRE(G >= 1, "need at least one replica");
-  DPIPE_REQUIRE(spec.global_batch % (G * M) == 0,
-                "global batch must divide into replicas x micro-batches");
-  DPIPE_REQUIRE(spec.num_modules >= S, "more stages than runtime modules");
-  const int L = spec.num_modules;
-  const int per_replica = spec.global_batch / G;
-
-  TrainerLowering out;
+ModelDesc trainer_planner_model(int num_modules) {
+  DPIPE_REQUIRE(num_modules >= 1, "need at least one module");
   // Synthetic model whose backbone layers are 1:1 with the runtime's
   // Sequential modules; sizes are nominal (the planner only needs relative
   // costs, the interpreter executes real kernels regardless).
@@ -716,7 +704,7 @@ TrainerLowering lower_trainer_program(const TrainerLoweringSpec& spec) {
   backbone.name = "backbone";
   backbone.trainable = true;
   backbone.deps = {1};
-  for (int l = 0; l < L; ++l) {
+  for (int l = 0; l < num_modules; ++l) {
     LayerDesc layer;
     layer.name = "mlp" + std::to_string(l);
     layer.kind = LayerKind::kLinear;
@@ -737,10 +725,29 @@ TrainerLowering lower_trainer_program(const TrainerLoweringSpec& spec) {
   enc_layer.grad_mb = 0.0;
   enc_layer.output_mb = 0.1;
   encoder.layers.push_back(enc_layer);
-  out.model.name = "rt_trainer";
-  out.model.components = {backbone, encoder};
-  out.model.backbone_ids = {0};
-  validate(out.model);
+  ModelDesc model;
+  model.name = "rt_trainer";
+  model.components = {backbone, encoder};
+  model.backbone_ids = {0};
+  validate(model);
+  return model;
+}
+
+TrainerLowering lower_trainer_program(const TrainerLoweringSpec& spec) {
+  const int S = spec.num_stages;
+  const int M = spec.num_microbatches;
+  const int G = spec.data_parallel_degree;
+  DPIPE_REQUIRE(S >= 1, "need at least one stage");
+  DPIPE_REQUIRE(M >= 1, "need at least one micro-batch");
+  DPIPE_REQUIRE(G >= 1, "need at least one replica");
+  DPIPE_REQUIRE(spec.global_batch % (G * M) == 0,
+                "global batch must divide into replicas x micro-batches");
+  DPIPE_REQUIRE(spec.num_modules >= S, "more stages than runtime modules");
+  const int L = spec.num_modules;
+  const int per_replica = spec.global_batch / G;
+
+  TrainerLowering out;
+  out.model = trainer_planner_model(L);
 
   const ClusterSpec cluster = make_p4de_cluster((S * G + 7) / 8);
   const AnalyticCostModel cost(cluster.device, NoiseSource(1, 0.0));

@@ -75,6 +75,11 @@ class ProgramBinding {
   [[nodiscard]] int module_end(int stage) const {
     return module_cut_[stage + 1];
   }
+  /// The whole stage->module cover (length num_stages + 1, starts at 0,
+  /// ends at num_modules) — the geometry key checkpoints are sharded by.
+  [[nodiscard]] const std::vector<int>& module_cut() const {
+    return module_cut_;
+  }
 
   /// One kFrozenForward occurrence bound to shard rows.
   struct FrozenSlot {
@@ -196,5 +201,11 @@ struct TrainerLoweringSpec {
 
 [[nodiscard]] TrainerLowering lower_trainer_program(
     const TrainerLoweringSpec& spec);
+
+/// The synthetic planner model lower_trainer_program builds: a trainable
+/// backbone whose layers are 1:1 with the runtime Sequential's modules plus
+/// a one-layer frozen encoder. Exposed so elastic re-plans can run the full
+/// Planner over exactly the model the runtime will bind the result onto.
+[[nodiscard]] ModelDesc trainer_planner_model(int num_modules);
 
 }  // namespace dpipe::rt

@@ -1,6 +1,11 @@
 #include "runtime/pipeline_exec.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <istream>
+#include <ostream>
 #include <string>
 #include <utility>
 
@@ -61,8 +66,15 @@ PipelineTrainer::PipelineTrainer(const DdpmProblem& problem,
 
 void PipelineTrainer::init(const DdpmProblem& problem,
                            const InstructionProgram& program) {
+  // Recovery-consumed knobs fail here, at construction, not deep inside a
+  // training wave or a restore.
   DPIPE_REQUIRE(config_.checkpoint_interval >= 0,
                 "checkpoint interval must be non-negative");
+  DPIPE_REQUIRE(config_.global_batch >= 1, "global batch must be positive");
+  DPIPE_REQUIRE(std::isfinite(config_.lr) && config_.lr > 0.0f,
+                "learning rate must be positive and finite");
+  DPIPE_REQUIRE(!config_.fault.armed() || config_.fault.iteration >= 0,
+                "fault-injection iteration must be non-negative");
   // One probe network determines the binding geometry; replicas share it.
   std::unique_ptr<Sequential> probe = problem.make_backbone();
   ProgramBinding::Options bind_opts;
@@ -81,15 +93,7 @@ void PipelineTrainer::init(const DdpmProblem& problem,
                     0,
                 "global batch must divide into replicas x micro-batches");
   if (config_.fault.armed()) {
-    DPIPE_REQUIRE(config_.fault.stage >= 0 &&
-                      config_.fault.stage < config_.num_stages,
-                  "fault-injection stage out of range");
-    DPIPE_REQUIRE(config_.fault.micro >= 0 &&
-                      config_.fault.micro < config_.num_microbatches,
-                  "fault-injection micro-batch out of range");
-    DPIPE_REQUIRE(config_.fault.replica >= 0 &&
-                      config_.fault.replica < config_.data_parallel_degree,
-                  "fault-injection replica out of range");
+    arm_fault(config_.fault);
   }
   interpreter_.emplace(problem, *binding_, config_.global_batch);
   for (int g = 0; g < config_.data_parallel_degree; ++g) {
@@ -106,6 +110,21 @@ void PipelineTrainer::init(const DdpmProblem& problem,
     last_checkpoint_ = checkpoint();
     has_checkpoint_ = true;
   }
+}
+
+void PipelineTrainer::arm_fault(const RtFaultInjection& fault) {
+  if (fault.armed()) {
+    DPIPE_REQUIRE(fault.iteration >= 0,
+                  "fault-injection iteration must be non-negative");
+    DPIPE_REQUIRE(fault.stage >= 0 && fault.stage < config_.num_stages,
+                  "fault-injection stage out of range");
+    DPIPE_REQUIRE(fault.micro >= 0 && fault.micro < config_.num_microbatches,
+                  "fault-injection micro-batch out of range");
+    DPIPE_REQUIRE(fault.replica >= 0 &&
+                      fault.replica < config_.data_parallel_degree,
+                  "fault-injection replica out of range");
+  }
+  config_.fault = fault;
 }
 
 std::vector<ProgramInterpreter::ReplicaState>
@@ -247,79 +266,119 @@ void PipelineTrainer::train(int iterations) {
   }
 }
 
-TrainerCheckpoint PipelineTrainer::checkpoint() const {
-  DPIPE_REQUIRE(!failed_, "cannot checkpoint a failed trainer");
+TrainerCheckpoint PipelineTrainer::make_checkpoint() const {
   TrainerCheckpoint ckpt;
   ckpt.iteration = iteration_;
+  ckpt.global_batch = config_.global_batch;
+  ckpt.data_parallel_degree = config_.data_parallel_degree;
   ckpt.losses = losses_;
-  ckpt.params = snapshot_params();
-  if (config_.use_adam) {
-    // Assemble the canonical (global) Adam state from the per-stage
-    // instances: stage order equals module order, so the concatenated
-    // moment lists match a whole-network Adam tensor-for-tensor.
-    ckpt.has_adam = true;
-    const Replica& r0 = replicas_[0];
-    Adam::State merged;
-    merged.t = -1;
-    for (const std::unique_ptr<Adam>& adam : r0.stage_adam) {
-      const Adam::State stage = adam->state();
-      if (merged.t < 0) {
-        merged.t = stage.t;
+  ckpt.has_adam = config_.use_adam;
+  const Replica& r0 = replicas_[0];  // Canonical: replicas are identical.
+  for (int s = 0; s < config_.num_stages; ++s) {
+    TrainerCheckpoint::StageShard shard;
+    shard.module_begin = binding_->module_begin(s);
+    shard.module_end = binding_->module_end(s);
+    for (int i = shard.module_begin; i < shard.module_end; ++i) {
+      std::vector<Tensor> module_params;
+      for (Tensor* p : r0.net->module(i).params()) {
+        module_params.push_back(*p);
       }
-      DPIPE_ENSURE(stage.t == merged.t,
-                   "per-stage Adam step counters diverged");
-      for (const Tensor& m : stage.m) {
-        merged.m.push_back(m);
+      shard.params.push_back(std::move(module_params));
+    }
+    if (config_.use_adam) {
+      // Split the stage Adam's flat moment lists (module order within the
+      // stage) back into per-module groups, so shards carry everything a
+      // reshard needs to regroup at module granularity.
+      const Adam::State state = r0.stage_adam[s]->state();
+      if (s == 0) {
+        ckpt.adam_t = state.t;
+      } else {
+        DPIPE_ENSURE(state.t == ckpt.adam_t,
+                     "per-stage Adam step counters diverged");
       }
-      for (const Tensor& v : stage.v) {
-        merged.v.push_back(v);
+      if (!state.m.empty()) {
+        std::size_t offset = 0;
+        for (int i = shard.module_begin; i < shard.module_end; ++i) {
+          const std::size_t count = r0.net->module(i).params().size();
+          DPIPE_ENSURE(offset + count <= state.m.size(),
+                       "stage Adam moment count mismatch");
+          shard.adam_m.emplace_back(state.m.begin() + offset,
+                                    state.m.begin() + offset + count);
+          shard.adam_v.emplace_back(state.v.begin() + offset,
+                                    state.v.begin() + offset + count);
+          offset += count;
+        }
+        DPIPE_ENSURE(offset == state.m.size(),
+                     "stage Adam moment count mismatch");
       }
     }
-    ckpt.adam = std::move(merged);
+    ckpt.shards.push_back(std::move(shard));
   }
   ckpt.pending_cond = pending_cond_;
   ckpt.replica_divergence = replica_divergence_;
   return ckpt;
 }
 
+TrainerCheckpoint PipelineTrainer::checkpoint() const {
+  DPIPE_REQUIRE(!failed_, "cannot checkpoint a failed trainer");
+  return make_checkpoint();
+}
+
+TrainerCheckpoint PipelineTrainer::salvage_checkpoint() const {
+  DPIPE_REQUIRE(failed_,
+                "salvage_checkpoint() is for failed trainers; use "
+                "checkpoint() on a healthy one");
+  // See the header: the aborted iteration cannot have stepped any
+  // optimizer, train() already scrubbed partial gradients/contexts, and
+  // losses_/iteration_ only advance on completion — so the trainer's
+  // durable state IS the last boundary's. The consumed pending_cond was
+  // dropped; restore() + the preamble regenerate it bit-identically.
+  return make_checkpoint();
+}
+
 void PipelineTrainer::restore(const TrainerCheckpoint& ckpt) {
   DPIPE_REQUIRE(ckpt.has_adam == config_.use_adam,
                 "checkpoint optimizer kind mismatch");
+  DPIPE_REQUIRE(ckpt.global_batch == config_.global_batch,
+                "checkpoint global batch mismatch");
+  DPIPE_REQUIRE(ckpt.data_parallel_degree == config_.data_parallel_degree,
+                "checkpoint dp width mismatch; reshard_checkpoint() first");
+  DPIPE_REQUIRE(ckpt.module_cut() == binding_->module_cut(),
+                "checkpoint stage geometry mismatch; reshard_checkpoint() "
+                "first");
   reset_transient_state();
   for (Replica& r : replicas_) {
-    const std::vector<Tensor*> params = r.net->params();
-    DPIPE_REQUIRE(params.size() == ckpt.params.size(),
-                  "checkpoint parameter count mismatch");
-    for (std::size_t i = 0; i < params.size(); ++i) {
-      DPIPE_REQUIRE(params[i]->shape() == ckpt.params[i].shape(),
-                    "checkpoint parameter shape mismatch");
-      *params[i] = ckpt.params[i];
-    }
-    if (config_.use_adam) {
-      // Split the canonical state back into per-stage slices.
-      const bool has_moments = !ckpt.adam.m.empty();
-      std::size_t offset = 0;
-      for (int s = 0; s < config_.num_stages; ++s) {
-        std::size_t count = 0;
-        for (int i = binding_->module_begin(s); i < binding_->module_end(s);
-             ++i) {
-          count += r.net->module(i).params().size();
+    for (int s = 0; s < config_.num_stages; ++s) {
+      const TrainerCheckpoint::StageShard& shard = ckpt.shards[s];
+      const bool has_moments = !shard.adam_m.empty();
+      Adam::State stage;
+      stage.t = ckpt.adam_t;
+      for (int i = shard.module_begin; i < shard.module_end; ++i) {
+        const std::size_t local = i - shard.module_begin;
+        const std::vector<Tensor>& saved = shard.params[local];
+        const std::vector<Tensor*> params = r.net->module(i).params();
+        DPIPE_REQUIRE(params.size() == saved.size(),
+                      "checkpoint parameter count mismatch");
+        for (std::size_t k = 0; k < params.size(); ++k) {
+          DPIPE_REQUIRE(params[k]->shape() == saved[k].shape(),
+                        "checkpoint parameter shape mismatch");
+          *params[k] = saved[k];
         }
-        Adam::State stage;
-        stage.t = ckpt.adam.t;
-        if (has_moments) {
-          DPIPE_REQUIRE(offset + count <= ckpt.adam.m.size(),
+        if (config_.use_adam && has_moments) {
+          DPIPE_REQUIRE(shard.adam_m[local].size() == saved.size() &&
+                            shard.adam_v[local].size() == saved.size(),
                         "checkpoint Adam state size mismatch");
-          stage.m.assign(ckpt.adam.m.begin() + offset,
-                         ckpt.adam.m.begin() + offset + count);
-          stage.v.assign(ckpt.adam.v.begin() + offset,
-                         ckpt.adam.v.begin() + offset + count);
+          for (const Tensor& m : shard.adam_m[local]) {
+            stage.m.push_back(m);
+          }
+          for (const Tensor& v : shard.adam_v[local]) {
+            stage.v.push_back(v);
+          }
         }
-        r.stage_adam[s]->load_state(stage);
-        offset += count;
       }
-      DPIPE_REQUIRE(!has_moments || offset == ckpt.adam.m.size(),
-                    "checkpoint Adam state size mismatch");
+      if (config_.use_adam) {
+        r.stage_adam[s]->load_state(stage);
+      }
     }
   }
   losses_ = ckpt.losses;
@@ -350,6 +409,344 @@ std::vector<Tensor> PipelineTrainer::snapshot_params() const {
     out.push_back(*p);
   }
   return out;
+}
+
+std::vector<int> TrainerCheckpoint::module_cut() const {
+  std::vector<int> cut;
+  cut.push_back(shards.empty() ? 0 : shards.front().module_begin);
+  for (const StageShard& shard : shards) {
+    cut.push_back(shard.module_end);
+  }
+  return cut;
+}
+
+std::vector<Tensor> TrainerCheckpoint::flat_params() const {
+  std::vector<Tensor> out;
+  for (const StageShard& shard : shards) {
+    for (const std::vector<Tensor>& module_params : shard.params) {
+      for (const Tensor& p : module_params) {
+        out.push_back(p);
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Validates a checkpoint's shards as a contiguous module cover and
+/// returns the module count. Also checks moment lists parallel the
+/// parameter lists (or are absent) consistently across shards.
+int checked_module_count(const TrainerCheckpoint& ckpt) {
+  DPIPE_REQUIRE(!ckpt.shards.empty(), "checkpoint has no shards");
+  DPIPE_REQUIRE(ckpt.shards.front().module_begin == 0,
+                "checkpoint shards must start at module 0");
+  const bool has_moments = !ckpt.shards.front().adam_m.empty();
+  int expected_begin = 0;
+  for (const TrainerCheckpoint::StageShard& shard : ckpt.shards) {
+    DPIPE_REQUIRE(shard.module_begin == expected_begin,
+                  "checkpoint shards must cover modules contiguously");
+    DPIPE_REQUIRE(shard.module_end > shard.module_begin,
+                  "checkpoint shard has an empty module range");
+    const std::size_t range = shard.module_end - shard.module_begin;
+    DPIPE_REQUIRE(shard.params.size() == range,
+                  "checkpoint shard module list length mismatch");
+    DPIPE_REQUIRE((shard.adam_m.empty() && shard.adam_v.empty()) ||
+                      (shard.adam_m.size() == range &&
+                       shard.adam_v.size() == range),
+                  "checkpoint shard Adam moment list length mismatch");
+    DPIPE_REQUIRE(shard.adam_m.empty() == !has_moments,
+                  "checkpoint shards disagree about Adam moments");
+    for (std::size_t i = 0; i < shard.adam_m.size(); ++i) {
+      DPIPE_REQUIRE(shard.adam_m[i].size() == shard.params[i].size() &&
+                        shard.adam_v[i].size() == shard.params[i].size(),
+                    "checkpoint Adam moments must parallel parameters");
+    }
+    expected_begin = shard.module_end;
+  }
+  return expected_begin;
+}
+
+}  // namespace
+
+TrainerCheckpoint reshard_checkpoint(const TrainerCheckpoint& ckpt,
+                                     const std::vector<int>& new_module_cut,
+                                     int new_dp, ReshardReport* report) {
+  const int num_modules = checked_module_count(ckpt);
+  DPIPE_REQUIRE(new_module_cut.size() >= 2,
+                "new module cut needs at least one stage");
+  DPIPE_REQUIRE(new_module_cut.front() == 0 &&
+                    new_module_cut.back() == num_modules,
+                "new module cut must cover exactly the checkpoint's "
+                "modules");
+  for (std::size_t s = 0; s + 1 < new_module_cut.size(); ++s) {
+    DPIPE_REQUIRE(new_module_cut[s] < new_module_cut[s + 1],
+                  "new module cut must be strictly increasing");
+  }
+  DPIPE_REQUIRE(new_dp >= 1, "dp width must be positive");
+  DPIPE_REQUIRE(ckpt.global_batch % new_dp == 0,
+                "dp width must divide the global batch");
+
+  // Module-major flatten of the old cover: owner stage + local index.
+  std::vector<int> old_owner(num_modules);
+  for (std::size_t s = 0; s < ckpt.shards.size(); ++s) {
+    for (int i = ckpt.shards[s].module_begin; i < ckpt.shards[s].module_end;
+         ++i) {
+      old_owner[i] = static_cast<int>(s);
+    }
+  }
+
+  TrainerCheckpoint out;
+  out.iteration = ckpt.iteration;
+  out.global_batch = ckpt.global_batch;
+  out.data_parallel_degree = new_dp;
+  out.losses = ckpt.losses;
+  out.has_adam = ckpt.has_adam;
+  out.adam_t = ckpt.adam_t;
+  out.pending_cond = ckpt.pending_cond;
+  out.replica_divergence = ckpt.replica_divergence;
+
+  ReshardReport rep;
+  rep.old_stages = static_cast<int>(ckpt.shards.size());
+  rep.new_stages = static_cast<int>(new_module_cut.size()) - 1;
+  rep.old_dp = ckpt.data_parallel_degree;
+  rep.new_dp = new_dp;
+  const bool has_moments = !ckpt.shards.front().adam_m.empty();
+  for (int s = 0; s + 1 < static_cast<int>(new_module_cut.size()); ++s) {
+    TrainerCheckpoint::StageShard shard;
+    shard.module_begin = new_module_cut[s];
+    shard.module_end = new_module_cut[s + 1];
+    for (int i = shard.module_begin; i < shard.module_end; ++i) {
+      const TrainerCheckpoint::StageShard& src = ckpt.shards[old_owner[i]];
+      const std::size_t local = i - src.module_begin;
+      const int tensors_per_module =
+          static_cast<int>(src.params[local].size()) * (has_moments ? 3 : 1);
+      rep.total_tensors += tensors_per_module;
+      if (old_owner[i] != s) {
+        rep.moved_tensors += tensors_per_module;
+      }
+      shard.params.push_back(src.params[local]);
+      if (has_moments) {
+        shard.adam_m.push_back(src.adam_m[local]);
+        shard.adam_v.push_back(src.adam_v[local]);
+      }
+    }
+    out.shards.push_back(std::move(shard));
+  }
+  if (report != nullptr) {
+    *report = rep;
+  }
+  return out;
+}
+
+namespace {
+
+// ---- "dpipe-checkpoint v1": token-based text format, like serialize.h's
+// program format, but with float/double payloads as hex bit patterns so a
+// round-trip is byte-exact and a loaded checkpoint resumes the exact
+// trajectory.
+
+std::uint32_t float_bits(float v) {
+  std::uint32_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+float float_from_bits(std::uint32_t bits) {
+  float v = 0.0f;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::uint64_t double_bits(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double double_from_bits(std::uint64_t bits) {
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+void expect_token(std::istream& in, const char* token) {
+  std::string got;
+  in >> got;
+  DPIPE_REQUIRE(static_cast<bool>(in) && got == token,
+                std::string("checkpoint parse error: expected '") + token +
+                    "', got '" + got + "'");
+}
+
+template <typename T>
+T read_value(std::istream& in, const char* what) {
+  T value{};
+  in >> value;
+  DPIPE_REQUIRE(static_cast<bool>(in),
+                std::string("checkpoint parse error: bad ") + what);
+  return value;
+}
+
+std::uint64_t read_hex(std::istream& in, const char* what) {
+  std::string token;
+  in >> token;
+  DPIPE_REQUIRE(static_cast<bool>(in) && !token.empty(),
+                std::string("checkpoint parse error: bad ") + what);
+  std::size_t used = 0;
+  std::uint64_t bits = 0;
+  try {
+    bits = std::stoull(token, &used, 16);
+  } catch (const std::exception&) {
+    DPIPE_REQUIRE(false,
+                  std::string("checkpoint parse error: bad ") + what);
+  }
+  DPIPE_REQUIRE(used == token.size(),
+                std::string("checkpoint parse error: bad ") + what);
+  return bits;
+}
+
+void write_tensor(std::ostream& out, const Tensor& t) {
+  out << "tensor " << t.shape().size();
+  for (const int d : t.shape()) {
+    out << ' ' << d;
+  }
+  out << '\n';
+  const float* data = t.data();
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    out << std::hex << float_bits(data[i]) << std::dec
+        << (i + 1 == t.numel() ? '\n' : ' ');
+  }
+  if (t.numel() == 0) {
+    out << '\n';
+  }
+}
+
+Tensor read_tensor(std::istream& in) {
+  expect_token(in, "tensor");
+  const int ndim = read_value<int>(in, "tensor rank");
+  DPIPE_REQUIRE(ndim >= 0 && ndim <= 4, "checkpoint tensor rank invalid");
+  std::vector<int> shape(ndim);
+  for (int d = 0; d < ndim; ++d) {
+    shape[d] = read_value<int>(in, "tensor dim");
+    DPIPE_REQUIRE(shape[d] >= 0, "checkpoint tensor dim invalid");
+  }
+  Tensor t(shape);
+  float* data = t.data();
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    const std::uint64_t bits = read_hex(in, "tensor payload");
+    DPIPE_REQUIRE(bits <= 0xFFFFFFFFull, "checkpoint tensor payload range");
+    data[i] = float_from_bits(static_cast<std::uint32_t>(bits));
+  }
+  return t;
+}
+
+void write_tensor_list(std::ostream& out, const std::vector<Tensor>& list) {
+  out << list.size() << '\n';
+  for (const Tensor& t : list) {
+    write_tensor(out, t);
+  }
+}
+
+std::vector<Tensor> read_tensor_list(std::istream& in) {
+  const std::size_t n = read_value<std::size_t>(in, "tensor list length");
+  DPIPE_REQUIRE(n <= 1u << 20, "checkpoint tensor list length invalid");
+  std::vector<Tensor> list;
+  list.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    list.push_back(read_tensor(in));
+  }
+  return list;
+}
+
+}  // namespace
+
+void save_checkpoint(std::ostream& out, const TrainerCheckpoint& ckpt) {
+  checked_module_count(ckpt);
+  out << "dpipe-checkpoint v1\n";
+  out << "iteration " << ckpt.iteration << '\n';
+  out << "global_batch " << ckpt.global_batch << '\n';
+  out << "data_parallel_degree " << ckpt.data_parallel_degree << '\n';
+  out << "replica_divergence " << std::hex
+      << float_bits(ckpt.replica_divergence) << std::dec << '\n';
+  out << "losses " << ckpt.losses.size() << '\n';
+  for (std::size_t i = 0; i < ckpt.losses.size(); ++i) {
+    out << std::hex << double_bits(ckpt.losses[i]) << std::dec
+        << (i + 1 == ckpt.losses.size() ? '\n' : ' ');
+  }
+  out << "adam " << (ckpt.has_adam ? 1 : 0) << " t " << ckpt.adam_t << '\n';
+  out << "pending_cond ";
+  write_tensor_list(out, ckpt.pending_cond);
+  out << "shards " << ckpt.shards.size() << '\n';
+  for (const TrainerCheckpoint::StageShard& shard : ckpt.shards) {
+    out << "shard " << shard.module_begin << ' ' << shard.module_end << ' '
+        << (shard.adam_m.empty() ? 0 : 1) << '\n';
+    for (std::size_t i = 0; i < shard.params.size(); ++i) {
+      out << "module ";
+      write_tensor_list(out, shard.params[i]);
+      if (!shard.adam_m.empty()) {
+        out << "adam_m ";
+        write_tensor_list(out, shard.adam_m[i]);
+        out << "adam_v ";
+        write_tensor_list(out, shard.adam_v[i]);
+      }
+    }
+  }
+  out << "end\n";
+  DPIPE_ENSURE(static_cast<bool>(out), "checkpoint write failed");
+}
+
+TrainerCheckpoint load_checkpoint(std::istream& in) {
+  expect_token(in, "dpipe-checkpoint");
+  expect_token(in, "v1");
+  TrainerCheckpoint ckpt;
+  expect_token(in, "iteration");
+  ckpt.iteration = read_value<int>(in, "iteration");
+  expect_token(in, "global_batch");
+  ckpt.global_batch = read_value<int>(in, "global batch");
+  expect_token(in, "data_parallel_degree");
+  ckpt.data_parallel_degree = read_value<int>(in, "dp degree");
+  expect_token(in, "replica_divergence");
+  ckpt.replica_divergence = float_from_bits(
+      static_cast<std::uint32_t>(read_hex(in, "replica divergence")));
+  expect_token(in, "losses");
+  const std::size_t num_losses = read_value<std::size_t>(in, "loss count");
+  DPIPE_REQUIRE(num_losses <= 1u << 24, "checkpoint loss count invalid");
+  for (std::size_t i = 0; i < num_losses; ++i) {
+    ckpt.losses.push_back(double_from_bits(read_hex(in, "loss")));
+  }
+  expect_token(in, "adam");
+  ckpt.has_adam = read_value<int>(in, "adam flag") != 0;
+  expect_token(in, "t");
+  ckpt.adam_t = read_value<int>(in, "adam step count");
+  expect_token(in, "pending_cond");
+  ckpt.pending_cond = read_tensor_list(in);
+  expect_token(in, "shards");
+  const std::size_t num_shards = read_value<std::size_t>(in, "shard count");
+  DPIPE_REQUIRE(num_shards >= 1 && num_shards <= 4096,
+                "checkpoint shard count invalid");
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    expect_token(in, "shard");
+    TrainerCheckpoint::StageShard shard;
+    shard.module_begin = read_value<int>(in, "shard begin");
+    shard.module_end = read_value<int>(in, "shard end");
+    const bool has_moments = read_value<int>(in, "shard moment flag") != 0;
+    DPIPE_REQUIRE(shard.module_end > shard.module_begin,
+                  "checkpoint shard range invalid");
+    for (int i = shard.module_begin; i < shard.module_end; ++i) {
+      expect_token(in, "module");
+      shard.params.push_back(read_tensor_list(in));
+      if (has_moments) {
+        expect_token(in, "adam_m");
+        shard.adam_m.push_back(read_tensor_list(in));
+        expect_token(in, "adam_v");
+        shard.adam_v.push_back(read_tensor_list(in));
+      }
+    }
+    ckpt.shards.push_back(std::move(shard));
+  }
+  expect_token(in, "end");
+  checked_module_count(ckpt);
+  return ckpt;
 }
 
 }  // namespace dpipe::rt

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <iosfwd>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -41,20 +42,76 @@ struct PipelineRtConfig {
   int frozen_producer_layer = -1;
 };
 
-/// Complete PipelineTrainer state at an iteration boundary: parameters,
-/// optimizer state, the cross-iteration activation stash, and the logical
-/// clock (iteration index — all data/noise/coin randomness is a pure
-/// function of it, so it doubles as the RNG state). Restoring a checkpoint
-/// into a compatible trainer resumes the exact reference trajectory.
+/// Complete PipelineTrainer state at an iteration boundary: parameters and
+/// optimizer state sharded by the capturing trainer's stage geometry, the
+/// cross-iteration activation stash, and the logical clock (iteration
+/// index — all data/noise/coin randomness is a pure function of it, so it
+/// doubles as the RNG state). Restoring a checkpoint into a trainer of the
+/// SAME geometry resumes the exact reference trajectory; restoring into a
+/// different geometry requires reshard_checkpoint() first — restore() is
+/// strict about shard cuts and dp width by design.
 struct TrainerCheckpoint {
+  /// One pipeline stage's slice of the canonical state, keyed by the
+  /// [module_begin, module_end) range it owned. Tensor lists are indexed
+  /// [module - module_begin][param]; adam_m/adam_v parallel params
+  /// tensor-for-tensor (empty for SGD, or for Adam before its first step).
+  struct StageShard {
+    int module_begin = 0;
+    int module_end = 0;
+    std::vector<std::vector<Tensor>> params;
+    std::vector<std::vector<Tensor>> adam_m;
+    std::vector<std::vector<Tensor>> adam_v;
+  };
+
   int iteration = 0;
+  int global_batch = 0;
+  int data_parallel_degree = 1;  ///< dp width at capture (replicas are
+                                 ///< identical; one canonical copy kept).
   std::vector<double> losses;
-  std::vector<Tensor> params;  ///< Canonical copy (replicas are identical).
   bool has_adam = false;
-  Adam::State adam;
+  int adam_t = 0;  ///< Shared Adam step count (every stage steps in lock-
+                   ///< step, so one counter covers all shards).
+  /// Contiguous cover of [0, num_modules): shards[s].module_end ==
+  /// shards[s+1].module_begin.
+  std::vector<StageShard> shards;
   std::vector<Tensor> pending_cond;  ///< Cross-iteration encoder outputs.
   float replica_divergence = 0.0f;
+
+  /// Stage layer cuts as a vector (length shards+1) — the geometry key.
+  [[nodiscard]] std::vector<int> module_cut() const;
+  /// Canonical flat parameter list (module-major), as snapshot_params().
+  [[nodiscard]] std::vector<Tensor> flat_params() const;
 };
+
+/// How much state a reshard moved: tensors whose owning stage changed.
+struct ReshardReport {
+  int total_tensors = 0;   ///< Parameter tensors in the checkpoint.
+  int moved_tensors = 0;   ///< Parameter tensors that changed stages.
+  int old_stages = 0;
+  int new_stages = 0;
+  int old_dp = 0;
+  int new_dp = 0;
+};
+
+/// Re-bins a checkpoint onto a new stage geometry: flattens the shards'
+/// module-major tensor lists (validating the contiguous cover), regroups
+/// them by `new_module_cut`, and retargets the dp width. Parameters and
+/// Adam moments are copied bit-for-bit — only their stage assignment
+/// changes — so a trainer of the new geometry restoring the result
+/// continues the exact trajectory the old geometry would have produced
+/// from this boundary (subject to the new geometry's own summation order
+/// going forward). `new_module_cut` must be monotone, start at 0, and end
+/// at the checkpoint's module count; `new_dp` must divide global_batch.
+[[nodiscard]] TrainerCheckpoint reshard_checkpoint(
+    const TrainerCheckpoint& ckpt, const std::vector<int>& new_module_cut,
+    int new_dp, ReshardReport* report = nullptr);
+
+/// Byte-exact on-disk serialization ("dpipe-checkpoint v1", a line-based
+/// text format like serialize.h's program format). Floats and doubles are
+/// written as hex bit patterns, so save -> load -> save is byte-identical
+/// and a loaded checkpoint resumes the exact trajectory.
+void save_checkpoint(std::ostream& out, const TrainerCheckpoint& ckpt);
+[[nodiscard]] TrainerCheckpoint load_checkpoint(std::istream& in);
 
 /// Program-driven synchronous pipeline trainer over the toy DDPM.
 ///
@@ -88,6 +145,12 @@ class PipelineTrainer {
 
   void train(int iterations);
 
+  /// (Re-)arms the fault-injection point after construction, validated
+  /// against the bound geometry like the config's fault is at init. The
+  /// elastic controller uses this to schedule the next crash on a trainer
+  /// whose geometry came from the program, not the config.
+  void arm_fault(const RtFaultInjection& fault);
+
   /// Snapshot of the full trainer state; valid only at iteration
   /// boundaries (throws if called on a trainer poisoned by a failure).
   [[nodiscard]] TrainerCheckpoint checkpoint() const;
@@ -100,6 +163,17 @@ class PipelineTrainer {
   /// True once a stage failure escaped train(); the trainer's mid-wave
   /// state is undefined until restore() is called.
   [[nodiscard]] bool failed() const { return failed_; }
+  /// Boundary-consistent checkpoint of a FAILED trainer (requires
+  /// failed()). Sound because no optimizer step can have run in the
+  /// crashed iteration: faults fire on a forward, so no stage completes
+  /// all its backwards, so no stage's gradient allreduce (and hence no
+  /// kOptimizerStep) completes — parameters and Adam state are exactly
+  /// the last iteration boundary's, and the aborted wave's partial
+  /// gradients/contexts were already scrubbed. The consumed cross-
+  /// iteration stash is dropped (empty pending_cond); the resumed
+  /// iteration regenerates it via the preamble, bit-identically (the
+  /// encoder is row-pure).
+  [[nodiscard]] TrainerCheckpoint salvage_checkpoint() const;
 
   /// Parameters of replica 0 (all replicas stay identical).
   [[nodiscard]] std::vector<Tensor> snapshot_params() const;
@@ -119,6 +193,12 @@ class PipelineTrainer {
   [[nodiscard]] const InstructionProgram& program() const {
     return binding_->program();
   }
+  /// The program's binding onto the runtime model (stage->module cover,
+  /// device<->stage maps) — the geometry checkpoints are sharded by.
+  [[nodiscard]] const ProgramBinding& binding() const { return *binding_; }
+  /// The logical clock: completed iterations (== next iteration index).
+  [[nodiscard]] int iteration() const { return iteration_; }
+  [[nodiscard]] const PipelineRtConfig& config() const { return config_; }
   /// Per-device op order of everything executed so far (replica 0);
   /// requires config.record_execution.
   [[nodiscard]] const ExecutionLog& execution_log() const { return log_; }
@@ -134,6 +214,8 @@ class PipelineTrainer {
   };
   void init(const DdpmProblem& problem, const InstructionProgram& program);
   void train_one_iteration();
+  /// Shared body of checkpoint() and salvage_checkpoint().
+  [[nodiscard]] TrainerCheckpoint make_checkpoint() const;
   /// Drops stashed micro-batch contexts and accumulated gradients on every
   /// replica — the cleanup step after an aborted wave or before a restore.
   void reset_transient_state();

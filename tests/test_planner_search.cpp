@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <cstdlib>
 #include <numeric>
 #include <vector>
@@ -331,12 +332,16 @@ TEST(StageCostCache, BidirectionalWithCacheIsBitIdentical) {
 // --- Planner search parity --------------------------------------------------
 
 Plan plan_with(const ModelDesc& model, int threads, bool cache, bool pruning,
-               double global_batch = 128.0) {
+               double global_batch = 128.0,
+               double parallel_work_threshold = 0.0) {
   PlannerOptions opts;
   opts.global_batch = global_batch;
   opts.search_threads = threads;
   opts.enable_stage_cache = cache;
   opts.enable_pruning = pruning;
+  // 0 = always fan out; the parity tests below pin the execution width they
+  // assert on. AdaptiveGranularity* cover the default threshold.
+  opts.parallel_work_threshold = parallel_work_threshold;
   const Planner planner(model, make_p4de_cluster(1), opts);
   return planner.plan();
 }
@@ -415,6 +420,92 @@ TEST(PlannerSearch, PruningKeepsWinnerAndProgramExact) {
     EXPECT_EQ(pruned.search.combos_evaluated + pruned.search.combos_pruned,
               pruned.search.combos_total);
   }
+}
+
+TEST(PlannerSearch, AdaptiveGranularityRunsSmallGridsSequentially) {
+  // SD v2.1's grid is small enough that thread fan-out costs more than it
+  // saves (the BENCH_planner small-grid regression); the default threshold
+  // keeps it sequential even when threads were requested. The plan itself
+  // must be bit-identical to a forced-parallel search.
+  const ModelDesc model = make_stable_diffusion_v21();
+  const Plan adaptive = plan_with(model, 4, true, false, 128.0,
+                                  PlannerOptions{}.parallel_work_threshold);
+  EXPECT_EQ(adaptive.search.threads, 1);
+  const Plan forced = plan_with(model, 4, true, false, 128.0, 0.0);
+  EXPECT_EQ(forced.search.threads, 4);
+  expect_plans_identical(adaptive, forced);
+}
+
+TEST(PlannerSearch, AdaptiveGranularityKeepsLargeGridsParallel) {
+  // CDM's bidirectional grid is an order of magnitude more work per combo;
+  // the same default threshold leaves it parallel.
+  const ModelDesc model = make_cdm_lsun();
+  const Plan adaptive = plan_with(model, 4, true, false, 128.0,
+                                  PlannerOptions{}.parallel_work_threshold);
+  EXPECT_EQ(adaptive.search.threads, 4);
+  expect_plans_identical(adaptive, plan_with(model, 4, true, false));
+}
+
+TEST(PlannerSearch, ComboWorkEstimateScalesWithGridShape) {
+  const ModelDesc sd = make_stable_diffusion_v21();
+  const ModelDesc cdm = make_cdm_lsun();
+  PlannerOptions opts;
+  opts.global_batch = 128.0;
+  const Planner sd_planner(sd, make_p4de_cluster(1), opts);
+  const Planner cdm_planner(cdm, make_p4de_cluster(1), opts);
+  // More placement freedom = more DP states; bidirectional models pay the
+  // pairing factor on top.
+  EXPECT_GT(sd_planner.combo_work_estimate(4, 8, 8),
+            sd_planner.combo_work_estimate(4, 8, 4));
+  EXPECT_GT(cdm_planner.combo_work_estimate(4, 8, 8),
+            sd_planner.combo_work_estimate(4, 8, 8));
+}
+
+TEST(PlannerSearch, StageCostStoreMakesSecondPlanFullyWarm) {
+  // A persistent StageCostStore shared across Planner instances: the
+  // second plan over the same grid re-derives every stage cost from the
+  // store (zero misses) and still produces the identical plan.
+  const ModelDesc model = make_stable_diffusion_v21();
+  StageCostStore store;
+  PlannerOptions opts;
+  opts.global_batch = 128.0;
+  opts.search_threads = 2;
+  opts.cache_store = &store;
+  const Plan cold = Planner(model, make_p4de_cluster(1), opts).plan();
+  EXPECT_GT(cold.search.cache_misses, 0u);
+  EXPECT_GT(store.size(), 0u);
+  const Plan warm = Planner(model, make_p4de_cluster(1), opts).plan();
+  EXPECT_EQ(warm.search.cache_misses, 0u);
+  EXPECT_GT(warm.search.cache_hits, 0u);
+  expect_plans_identical(cold, warm);
+  // And the store-backed plan matches a storeless one bit for bit.
+  PlannerOptions plain = opts;
+  plain.cache_store = nullptr;
+  expect_plans_identical(cold,
+                         Planner(model, make_p4de_cluster(1), plain).plan());
+}
+
+TEST(PlannerSearch, RuntimeBindableRestrictionsFilterTheGrid) {
+  const ModelDesc model = make_stable_diffusion_v21();
+  PlannerOptions opts;
+  opts.global_batch = 128.0;
+  opts.one_replica_per_stage = true;
+  opts.integer_microbatches = true;
+  const Plan plan = Planner(model, make_p4de_cluster(1), opts).plan();
+  for (const PlanConfig& c : plan.explored) {
+    // One device per stage: D == S, so dp = world / S.
+    EXPECT_EQ(c.group_size, c.num_stages);
+    // Whole-sample micro-batches.
+    const double micro =
+        opts.global_batch / c.data_parallel_degree / c.num_microbatches;
+    EXPECT_EQ(micro, std::floor(micro));
+  }
+  // The restriction strictly shrinks the explored grid.
+  PlannerOptions full = opts;
+  full.one_replica_per_stage = false;
+  full.integer_microbatches = false;
+  const Plan wide = Planner(model, make_p4de_cluster(1), full).plan();
+  EXPECT_GT(wide.explored.size(), plan.explored.size());
 }
 
 TEST(PlannerSearch, StatsAndWallTimesPopulated) {

@@ -10,8 +10,14 @@
 // cross-checks the per-device op order of both backends against the
 // program's occupancy trace — the "one program, two backends" parity check.
 //
-//   dpipe_run [--backend=sim|real] <program.dpipe> <model> <machines>
-//             <group_batch> [data_parallel_degree] [iterations]
+// With --elastic the real runtime additionally absorbs an injected device
+// crash halfway through: the ElasticRecoveryController aborts the wave,
+// salvages the boundary checkpoint, re-plans for the shrunk cluster,
+// re-shards the checkpoint onto the new stage geometry, and resumes —
+// printing RecoveryStats and cross-checking every phase's op order.
+//
+//   dpipe_run [--backend=sim|real] [--elastic] <program.dpipe> <model>
+//             <machines> <group_batch> [data_parallel_degree] [iterations]
 
 #include <cmath>
 #include <cstdio>
@@ -23,8 +29,10 @@
 #include "core/instr/serialize.h"
 #include "core/instr/validate.h"
 #include "engine/engine.h"
+#include "fault/elastic.h"
 #include "model/zoo.h"
 #include "profiler/profiler.h"
+#include "runtime/interpreter.h"
 #include "runtime/pipeline_exec.h"
 
 namespace {
@@ -86,6 +94,39 @@ std::vector<std::vector<std::string>> drop_layer_end(
     }
   }
   return log;
+}
+
+/// Per-device PREFIX parity: every device's actual op order must be a
+/// prefix of the expected trace (an aborted wave stops each stream early
+/// but never reorders it).
+bool check_prefix_parity(
+    const std::vector<std::vector<std::string>>& expected,
+    const std::vector<std::vector<std::string>>& actual, const char* what) {
+  if (expected.size() != actual.size()) {
+    std::fprintf(stderr, "parity FAILED (%s): device count %zu vs %zu\n",
+                 what, expected.size(), actual.size());
+    return false;
+  }
+  for (std::size_t dev = 0; dev < expected.size(); ++dev) {
+    if (actual[dev].size() > expected[dev].size()) {
+      std::fprintf(stderr,
+                   "parity FAILED (%s) on device %zu: %zu ops executed, "
+                   "only %zu expected\n",
+                   what, dev, actual[dev].size(), expected[dev].size());
+      return false;
+    }
+    for (std::size_t i = 0; i < actual[dev].size(); ++i) {
+      if (actual[dev][i] != expected[dev][i]) {
+        std::fprintf(stderr,
+                     "parity FAILED (%s) on device %zu op %zu: expected "
+                     "'%s', got '%s'\n",
+                     what, dev, i, expected[dev][i].c_str(),
+                     actual[dev][i].c_str());
+        return false;
+      }
+    }
+  }
+  return true;
 }
 
 /// Per-device op-order parity between two execution records.
@@ -222,19 +263,180 @@ int run_real(const dpipe::InstructionProgram& program,
   return ok ? 0 : 1;
 }
 
+/// Replays `program` on the discrete-event engine for `iterations` and
+/// returns its per-device occupying-op signatures.
+std::vector<std::vector<std::string>> engine_replay(
+    const dpipe::InstructionProgram& program, const dpipe::ProfileDb& db,
+    const dpipe::CommModel& comm, double group_batch, int dp,
+    int iterations) {
+  using namespace dpipe;
+  EngineOptions sim;
+  sim.group_batch = group_batch;
+  sim.data_parallel_degree = dp;
+  sim.iterations = iterations;
+  sim.record_timelines = true;
+  const EngineResult result = ExecutionEngine(db, comm).run(program, sim);
+  std::vector<std::vector<std::string>> engine_log(
+      result.timelines.devices.size());
+  for (std::size_t dev = 0; dev < result.timelines.devices.size(); ++dev) {
+    for (const PipelineOp& op : result.timelines.devices[dev].ops) {
+      std::string sig = timeline_signature(op);
+      if (!sig.empty()) {
+        engine_log[dev].push_back(std::move(sig));
+      }
+    }
+  }
+  return engine_log;
+}
+
+int run_elastic(const dpipe::InstructionProgram& program,
+                const dpipe::ProfileDb& db, const dpipe::CommModel& comm,
+                const char* path, int dp, int iterations) {
+  using namespace dpipe;
+  using namespace dpipe::rt;
+
+  // Geometry from the program, exactly like run_real.
+  int num_stages = 0;
+  int num_micros = 0;
+  int per_micro = 0;
+  for (const std::vector<Instruction>& stream : program.per_device) {
+    for (const Instruction& instr : stream) {
+      if (instr.kind == InstrKind::kLoadMicroBatch) {
+        per_micro = std::max(
+            per_micro, static_cast<int>(std::llround(instr.samples)));
+        num_micros = std::max(num_micros, instr.micro + 1);
+      } else if (instr.kind == InstrKind::kForward) {
+        num_stages = std::max(num_stages, instr.stage + 1);
+      }
+    }
+  }
+  if (per_micro < 1 || num_micros < 1 || num_stages < 1) {
+    std::fprintf(stderr, "error: program has no runnable backbone work\n");
+    return 1;
+  }
+
+  DdpmConfig ddpm;
+  ddpm.depth = std::max(4, num_stages);
+  const DdpmProblem problem(ddpm);
+
+  ElasticOptions eopts;
+  eopts.config.data_parallel_degree = dp;
+  eopts.config.global_batch = per_micro * num_micros * dp;
+  eopts.config.cross_iteration = true;
+  eopts.config.record_execution = true;
+  eopts.config.checkpoint_interval = 2;  // The restart baseline's cadence.
+  eopts.initial_program = program;
+  // One device dies mid-forward halfway through the run, on a middle stage.
+  ElasticCrash crash;
+  crash.iteration = iterations / 2;
+  crash.stage = num_stages / 2;
+  eopts.crashes = {crash};
+
+  ElasticRecoveryController controller(problem, eopts);
+  const RecoveryStats& stats = controller.run(iterations);
+
+  std::printf("elastic run of %d iterations of %s:\n", iterations, path);
+  std::printf("  losses:");
+  for (double loss : controller.losses()) {
+    std::printf(" %.6f", loss);
+  }
+  std::printf("\n");
+  std::printf("  recovery: %d fault(s), %d re-plan(s) (%.1f ms), "
+              "%d tensor(s) resharded\n",
+              stats.faults, stats.replans, stats.replan_ms,
+              stats.resharded_tensors);
+  std::printf("  stage-cost cache: %zu hits / %zu misses across re-plans\n",
+              stats.stage_cache_hits, stats.stage_cache_misses);
+  std::printf("  iterations lost per fault: elastic %d, restart baseline "
+              "%d\n",
+              stats.iterations_lost, stats.restart_iterations_lost);
+
+  // Per-phase parity: every phase's program is re-validated, the runtime's
+  // executed op order is checked against the program's occupancy trace
+  // (prefix for the aborted phase), and completed iterations are replayed
+  // on the engine — the three-way harness, per recovery phase.
+  bool ok = true;
+  const int num_modules = 2 * ddpm.depth + 1;
+  for (std::size_t p = 0; p < controller.phases().size(); ++p) {
+    const RecoveryPhase& phase = controller.phases()[p];
+    require_valid_program(phase.program);
+    const int full_iters = phase.end_iteration - phase.start_iteration;
+    const char* what = phase.crashed ? "runtime (crashed phase)" : "runtime";
+    std::printf("  phase %zu: world %d, stages %d, iterations %d..%d%s\n",
+                p, phase.world, phase.config.num_stages,
+                phase.start_iteration, phase.end_iteration,
+                phase.crashed ? " (aborted by crash)" : "");
+    if (phase.crashed) {
+      ok = check_prefix_parity(occupancy_trace(phase.program, full_iters + 1),
+                               phase.log, what) &&
+           ok;
+    } else {
+      ok = check_parity(occupancy_trace(phase.program, full_iters),
+                        phase.log, what) &&
+           ok;
+    }
+    if (full_iters < 1) {
+      continue;  // Nothing completed for the engine to replay.
+    }
+    // Phase 0 runs the CLI-supplied program against the CLI model's db;
+    // re-planned phases run programs lowered from the runtime's synthetic
+    // model, so replay those against its db on the shrunk cluster.
+    const double group_batch = static_cast<double>(
+        phase.config.global_batch / phase.config.data_parallel_degree);
+    std::vector<std::vector<std::string>> engine_log;
+    if (p == 0) {
+      engine_log = engine_replay(phase.program, db, comm, group_batch,
+                                 phase.config.data_parallel_degree,
+                                 full_iters);
+    } else {
+      const ClusterSpec shrunk = rt::elastic_cluster(phase.world);
+      const ProfileDb synth_db(
+          rt::trainer_planner_model(num_modules),
+          AnalyticCostModel(shrunk.device, NoiseSource(1, 0.0)),
+          default_batch_grid());
+      engine_log = engine_replay(phase.program, synth_db, CommModel(shrunk),
+                                 group_batch,
+                                 phase.config.data_parallel_degree,
+                                 full_iters);
+    }
+    const auto expected =
+        drop_layer_end(occupancy_trace(phase.program, full_iters));
+    if (phase.crashed) {
+      ok = check_prefix_parity(expected, drop_layer_end(engine_log),
+                               "engine") &&
+           ok;
+    } else {
+      ok = check_parity(expected, drop_layer_end(engine_log), "engine") &&
+           ok;
+    }
+  }
+  std::printf("  per-phase op order parity: %s\n", ok ? "OK" : "FAILED");
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string backend = "sim";
+  bool elastic = false;
   int arg = 1;
-  if (arg < argc && std::strncmp(argv[arg], "--backend=", 10) == 0) {
-    backend = argv[arg] + 10;
+  while (arg < argc && std::strncmp(argv[arg], "--", 2) == 0) {
+    if (std::strncmp(argv[arg], "--backend=", 10) == 0) {
+      backend = argv[arg] + 10;
+    } else if (std::strcmp(argv[arg], "--elastic") == 0) {
+      elastic = true;
+      backend = "real";  // Recovery runs on the functional runtime.
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", argv[arg]);
+      return 2;
+    }
     ++arg;
   }
   if (argc - arg < 4 || (backend != "sim" && backend != "real")) {
     std::fprintf(stderr,
-                 "usage: %s [--backend=sim|real] <program.dpipe> <model> "
-                 "<machines> <group_batch> [dp_degree] [iterations]\n",
+                 "usage: %s [--backend=sim|real] [--elastic] "
+                 "<program.dpipe> <model> <machines> <group_batch> "
+                 "[dp_degree] [iterations]\n",
                  argv[0]);
     return 2;
   }
@@ -258,6 +460,9 @@ int main(int argc, char** argv) {
     const double group_batch = std::atof(argv[arg + 3]);
     const int dp = argc - arg >= 5 ? std::atoi(argv[arg + 4]) : 1;
     const int iterations = argc - arg >= 6 ? std::atoi(argv[arg + 5]) : 4;
+    if (elastic) {
+      return run_elastic(program, db, comm, argv[arg], dp, iterations);
+    }
     if (backend == "sim") {
       return run_sim(program, db, comm, argv[arg], group_batch, dp,
                      iterations);
