@@ -1,10 +1,18 @@
-// Runtime kernel & memory substrate benchmark (DESIGN.md §8): matmul
-// GFLOP/s for the naive / blocked / blocked+parallel paths across the
-// three transpose variants, plus end-to-end PipelineTrainer iterations/s
-// on the default example configuration under each kernel mode, plus
-// TensorPool recycling stats. Prints a table and writes BENCH_runtime.json
+// Runtime kernel & memory substrate benchmark (DESIGN.md §8, §11): matmul
+// GFLOP/s for the naive / blocked / blocked+parallel / fast paths across
+// the three transpose variants — square shapes plus the rectangular
+// (skinny/tall) batch x hidden GEMMs the trainer actually issues — a
+// roofline section comparing achieved GFLOP/s against the measured
+// register-tile compute ceiling at the active SIMD level, end-to-end
+// PipelineTrainer iterations/s under each kernel mode, and TensorPool
+// recycling/alignment stats. Prints a table and writes BENCH_runtime.json
 // (pass an output path to override; pass --quick for a fast smoke run).
+//
+// Timing idiom (SNIPPETS §2–3, the DeployUseTensorRT harness): set up
+// once, one untimed warm-up, then a timed loop of enough calls to swamp
+// clock granularity, best-of-reps.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -16,22 +24,11 @@
 #include "runtime/kernels.h"
 #include "runtime/pipeline_exec.h"
 #include "runtime/pool.h"
+#include "runtime/simd.h"
 
 namespace {
 
 using namespace dpipe::rt;
-
-const char* mode_name(KernelMode mode) {
-  switch (mode) {
-    case KernelMode::kNaive:
-      return "naive";
-    case KernelMode::kBlocked:
-      return "blocked";
-    case KernelMode::kBlockedParallel:
-      return "blocked_parallel";
-  }
-  return "?";
-}
 
 double now_ms() {
   return std::chrono::duration<double, std::milli>(
@@ -45,21 +42,30 @@ struct MatmulRow {
   double naive_gflops = 0.0;
   double blocked_gflops = 0.0;
   double parallel_gflops = 0.0;
-  double speedup = 0.0;  ///< blocked vs naive, single-threaded.
+  double fast_gflops = 0.0;
+  double blocked_vs_naive = 0.0;
+  double parallel_vs_blocked = 0.0;
 };
 
 using MatmulFn = void (*)(Tensor&, const Tensor&, const Tensor&, KernelMode);
 
-/// Best-of-`reps` GFLOP/s for one kernel at one shape. The kernels are
-/// deterministic, so the fastest rep is the cleanest estimate.
+/// Best-of-`reps` GFLOP/s for one kernel at one shape: one untimed warm-up
+/// call, then timed loops of `inner` calls each (sized so a loop covers at
+/// least ~20 MFLOP, swamping timer granularity for the skinny shapes).
 double time_gflops(MatmulFn fn, Tensor& out, const Tensor& a,
                    const Tensor& b, KernelMode mode, std::int64_t flops,
                    int reps) {
+  fn(out, a, b, mode);  // Warm-up: pool fill, thread startup, page faults.
+  const int inner = static_cast<int>(
+      std::max<std::int64_t>(1, (20LL << 20) / std::max<std::int64_t>(
+                                                   flops, 1)));
   double best_ms = 0.0;
   for (int r = 0; r < reps; ++r) {
     const double start = now_ms();
-    fn(out, a, b, mode);
-    const double ms = now_ms() - start;
+    for (int i = 0; i < inner; ++i) {
+      fn(out, a, b, mode);
+    }
+    const double ms = (now_ms() - start) / inner;
     if (r == 0 || ms < best_ms) {
       best_ms = ms;
     }
@@ -101,16 +107,19 @@ MatmulRow run_matmul_case(const std::string& op, int m, int k, int n,
   row.k = k;
   row.n = n;
   set_kernel_threads(1);
-  row.naive_gflops =
-      time_gflops(fn, out, a, b, KernelMode::kNaive, flops,
-                  reps >= 3 ? 2 : 1);  // Naive is slow; fewer reps.
+  // Naive is two orders of magnitude slower; fewer reps at big shapes.
+  row.naive_gflops = time_gflops(fn, out, a, b, KernelMode::kNaive, flops,
+                                 flops >= (1 << 26) ? 1 : 2);
   row.blocked_gflops =
       time_gflops(fn, out, a, b, KernelMode::kBlocked, flops, reps);
   set_kernel_threads(0);
   row.parallel_gflops = time_gflops(fn, out, a, b,
                                     KernelMode::kBlockedParallel, flops,
                                     reps);
-  row.speedup = row.blocked_gflops / row.naive_gflops;
+  row.fast_gflops =
+      time_gflops(fn, out, a, b, KernelMode::kFast, flops, reps);
+  row.blocked_vs_naive = row.blocked_gflops / row.naive_gflops;
+  row.parallel_vs_blocked = row.parallel_gflops / row.blocked_gflops;
   return row;
 }
 
@@ -159,7 +168,9 @@ int main(int argc, char** argv) {
   }
 
   std::printf("== Runtime kernel & memory substrate ==\n");
-  std::printf("kernel pool threads: %d\n\n", kernel_threads());
+  std::printf("simd: %s (detected %s), kernel pool threads: %d\n\n",
+              simd_level_name(simd_level()),
+              simd_level_name(detected_simd_level()), kernel_threads());
 
   struct Shape {
     int m, k, n;
@@ -167,24 +178,52 @@ int main(int argc, char** argv) {
   std::vector<Shape> shapes;
   if (quick) {
     shapes.push_back({128, 128, 128});
+    shapes.push_back({16, 40, 32});
   } else {
+    // Squares for the roofline trajectory...
     shapes.push_back({128, 128, 128});
     shapes.push_back({256, 256, 256});
     shapes.push_back({512, 512, 512});
+    // ...plus the rectangular shapes the trainer issues: micro-batch rows x
+    // backbone widths (modules.cpp Linear/backbone GEMMs and the output
+    // head) and skinny/tall panels stressing each dimension in turn.
+    shapes.push_back({16, 40, 32});
+    shapes.push_back({16, 32, 2});
+    shapes.push_back({512, 64, 64});
+    shapes.push_back({64, 512, 64});
+    shapes.push_back({64, 64, 512});
   }
   const int reps = quick ? 2 : 5;
 
-  std::printf("%-4s %5s %5s %5s %12s %14s %15s %9s\n", "op", "m", "k", "n",
-              "naive_gf", "blocked_gf", "parallel_gf", "speedup");
+  std::printf("%-4s %5s %5s %5s %10s %11s %12s %10s %9s %8s\n", "op", "m",
+              "k", "n", "naive_gf", "blocked_gf", "parallel_gf", "fast_gf",
+              "blk/naive", "par/blk");
   std::vector<MatmulRow> matmul_rows;
   for (const Shape& s : shapes) {
     for (const std::string op : {"nn", "tn", "nt"}) {
       const MatmulRow row = run_matmul_case(op, s.m, s.k, s.n, reps);
-      std::printf("%-4s %5d %5d %5d %12.2f %14.2f %15.2f %8.2fx\n",
-                  row.op.c_str(), row.m, row.k, row.n, row.naive_gflops,
-                  row.blocked_gflops, row.parallel_gflops, row.speedup);
+      std::printf(
+          "%-4s %5d %5d %5d %10.2f %11.2f %12.2f %10.2f %8.1fx %7.2fx\n",
+          row.op.c_str(), row.m, row.k, row.n, row.naive_gflops,
+          row.blocked_gflops, row.parallel_gflops, row.fast_gflops,
+          row.blocked_vs_naive, row.parallel_vs_blocked);
       matmul_rows.push_back(row);
     }
+  }
+
+  // Roofline: measured register-tile ceilings at the active SIMD level
+  // (single thread, L1-resident — the compute bound the packed kernels
+  // chase), and the fraction each shape achieves.
+  const double peak_exact = measured_peak_gflops(KernelMode::kBlocked);
+  const double peak_fast = measured_peak_gflops(KernelMode::kFast);
+  std::printf("\nroofline (%s): exact peak %.2f GF/s, fast peak %.2f GF/s\n",
+              simd_level_name(simd_level()), peak_exact, peak_fast);
+  std::printf("%-4s %5s %5s %5s %12s %12s\n", "op", "m", "k", "n",
+              "exact_pct", "fast_pct");
+  for (const MatmulRow& r : matmul_rows) {
+    std::printf("%-4s %5d %5d %5d %11.1f%% %11.1f%%\n", r.op.c_str(), r.m,
+                r.k, r.n, 100.0 * r.blocked_gflops / peak_exact,
+                100.0 * r.fast_gflops / peak_fast);
   }
 
   const int e2e_iters = quick ? 6 : 20;
@@ -195,9 +234,9 @@ int main(int argc, char** argv) {
   double naive_ips = 0.0;
   for (const KernelMode mode :
        {KernelMode::kNaive, KernelMode::kBlocked,
-        KernelMode::kBlockedParallel}) {
+        KernelMode::kBlockedParallel, KernelMode::kFast}) {
     EndToEndRow row;
-    row.mode = mode_name(mode);
+    row.mode = kernel_mode_name(mode);
     row.iters_per_s = pipeline_iters_per_s(mode, e2e_iters);
     if (mode == KernelMode::kNaive) {
       naive_ips = row.iters_per_s;
@@ -216,13 +255,18 @@ int main(int argc, char** argv) {
                 static_cast<double>(pool.allocs_avoided + pool.allocs_fresh)
           : 0.0;
   std::printf(
-      "\npool: %llu recycled / %llu fresh (%.1f%% hit), peak %.2f MiB\n",
+      "\npool: %llu recycled / %llu fresh (%.1f%% hit), peak %.2f MiB, "
+      "%llu rounded allocs (%.1f KiB padding, %llu-byte aligned)\n",
       static_cast<unsigned long long>(pool.allocs_avoided),
       static_cast<unsigned long long>(pool.allocs_fresh), 100.0 * hit_rate,
-      static_cast<double>(pool.peak_bytes) / (1024.0 * 1024.0));
+      static_cast<double>(pool.peak_bytes) / (1024.0 * 1024.0),
+      static_cast<unsigned long long>(pool.rounded_allocs),
+      static_cast<double>(pool.padding_bytes_total) / 1024.0,
+      static_cast<unsigned long long>(pool.alignment_bytes));
 
   std::ofstream json(out_path);
-  json << "{\n  \"matmul\": [\n";
+  json << "{\n  \"simd\": \"" << simd_level_name(simd_level())
+       << "\",\n  \"matmul\": [\n";
   for (std::size_t i = 0; i < matmul_rows.size(); ++i) {
     const MatmulRow& r = matmul_rows[i];
     json << "    {\"op\": \"" << r.op << "\", \"m\": " << r.m
@@ -230,10 +274,23 @@ int main(int argc, char** argv) {
          << ", \"naive_gflops\": " << r.naive_gflops
          << ", \"blocked_gflops\": " << r.blocked_gflops
          << ", \"parallel_gflops\": " << r.parallel_gflops
-         << ", \"blocked_vs_naive\": " << r.speedup << "}"
+         << ", \"fast_gflops\": " << r.fast_gflops
+         << ", \"blocked_vs_naive\": " << r.blocked_vs_naive
+         << ", \"parallel_vs_blocked\": " << r.parallel_vs_blocked << "}"
          << (i + 1 < matmul_rows.size() ? "," : "") << "\n";
   }
-  json << "  ],\n  \"end_to_end\": [\n";
+  json << "  ],\n  \"roofline\": {\n    \"peak_exact_gflops\": "
+       << peak_exact << ",\n    \"peak_fast_gflops\": " << peak_fast
+       << ",\n    \"rows\": [\n";
+  for (std::size_t i = 0; i < matmul_rows.size(); ++i) {
+    const MatmulRow& r = matmul_rows[i];
+    json << "      {\"op\": \"" << r.op << "\", \"m\": " << r.m
+         << ", \"k\": " << r.k << ", \"n\": " << r.n
+         << ", \"exact_pct\": " << 100.0 * r.blocked_gflops / peak_exact
+         << ", \"fast_pct\": " << 100.0 * r.fast_gflops / peak_fast << "}"
+         << (i + 1 < matmul_rows.size() ? "," : "") << "\n";
+  }
+  json << "    ]\n  },\n  \"end_to_end\": [\n";
   for (std::size_t i = 0; i < e2e_rows.size(); ++i) {
     const EndToEndRow& r = e2e_rows[i];
     json << "    {\"mode\": \"" << r.mode
@@ -244,7 +301,11 @@ int main(int argc, char** argv) {
   json << "  ],\n  \"pool\": {\"allocs_avoided\": " << pool.allocs_avoided
        << ", \"allocs_fresh\": " << pool.allocs_fresh
        << ", \"hit_rate\": " << hit_rate
-       << ", \"peak_bytes\": " << pool.peak_bytes << "}\n}\n";
+       << ", \"peak_bytes\": " << pool.peak_bytes
+       << ", \"alignment_bytes\": " << pool.alignment_bytes
+       << ", \"rounded_allocs\": " << pool.rounded_allocs
+       << ", \"padding_bytes_total\": " << pool.padding_bytes_total
+       << "}\n}\n";
   std::printf("wrote %s\n", out_path.c_str());
   return 0;
 }

@@ -6,6 +6,21 @@
 
 namespace dpipe {
 
+namespace {
+
+thread_local bool t_in_parallel_region = false;
+
+/// Marks the current thread as inside a batch for the guard's lifetime.
+struct ParallelRegionGuard {
+  bool previous = t_in_parallel_region;
+  ParallelRegionGuard() { t_in_parallel_region = true; }
+  ~ParallelRegionGuard() { t_in_parallel_region = previous; }
+};
+
+}  // namespace
+
+bool in_parallel_region() { return t_in_parallel_region; }
+
 int default_thread_count() {
   if (const char* env = std::getenv("DPIPE_THREADS")) {
     const int parsed = std::atoi(env);
@@ -56,6 +71,7 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::run_batch(const std::shared_ptr<Batch>& batch) {
+  const ParallelRegionGuard region_guard;
   for (;;) {
     const std::size_t index = batch->next.fetch_add(1);
     if (index >= batch->total) {

@@ -16,6 +16,13 @@ namespace dpipe {
 /// integer, otherwise std::thread::hardware_concurrency() (minimum 1).
 [[nodiscard]] int default_thread_count();
 
+/// True while the calling thread is executing inside a ThreadPool batch
+/// (as a worker or as the caller participating in its own parallel_for).
+/// parallel_for is not reentrant, so code that may run both standalone and
+/// inside a batch (the runtime's intra-op kernels) uses this to fall back
+/// to its inline path instead of touching any pool.
+[[nodiscard]] bool in_parallel_region();
+
 /// A small fork-join thread pool for data-parallel host-side work (the
 /// planner's (S, M, D) grid search). Workers are started once and reused
 /// across parallel_for calls; the calling thread participates in every

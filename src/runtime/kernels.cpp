@@ -2,37 +2,138 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstddef>
+#include <cstring>
 #include <memory>
 #include <mutex>
 
 #include "common/parallel.h"
+#include "runtime/kernels_impl.h"
+#include "runtime/pool.h"
+#include "runtime/simd.h"
 
 namespace dpipe::rt {
 
 namespace {
 
-// Fixed tiling. These are part of the determinism contract only insofar as
-// they are *constants*: per-element accumulation order is ascending over
-// the inner dimension in every kernel, so any tile sizes give bit-identical
-// results — but keeping them fixed also keeps cache behaviour reproducible.
-constexpr int kRowBlock = 64;  ///< Parallel grain: output rows per task.
-constexpr int kKc = 64;        ///< Inner-dimension panel height.
-constexpr int kNc = 256;       ///< Output-column panel width.
+using detail::kPanelWidth;
+using detail::kRowTile;
+using detail::Microkernels;
 
-/// Work below this many FLOPs runs single-threaded even in
-/// kBlockedParallel mode; the threshold depends only on the shape, so the
-/// dispatch decision is deterministic.
+// Parallel task grid. Tasks tile the *output*: blocks of kParRowBlock rows
+// (a multiple of the register tile so only edge tasks see remainder rows)
+// by groups of kParColGroup packed panels. Each output element is computed
+// whole by exactly one task, so results are independent of how tasks are
+// scheduled — the determinism across thread counts needs no other
+// argument. The constants are fixed (never derived from the thread count)
+// so the decomposition itself is reproducible too.
+constexpr int kParRowBlock = 10 * kRowTile;  ///< 60 output rows per task.
+constexpr int kParColGroup = 4;              ///< Packed panels per task.
+
+/// Work below this many FLOPs runs single-threaded even in the parallel
+/// modes; the threshold depends only on the shape, so the dispatch decision
+/// is deterministic.
 constexpr std::int64_t kParallelFlopThreshold = 1 << 20;
+
+/// Cache block over the shared dimension: a packed panel chunk is
+/// kKChunk * 64 bytes (16 KiB), so chunk + register-tile A rows + output
+/// tile stay L1-resident even when kk itself is large. Chains split at
+/// these fixed boundaries and resume from the stored partial sums — exact
+/// (see kernels_impl.h) because a float round-trips through memory
+/// unchanged, and deterministic because the boundaries depend only on kk.
+constexpr int kKChunk = 256;
+
+/// The tn variant walks A down columns (a_col_stride = lda, one fresh
+/// cache line per chunk step); above this many A elements that walk spills
+/// L1, so the driver transpose-packs the A chunk into contiguous rows
+/// first. Shape-only threshold, so the decision — and the result, since
+/// packing copies values untouched — is deterministic.
+constexpr std::int64_t kPackAThreshold = 16 * 1024;
 
 std::atomic<KernelMode> g_mode{KernelMode::kBlockedParallel};
 
+// --- Scalar packed microkernel (portable fallback) -----------------------
+// Same panel layout and accumulation chains as the AVX2 TU: lanes are
+// panel-local columns, each chain runs over p ascending with separate
+// multiply/add roundings. The base build carries no FMA instructions, so
+// the compiler cannot contract the pair; auto-vectorization only widens
+// lanes, which does not touch any chain. tile_fast is the same code —
+// "fast" only differs where FMA hardware is in play.
+
+template <int ROWS>
+void scalar_rows_x_panel(float* out, int ldout, const float* a,
+                         std::ptrdiff_t a_row_stride,
+                         std::ptrdiff_t a_col_stride, const float* panel,
+                         int kk, int i, int j0, int valid_cols,
+                         bool accumulate) {
+  float acc[ROWS][kPanelWidth] = {};
+  if (accumulate) {
+    // K-chunked call: continue each chain from its stored partial sum
+    // (padded lanes stay zero-seeded; they are never stored).
+    for (int r = 0; r < ROWS; ++r) {
+      const float* orow = out + static_cast<std::ptrdiff_t>(i + r) * ldout +
+                          j0;
+      std::memcpy(acc[r], orow,
+                  static_cast<std::size_t>(valid_cols) * sizeof(float));
+    }
+  }
+  for (int p = 0; p < kk; ++p) {
+    const float* prow = panel + static_cast<std::ptrdiff_t>(p) * kPanelWidth;
+    const float* ap = a + static_cast<std::ptrdiff_t>(i) * a_row_stride +
+                      static_cast<std::ptrdiff_t>(p) * a_col_stride;
+    for (int r = 0; r < ROWS; ++r) {
+      const float av = ap[r * a_row_stride];
+      for (int j = 0; j < kPanelWidth; ++j) {
+        acc[r][j] += av * prow[j];
+      }
+    }
+  }
+  for (int r = 0; r < ROWS; ++r) {
+    float* orow = out + static_cast<std::ptrdiff_t>(i + r) * ldout + j0;
+    std::memcpy(orow, acc[r],
+                static_cast<std::size_t>(valid_cols) * sizeof(float));
+  }
+}
+
+void scalar_tile(float* out, int ldout, const float* a,
+                 std::ptrdiff_t a_row_stride, std::ptrdiff_t a_col_stride,
+                 const float* panel, int kk, int i0, int i1, int j0,
+                 int valid_cols, bool accumulate) {
+  int i = i0;
+  for (; i + 4 <= i1; i += 4) {
+    scalar_rows_x_panel<4>(out, ldout, a, a_row_stride, a_col_stride, panel,
+                           kk, i, j0, valid_cols, accumulate);
+  }
+  for (; i < i1; ++i) {
+    scalar_rows_x_panel<1>(out, ldout, a, a_row_stride, a_col_stride, panel,
+                           kk, i, j0, valid_cols, accumulate);
+  }
+}
+
+const Microkernels& active_microkernels() {
+#if defined(DPIPE_HAVE_AVX2_TU)
+  if (simd_level() == SimdLevel::kAvx2) {
+    return detail::avx2_microkernels();
+  }
+#endif
+  return detail::scalar_microkernels();
+}
+
+// --- Intra-op worker pool -------------------------------------------------
+
 /// The shared intra-op pool. parallel_for is not reentrant and the pipeline
 /// trainer's stage threads call kernels concurrently, so entry is guarded
-/// by a try-lock: one thread fans out, everyone else falls back to the
-/// inline loop (bit-identical by the fixed-tiling contract).
+/// by a try-lock. A loser only degrades to the caller-inline loop when the
+/// pool is *genuinely busy* (a fan-out batch is in flight, tracked by
+/// fanout_active); a transient loss — the holder is still between locking
+/// and fanning out, or merely rebuilding the pool — blocks briefly for its
+/// own turn instead of silently serializing. Threads already inside any
+/// ThreadPool batch (in_parallel_region) always inline: blocking there
+/// could deadlock the pool on itself.
 struct KernelPool {
   std::mutex run_mutex;
+  std::atomic<bool> fanout_active{false};  ///< A batch is in flight.
   std::mutex state_mutex;
   std::unique_ptr<ThreadPool> pool;  ///< Guarded by state_mutex.
   int requested_threads = 0;         ///< <= 0: default_thread_count().
@@ -52,28 +153,183 @@ ThreadPool* acquire_pool() {
   return kp.pool.get();
 }
 
-/// Runs fn(block) for every row block, fanning out over the kernel pool
-/// when profitable and available. fn must write only to its block's rows.
+/// Runs fn(task) for every task in [0, num_tasks), fanning out over the
+/// kernel pool when profitable and available. fn must write only to its
+/// task's output tile.
 template <typename Fn>
-void for_each_row_block(int rows, std::int64_t flops, KernelMode mode,
-                        const Fn& fn) {
-  const int num_blocks = (rows + kRowBlock - 1) / kRowBlock;
-  if (mode == KernelMode::kBlockedParallel && num_blocks > 1 &&
-      flops >= kParallelFlopThreshold) {
+void for_each_task(int num_tasks, std::int64_t flops, bool want_parallel,
+                   const Fn& fn) {
+  if (want_parallel && num_tasks > 1 && flops >= kParallelFlopThreshold &&
+      !in_parallel_region()) {
     KernelPool& kp = kernel_pool();
     std::unique_lock<std::mutex> lock(kp.run_mutex, std::try_to_lock);
+    if (!lock.owns_lock() &&
+        !kp.fanout_active.load(std::memory_order_acquire)) {
+      // Transient contention, not a running batch: wait for our turn on
+      // the pool rather than degrading to the single-threaded loop.
+      lock.lock();
+    }
     if (lock.owns_lock()) {
       ThreadPool* pool = acquire_pool();
       if (pool->size() > 1) {
-        pool->parallel_for(static_cast<std::size_t>(num_blocks),
-                           [&](std::size_t b) { fn(static_cast<int>(b)); });
+        kp.fanout_active.store(true, std::memory_order_release);
+        try {
+          pool->parallel_for(static_cast<std::size_t>(num_tasks),
+                             [&](std::size_t t) { fn(static_cast<int>(t)); });
+        } catch (...) {
+          kp.fanout_active.store(false, std::memory_order_release);
+          throw;
+        }
+        kp.fanout_active.store(false, std::memory_order_release);
         return;
       }
     }
   }
-  for (int b = 0; b < num_blocks; ++b) {
-    fn(b);
+  for (int t = 0; t < num_tasks; ++t) {
+    fn(t);
   }
+}
+
+// --- B-panel packing ------------------------------------------------------
+// The packed buffer holds ceil(n / kPanelWidth) contiguous panels; panel jp
+// stores logical element (p, j0 + r) at panel[p * kPanelWidth + r], zero
+// for columns past the edge (the padded lanes feed accumulators whose
+// results are never stored). Buffers come from the TensorPool, whose
+// 64-byte-aligned, granule-rounded buckets make every panel row one
+// aligned cache line and recycle the buffer across calls.
+
+/// Packs b [kk, n] (row-major, leading dimension n).
+void pack_row_major(float* packed, const float* b, int kk, int n) {
+  const int panels = (n + kPanelWidth - 1) / kPanelWidth;
+  for (int jp = 0; jp < panels; ++jp) {
+    float* dst = packed + static_cast<std::ptrdiff_t>(jp) * kk * kPanelWidth;
+    const int j0 = jp * kPanelWidth;
+    const int width = std::min(kPanelWidth, n - j0);
+    for (int p = 0; p < kk; ++p) {
+      const float* src = b + static_cast<std::ptrdiff_t>(p) * n + j0;
+      float* row = dst + static_cast<std::ptrdiff_t>(p) * kPanelWidth;
+      std::memcpy(row, src, static_cast<std::size_t>(width) * sizeof(float));
+      for (int j = width; j < kPanelWidth; ++j) {
+        row[j] = 0.0f;
+      }
+    }
+  }
+}
+
+/// Packs kc shared-dimension elements starting at p0 of b [n, ld]
+/// (row-major) as their transpose: panel element (p, r) is
+/// b[(j0 + r) * ld + p0 + p], so the nt variant reuses the nn microkernel.
+void pack_transposed(float* packed, const float* b, int ld, int p0, int kc,
+                     int n) {
+  const int panels = (n + kPanelWidth - 1) / kPanelWidth;
+  for (int jp = 0; jp < panels; ++jp) {
+    float* dst = packed + static_cast<std::ptrdiff_t>(jp) * kc * kPanelWidth;
+    const int j0 = jp * kPanelWidth;
+    const int width = std::min(kPanelWidth, n - j0);
+    for (int r = 0; r < width; ++r) {
+      const float* src =
+          b + static_cast<std::ptrdiff_t>(j0 + r) * ld + p0;
+      for (int p = 0; p < kc; ++p) {
+        dst[static_cast<std::ptrdiff_t>(p) * kPanelWidth + r] = src[p];
+      }
+    }
+    for (int r = width; r < kPanelWidth; ++r) {
+      for (int p = 0; p < kc; ++p) {
+        dst[static_cast<std::ptrdiff_t>(p) * kPanelWidth + r] = 0.0f;
+      }
+    }
+  }
+}
+
+/// Transpose-packs the A chunk a(i, p0 + q) = a[i * ars + (p0 + q) * acs]
+/// into row-major scratch [rows, kc] so the microkernel's broadcasts read
+/// contiguously. Used for tn (ars == 1), where consecutive i share a source
+/// cache line, so the q-strided reads stay hot across the inner sweep.
+void pack_a_chunk(float* packed, const float* a, std::ptrdiff_t ars,
+                  std::ptrdiff_t acs, int rows, int kc) {
+  for (int i = 0; i < rows; ++i) {
+    float* dst = packed + static_cast<std::ptrdiff_t>(i) * kc;
+    const float* src = a + static_cast<std::ptrdiff_t>(i) * ars;
+    for (int q = 0; q < kc; ++q) {
+      dst[q] = src[static_cast<std::ptrdiff_t>(q) * acs];
+    }
+  }
+}
+
+// --- Packed-matmul driver -------------------------------------------------
+
+/// Shared driver for all three transpose variants: a(i, p) is addressed via
+/// the two strides, b is packed (transposing if b_transposed), and the 2-D
+/// task grid fans out in the parallel modes.
+void packed_matmul(Tensor& out, const float* a, std::ptrdiff_t a_row_stride,
+                   std::ptrdiff_t a_col_stride, const float* b,
+                   bool b_transposed, int rows, int kk, int n,
+                   KernelMode mode) {
+  if (rows == 0 || n == 0) {
+    return;
+  }
+  if (kk == 0) {
+    std::fill(out.data(), out.data() + out.numel(), 0.0f);
+    return;
+  }
+  const Microkernels& mk = active_microkernels();
+  const auto tile = mode == KernelMode::kFast ? mk.tile_fast : mk.tile;
+
+  const int panels = (n + kPanelWidth - 1) / kPanelWidth;
+  const int row_blocks = (rows + kParRowBlock - 1) / kParRowBlock;
+  const int col_groups = (panels + kParColGroup - 1) / kParColGroup;
+  const std::int64_t flops = 2LL * rows * kk * n;
+  const bool want_parallel =
+      mode == KernelMode::kBlockedParallel || mode == KernelMode::kFast;
+  float* out_data = out.data();
+
+  TensorPool& pool = TensorPool::global();
+  const int kc_max = std::min(kk, kKChunk);
+  Tensor packed = pool.acquire({panels * kPanelWidth, kc_max});
+  const bool pack_a = a_col_stride != 1 && panels >= 2 &&
+                      static_cast<std::int64_t>(rows) * kk >= kPackAThreshold;
+  Tensor a_scratch = pack_a ? pool.acquire({rows, kc_max}) : Tensor();
+  // Sweep the shared dimension in L1-sized chunks (one chunk when kk fits).
+  // Each chunk packs its B slice and runs the full 2-D task grid; the grid
+  // join between chunks orders the partial-sum writes before their reads.
+  for (int p0 = 0; p0 < kk; p0 += kKChunk) {
+    const int kc = std::min(kKChunk, kk - p0);
+    const bool accumulate = p0 > 0;
+    if (b_transposed) {
+      pack_transposed(packed.data(), b, kk, p0, kc, n);
+    } else {
+      pack_row_major(packed.data(), b + static_cast<std::ptrdiff_t>(p0) * n,
+                     kc, n);
+    }
+    const float* panel_base = packed.data();
+    const float* a_chunk = a + static_cast<std::ptrdiff_t>(p0) * a_col_stride;
+    std::ptrdiff_t ars = a_row_stride;
+    std::ptrdiff_t acs = a_col_stride;
+    if (pack_a) {
+      pack_a_chunk(a_scratch.data(), a_chunk, a_row_stride, a_col_stride,
+                   rows, kc);
+      a_chunk = a_scratch.data();
+      ars = kc;
+      acs = 1;
+    }
+    for_each_task(row_blocks * col_groups, flops, want_parallel, [&](int t) {
+      const int rb = t / col_groups;
+      const int cg = t % col_groups;
+      const int i0 = rb * kParRowBlock;
+      const int i1 = std::min(i0 + kParRowBlock, rows);
+      const int jp_end = std::min((cg + 1) * kParColGroup, panels);
+      for (int jp = cg * kParColGroup; jp < jp_end; ++jp) {
+        const int j0 = jp * kPanelWidth;
+        tile(out_data, n, a_chunk, ars, acs,
+             panel_base + static_cast<std::ptrdiff_t>(jp) * kc * kPanelWidth,
+             kc, i0, i1, j0, std::min(kPanelWidth, n - j0), accumulate);
+      }
+    });
+  }
+  if (pack_a) {
+    pool.release(std::move(a_scratch));
+  }
+  pool.release(std::move(packed));
 }
 
 void check_matmul_shapes(const Tensor& out, const Tensor& a, const Tensor& b,
@@ -87,9 +343,8 @@ void check_matmul_shapes(const Tensor& out, const Tensor& a, const Tensor& b,
 }
 
 // --- Naive kernels: faithful ports of the pre-substrate triple loops -----
-// (bounds-checked at() access, zeroed output, ascending inner loop; the
-// data-dependent `av == 0` skip is gone — it made FLOPs input-dependent and
-// put a branch in the hot loop without changing results on finite inputs).
+// (bounds-checked at() access, zeroed output, ascending inner loop). These
+// define the reference accumulation chains the packed kernels reproduce.
 
 void nn_naive(Tensor& out, const Tensor& a, const Tensor& b) {
   std::fill(out.data(), out.data() + out.numel(), 0.0f);
@@ -127,153 +382,30 @@ void nt_naive(Tensor& out, const Tensor& a, const Tensor& b) {
   }
 }
 
-// --- Blocked kernels ------------------------------------------------------
-// NN/TN are outer-product style: the output panel accumulates rank-1
-// updates with the inner index ascending (in kKc panels, then singly), so
-// each element sees the same addition chain as the naive loop. NT keeps one
-// scalar accumulator per output element with k ascending. The j loops are
-// the vectorizable ones; accumulation chains are never split.
-
-/// out rows [i0, i1) of a [m,k] x b [k,n].
-void nn_block(float* out, const float* a, const float* b, int i0, int i1,
-              int cols_a, int cols_b) {
-  const int k_total = cols_a;
-  const int n = cols_b;
-  for (int i = i0; i < i1; ++i) {
-    std::fill(out + static_cast<std::ptrdiff_t>(i) * n,
-              out + static_cast<std::ptrdiff_t>(i + 1) * n, 0.0f);
-  }
-  for (int jc = 0; jc < n; jc += kNc) {
-    const int jend = std::min(jc + kNc, n);
-    for (int kc = 0; kc < k_total; kc += kKc) {
-      const int kend = std::min(kc + kKc, k_total);
-      for (int i = i0; i < i1; ++i) {
-        float* orow = out + static_cast<std::ptrdiff_t>(i) * n;
-        const float* arow = a + static_cast<std::ptrdiff_t>(i) * k_total;
-        int k = kc;
-        for (; k + 4 <= kend; k += 4) {
-          const float av0 = arow[k];
-          const float av1 = arow[k + 1];
-          const float av2 = arow[k + 2];
-          const float av3 = arow[k + 3];
-          const float* b0 = b + static_cast<std::ptrdiff_t>(k) * n;
-          const float* b1 = b0 + n;
-          const float* b2 = b1 + n;
-          const float* b3 = b2 + n;
-          for (int j = jc; j < jend; ++j) {
-            float acc = orow[j];
-            acc += av0 * b0[j];
-            acc += av1 * b1[j];
-            acc += av2 * b2[j];
-            acc += av3 * b3[j];
-            orow[j] = acc;
-          }
-        }
-        for (; k < kend; ++k) {
-          const float av = arow[k];
-          const float* brow = b + static_cast<std::ptrdiff_t>(k) * n;
-          for (int j = jc; j < jend; ++j) {
-            orow[j] += av * brow[j];
-          }
-        }
-      }
-    }
-  }
-}
-
-/// out rows [i0, i1) of a^T [m,k] x b [m,n]: out[i][j] accumulates over the
-/// shared row index m (ascending, in kKc panels).
-void tn_block(float* out, const float* a, const float* b, int i0, int i1,
-              int rows_a, int cols_a, int cols_b) {
-  const int n = cols_b;
-  for (int i = i0; i < i1; ++i) {
-    std::fill(out + static_cast<std::ptrdiff_t>(i) * n,
-              out + static_cast<std::ptrdiff_t>(i + 1) * n, 0.0f);
-  }
-  for (int jc = 0; jc < n; jc += kNc) {
-    const int jend = std::min(jc + kNc, n);
-    for (int mc = 0; mc < rows_a; mc += kKc) {
-      const int mend = std::min(mc + kKc, rows_a);
-      for (int i = i0; i < i1; ++i) {
-        float* orow = out + static_cast<std::ptrdiff_t>(i) * n;
-        int m = mc;
-        for (; m + 4 <= mend; m += 4) {
-          const float av0 = a[static_cast<std::ptrdiff_t>(m) * cols_a + i];
-          const float av1 =
-              a[static_cast<std::ptrdiff_t>(m + 1) * cols_a + i];
-          const float av2 =
-              a[static_cast<std::ptrdiff_t>(m + 2) * cols_a + i];
-          const float av3 =
-              a[static_cast<std::ptrdiff_t>(m + 3) * cols_a + i];
-          const float* b0 = b + static_cast<std::ptrdiff_t>(m) * n;
-          const float* b1 = b0 + n;
-          const float* b2 = b1 + n;
-          const float* b3 = b2 + n;
-          for (int j = jc; j < jend; ++j) {
-            float acc = orow[j];
-            acc += av0 * b0[j];
-            acc += av1 * b1[j];
-            acc += av2 * b2[j];
-            acc += av3 * b3[j];
-            orow[j] = acc;
-          }
-        }
-        for (; m < mend; ++m) {
-          const float av = a[static_cast<std::ptrdiff_t>(m) * cols_a + i];
-          const float* brow = b + static_cast<std::ptrdiff_t>(m) * n;
-          for (int j = jc; j < jend; ++j) {
-            orow[j] += av * brow[j];
-          }
-        }
-      }
-    }
-  }
-}
-
-/// out rows [i0, i1) of a [m,k] x b^T [n,k]: independent dot products, one
-/// scalar chain per element (k ascending), four b rows per pass so each
-/// a-row load feeds four accumulators.
-void nt_block(float* out, const float* a, const float* b, int i0, int i1,
-              int cols_a, int rows_b) {
-  const int k_total = cols_a;
-  const int n = rows_b;
-  for (int i = i0; i < i1; ++i) {
-    const float* arow = a + static_cast<std::ptrdiff_t>(i) * k_total;
-    float* orow = out + static_cast<std::ptrdiff_t>(i) * n;
-    int j = 0;
-    for (; j + 4 <= n; j += 4) {
-      const float* b0 = b + static_cast<std::ptrdiff_t>(j) * k_total;
-      const float* b1 = b0 + k_total;
-      const float* b2 = b1 + k_total;
-      const float* b3 = b2 + k_total;
-      float acc0 = 0.0f;
-      float acc1 = 0.0f;
-      float acc2 = 0.0f;
-      float acc3 = 0.0f;
-      for (int k = 0; k < k_total; ++k) {
-        const float av = arow[k];
-        acc0 += av * b0[k];
-        acc1 += av * b1[k];
-        acc2 += av * b2[k];
-        acc3 += av * b3[k];
-      }
-      orow[j] = acc0;
-      orow[j + 1] = acc1;
-      orow[j + 2] = acc2;
-      orow[j + 3] = acc3;
-    }
-    for (; j < n; ++j) {
-      const float* brow = b + static_cast<std::ptrdiff_t>(j) * k_total;
-      float acc = 0.0f;
-      for (int k = 0; k < k_total; ++k) {
-        acc += arow[k] * brow[k];
-      }
-      orow[j] = acc;
-    }
-  }
-}
-
 }  // namespace
+
+namespace detail {
+
+const Microkernels& scalar_microkernels() {
+  static const Microkernels kernels{"scalar", &scalar_tile, &scalar_tile};
+  return kernels;
+}
+
+}  // namespace detail
+
+const char* kernel_mode_name(KernelMode mode) {
+  switch (mode) {
+    case KernelMode::kNaive:
+      return "naive";
+    case KernelMode::kBlocked:
+      return "blocked";
+    case KernelMode::kBlockedParallel:
+      return "blocked_parallel";
+    case KernelMode::kFast:
+      return "fast";
+  }
+  return "?";
+}
 
 KernelMode kernel_mode() { return g_mode.load(std::memory_order_relaxed); }
 
@@ -311,12 +443,8 @@ void matmul_into(Tensor& out, const Tensor& a, const Tensor& b,
     nn_naive(out, a, b);
     return;
   }
-  const std::int64_t flops = 2LL * m * k * n;
-  for_each_row_block(m, flops, mode, [&](int block) {
-    const int i0 = block * kRowBlock;
-    const int i1 = std::min(i0 + kRowBlock, m);
-    nn_block(out.data(), a.data(), b.data(), i0, i1, k, n);
-  });
+  packed_matmul(out, a.data(), k, 1, b.data(), /*b_transposed=*/false, m, k,
+                n, mode);
 }
 
 void matmul_tn_into(Tensor& out, const Tensor& a, const Tensor& b,
@@ -330,12 +458,10 @@ void matmul_tn_into(Tensor& out, const Tensor& a, const Tensor& b,
     tn_naive(out, a, b);
     return;
   }
-  const std::int64_t flops = 2LL * m * k * n;
-  for_each_row_block(k, flops, mode, [&](int block) {
-    const int i0 = block * kRowBlock;
-    const int i1 = std::min(i0 + kRowBlock, k);
-    tn_block(out.data(), a.data(), b.data(), i0, i1, m, k, n);
-  });
+  // out[i][j] = sum over the shared row index m of a[m][i] * b[m][j]:
+  // a(i, p) = a[p * k + i].
+  packed_matmul(out, a.data(), 1, k, b.data(), /*b_transposed=*/false, k, m,
+                n, mode);
 }
 
 void matmul_nt_into(Tensor& out, const Tensor& a, const Tensor& b,
@@ -349,12 +475,8 @@ void matmul_nt_into(Tensor& out, const Tensor& a, const Tensor& b,
     nt_naive(out, a, b);
     return;
   }
-  const std::int64_t flops = 2LL * m * k * n;
-  for_each_row_block(m, flops, mode, [&](int block) {
-    const int i0 = block * kRowBlock;
-    const int i1 = std::min(i0 + kRowBlock, m);
-    nt_block(out.data(), a.data(), b.data(), i0, i1, k, n);
-  });
+  packed_matmul(out, a.data(), k, 1, b.data(), /*b_transposed=*/true, m, k,
+                n, mode);
 }
 
 void matmul_into(Tensor& out, const Tensor& a, const Tensor& b) {
@@ -367,6 +489,54 @@ void matmul_tn_into(Tensor& out, const Tensor& a, const Tensor& b) {
 
 void matmul_nt_into(Tensor& out, const Tensor& a, const Tensor& b) {
   matmul_nt_into(out, a, b, kernel_mode());
+}
+
+double measured_peak_gflops(KernelMode mode) {
+  const Microkernels& mk = active_microkernels();
+  const auto tile = mode == KernelMode::kFast ? mk.tile_fast : mk.tile;
+  // L1-resident problem: a 24x128 A block (12 KiB), one packed panel
+  // (8 KiB), a 24x16 output tile — the register tile's issue rate is the
+  // only bottleneck, which is the compute roofline the bench report
+  // compares achieved GFLOP/s against.
+  constexpr int kRows = 24;
+  constexpr int kK = 128;
+  TensorPool& pool = TensorPool::global();
+  Tensor a = pool.acquire({kRows, kK});
+  Tensor panel = pool.acquire({kPanelWidth, kK});
+  Tensor out = pool.acquire({kRows, kPanelWidth});
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    a.data()[i] = 1.0f + 1e-6f * static_cast<float>(i % 97);
+  }
+  for (std::int64_t i = 0; i < panel.numel(); ++i) {
+    panel.data()[i] = 1.0f - 1e-6f * static_cast<float>(i % 89);
+  }
+  const double flops_per_call = 2.0 * kRows * kK * kPanelWidth;
+  // Many short reps, best-of: on a time-shared machine a single slow
+  // scheduling window must not masquerade as the compute ceiling.
+  constexpr int kCallsPerRep = 500;
+  constexpr int kReps = 16;
+  double best_seconds = 0.0;
+  for (int rep = 0; rep < kReps; ++rep) {  // Rep 0 is the warm-up.
+    const auto start = std::chrono::steady_clock::now();
+    for (int c = 0; c < kCallsPerRep; ++c) {
+      tile(out.data(), kPanelWidth, a.data(), kK, 1, panel.data(), kK, 0,
+           kRows, 0, kPanelWidth, /*accumulate=*/false);
+    }
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    if (rep == 0) {
+      continue;
+    }
+    if (best_seconds == 0.0 || seconds < best_seconds) {
+      best_seconds = seconds;
+    }
+  }
+  pool.release(std::move(a));
+  pool.release(std::move(panel));
+  pool.release(std::move(out));
+  return flops_per_call * kCallsPerRep / (best_seconds * 1e9);
 }
 
 }  // namespace dpipe::rt

@@ -4,17 +4,30 @@
 
 namespace dpipe::rt {
 
-/// Which matmul implementation the runtime dispatches to. All three modes
-/// are bit-identical by construction: every output element is a single
-/// accumulation chain over the inner dimension in ascending order, so
-/// blocking and row-block parallelism reorder *memory traffic* only, never
-/// the floating-point reduction. The modes exist so tests can pin the
-/// parity down and benchmarks can attribute the speedup.
+/// Which matmul implementation the runtime dispatches to.
+///
+/// Exactness contract (DESIGN.md §11): in kNaive, kBlocked, and
+/// kBlockedParallel every output element is a single accumulation chain
+/// over the inner dimension in ascending order, seeded from 0.0f, with the
+/// multiply and the add rounded separately. Packing, vector lanes, register
+/// tiles, and the 2-D parallel fan-out reorder *memory traffic* only, never
+/// the floating-point reduction — so those three modes are bit-identical to
+/// each other, across thread counts, and across SIMD levels
+/// (DPIPE_SIMD=scalar|avx2).
+///
+/// kFast is the explicit opt-out: it keeps the ascending chain (results are
+/// still deterministic for a fixed SIMD level and independent of thread
+/// count) but allows fused multiply-add contraction, so results differ from
+/// the exact modes — and across SIMD levels — at the rounding level.
+/// Validate kFast trajectories for closeness, not bit-equality.
 enum class KernelMode {
   kNaive,            ///< Bounds-checked triple loop (the pre-substrate code).
-  kBlocked,          ///< Cache-blocked, register-tiled, raw pointers.
-  kBlockedParallel,  ///< kBlocked + row-block fan-out over the kernel pool.
+  kBlocked,          ///< Packed SIMD microkernels, single-threaded, exact.
+  kBlockedParallel,  ///< kBlocked + 2-D (row-block x panel-group) fan-out.
+  kFast,             ///< Parallel packed microkernels with FMA contraction.
 };
+
+[[nodiscard]] const char* kernel_mode_name(KernelMode mode);
 
 /// Process-wide dispatch mode (default kBlockedParallel).
 [[nodiscard]] KernelMode kernel_mode();
@@ -23,7 +36,8 @@ void set_kernel_mode(KernelMode mode);
 /// Width of the intra-op worker pool. The pool is created lazily from
 /// DPIPE_THREADS / hardware_concurrency; set_kernel_threads(n) rebuilds it
 /// with n threads (n <= 0 restores the default). Results never depend on
-/// this value — the row-block tiling is fixed — only wall time does.
+/// this value — the task decomposition is fixed and every output element is
+/// computed whole by one task — only wall time does.
 [[nodiscard]] int kernel_threads();
 void set_kernel_threads(int num_threads);
 
@@ -43,5 +57,13 @@ void matmul_tn_into(Tensor& out, const Tensor& a, const Tensor& b,
 void matmul_nt_into(Tensor& out, const Tensor& a, const Tensor& b);
 void matmul_nt_into(Tensor& out, const Tensor& a, const Tensor& b,
                     KernelMode mode);
+
+/// Measured single-thread compute-roofline estimate for the packed
+/// microkernels at the current SIMD level: best GFLOP/s of the register
+/// tile over an L1-resident problem (no packing, no memory traffic beyond
+/// cache). `mode` selects the exact (mul+add) or kFast (FMA) inner loop;
+/// kNaive/kBlocked/kBlockedParallel all report the exact ceiling. Used by
+/// bench_runtime_kernels' roofline report.
+[[nodiscard]] double measured_peak_gflops(KernelMode mode);
 
 }  // namespace dpipe::rt

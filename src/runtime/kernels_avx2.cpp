@@ -1,0 +1,135 @@
+// AVX2+FMA packed microkernels. This is the only translation unit compiled
+// with -mavx2 -mfma (CMake option DPIPE_NATIVE_KERNELS); it is entered only
+// after the runtime CPUID dispatch in kernels.cpp confirmed hardware
+// support, so no other TU ever executes AVX2 instructions.
+//
+// The TU is also compiled with -ffp-contract=off: the exact microkernel
+// must round the multiply and the add separately (matching the scalar
+// fallback bit-for-bit), so the compiler must not quietly contract the
+// _mm256_mul_ps/_mm256_add_ps pair into an FMA. KernelMode::kFast opts into
+// contraction explicitly via _mm256_fmadd_ps.
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "runtime/kernels_impl.h"
+
+namespace dpipe::rt::detail {
+
+namespace {
+
+/// Register tile: ROWS output rows x kPanelWidth columns held in 2*ROWS
+/// accumulator registers across the whole shared dimension — each output
+/// element is one uninterrupted chain over p ascending, seeded from the
+/// stored partial sum when a k-chunked driver passes accumulate.
+template <int ROWS, bool kUseFma>
+void rows_x_panel(float* out, int ldout, const float* a,
+                  std::ptrdiff_t a_row_stride, std::ptrdiff_t a_col_stride,
+                  const float* panel, int kk, int i, int j0, int valid_cols,
+                  bool accumulate) {
+  __m256 acc_lo[ROWS];
+  __m256 acc_hi[ROWS];
+  if (accumulate) {
+    for (int r = 0; r < ROWS; ++r) {
+      const float* orow = out + static_cast<std::ptrdiff_t>(i + r) * ldout +
+                          j0;
+      if (valid_cols == kPanelWidth) {
+        acc_lo[r] = _mm256_loadu_ps(orow);
+        acc_hi[r] = _mm256_loadu_ps(orow + 8);
+      } else {
+        // Edge panel: never read past the matrix — stage through a zeroed
+        // buffer (the padded lanes' chains are garbage but never stored).
+        alignas(32) float buf[kPanelWidth] = {};
+        std::memcpy(buf, orow,
+                    static_cast<std::size_t>(valid_cols) * sizeof(float));
+        acc_lo[r] = _mm256_load_ps(buf);
+        acc_hi[r] = _mm256_load_ps(buf + 8);
+      }
+    }
+  } else {
+    for (int r = 0; r < ROWS; ++r) {
+      acc_lo[r] = _mm256_setzero_ps();
+      acc_hi[r] = _mm256_setzero_ps();
+    }
+  }
+  for (int p = 0; p < kk; ++p) {
+    const float* prow = panel + static_cast<std::ptrdiff_t>(p) * kPanelWidth;
+    const __m256 b_lo = _mm256_load_ps(prow);      // 64B-aligned panel row.
+    const __m256 b_hi = _mm256_load_ps(prow + 8);  // 32B-aligned half.
+    const float* ap = a + static_cast<std::ptrdiff_t>(i) * a_row_stride +
+                      static_cast<std::ptrdiff_t>(p) * a_col_stride;
+    for (int r = 0; r < ROWS; ++r) {
+      const __m256 av = _mm256_set1_ps(ap[r * a_row_stride]);
+      if constexpr (kUseFma) {
+        acc_lo[r] = _mm256_fmadd_ps(av, b_lo, acc_lo[r]);
+        acc_hi[r] = _mm256_fmadd_ps(av, b_hi, acc_hi[r]);
+      } else {
+        acc_lo[r] = _mm256_add_ps(acc_lo[r], _mm256_mul_ps(av, b_lo));
+        acc_hi[r] = _mm256_add_ps(acc_hi[r], _mm256_mul_ps(av, b_hi));
+      }
+    }
+  }
+  for (int r = 0; r < ROWS; ++r) {
+    float* orow = out + static_cast<std::ptrdiff_t>(i + r) * ldout + j0;
+    if (valid_cols == kPanelWidth) {
+      _mm256_storeu_ps(orow, acc_lo[r]);
+      _mm256_storeu_ps(orow + 8, acc_hi[r]);
+    } else {
+      alignas(32) float buf[kPanelWidth];
+      _mm256_store_ps(buf, acc_lo[r]);
+      _mm256_store_ps(buf + 8, acc_hi[r]);
+      std::memcpy(orow, buf, static_cast<std::size_t>(valid_cols) *
+                                 sizeof(float));
+    }
+  }
+}
+
+template <bool kUseFma>
+void tile_impl(float* out, int ldout, const float* a,
+               std::ptrdiff_t a_row_stride, std::ptrdiff_t a_col_stride,
+               const float* panel, int kk, int i0, int i1, int j0,
+               int valid_cols, bool accumulate) {
+  int i = i0;
+  for (; i + kRowTile <= i1; i += kRowTile) {
+    rows_x_panel<kRowTile, kUseFma>(out, ldout, a, a_row_stride,
+                                    a_col_stride, panel, kk, i, j0,
+                                    valid_cols, accumulate);
+  }
+  // Remainder rows still get a register tile of their exact height.
+  switch (i1 - i) {
+    case 5:
+      rows_x_panel<5, kUseFma>(out, ldout, a, a_row_stride, a_col_stride,
+                               panel, kk, i, j0, valid_cols, accumulate);
+      break;
+    case 4:
+      rows_x_panel<4, kUseFma>(out, ldout, a, a_row_stride, a_col_stride,
+                               panel, kk, i, j0, valid_cols, accumulate);
+      break;
+    case 3:
+      rows_x_panel<3, kUseFma>(out, ldout, a, a_row_stride, a_col_stride,
+                               panel, kk, i, j0, valid_cols, accumulate);
+      break;
+    case 2:
+      rows_x_panel<2, kUseFma>(out, ldout, a, a_row_stride, a_col_stride,
+                               panel, kk, i, j0, valid_cols, accumulate);
+      break;
+    case 1:
+      rows_x_panel<1, kUseFma>(out, ldout, a, a_row_stride, a_col_stride,
+                               panel, kk, i, j0, valid_cols, accumulate);
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace
+
+const Microkernels& avx2_microkernels() {
+  static const Microkernels kernels{"avx2", &tile_impl<false>,
+                                    &tile_impl<true>};
+  return kernels;
+}
+
+}  // namespace dpipe::rt::detail

@@ -1,5 +1,7 @@
 #include "runtime/pool.h"
 
+#include <cassert>
+#include <cstdint>
 #include <utility>
 
 namespace dpipe::rt {
@@ -15,46 +17,69 @@ std::int64_t checked_numel(const std::vector<int>& shape) {
   return n;
 }
 
+/// Bucket size for a logical element count: rounded up to the alignment
+/// granule so buffers are interchangeable across shapes that differ only
+/// below one cache line.
+std::int64_t bucket_elems(std::int64_t n) {
+  const std::int64_t g = TensorPool::kGranuleElems;
+  return (n + g - 1) / g * g;
+}
+
 }  // namespace
 
 Tensor TensorPool::acquire(std::vector<int> shape) {
   const std::int64_t n = checked_numel(shape);
-  std::vector<float> storage;
+  const std::int64_t padded = bucket_elems(n);
+  FloatStorage storage;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
-    auto it = free_.find(n);
+    auto it = free_.find(padded);
     if (it != free_.end() && !it->second.empty()) {
       storage = std::move(it->second.back());
       it->second.pop_back();
       ++stats_.allocs_avoided;
-      stats_.bytes_free -= n * sizeof(float);
+      stats_.bytes_free -= static_cast<std::uint64_t>(padded) * sizeof(float);
     } else {
       ++stats_.allocs_fresh;
     }
-    bytes_outstanding_ += static_cast<std::uint64_t>(n) * sizeof(float);
+    if (padded > n) {
+      ++stats_.rounded_allocs;
+      stats_.padding_bytes_total +=
+          static_cast<std::uint64_t>(padded - n) * sizeof(float);
+    }
+    bytes_outstanding_ += static_cast<std::uint64_t>(padded) * sizeof(float);
     stats_.peak_bytes =
         std::max(stats_.peak_bytes, bytes_outstanding_ + stats_.bytes_free);
   }
-  if (storage.empty() && n > 0) {
+  if (n > 0) {
+    // Fresh and recycled buffers alike get capacity for the whole bucket,
+    // then the logical size: later resizes within the bucket never
+    // reallocate, so recycled data() pointers (and their alignment) are
+    // stable.
+    storage.reserve(static_cast<std::size_t>(padded));
     storage.resize(static_cast<std::size_t>(n));
   }
-  return Tensor::from_storage(std::move(shape), std::move(storage));
+  Tensor t = Tensor::from_storage(std::move(shape), std::move(storage));
+  assert(t.numel() == 0 ||
+         reinterpret_cast<std::uintptr_t>(t.data()) % kTensorAlignment == 0);
+  return t;
 }
 
 void TensorPool::release(Tensor&& t) {
   if (!t.defined() || t.numel() == 0) {
     return;
   }
-  const std::int64_t n = t.numel();
-  std::vector<float> storage = std::move(t).release_storage();
+  const std::int64_t padded = bucket_elems(t.numel());
+  FloatStorage storage = std::move(t).release_storage();
   const std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.released;
-  stats_.bytes_free += static_cast<std::uint64_t>(n) * sizeof(float);
-  const std::uint64_t bytes = static_cast<std::uint64_t>(n) * sizeof(float);
+  const std::uint64_t bytes =
+      static_cast<std::uint64_t>(padded) * sizeof(float);
+  stats_.bytes_free += bytes;
   bytes_outstanding_ -= std::min(bytes_outstanding_, bytes);
   stats_.peak_bytes =
       std::max(stats_.peak_bytes, bytes_outstanding_ + stats_.bytes_free);
-  free_[n].push_back(std::move(storage));
+  free_[padded].push_back(std::move(storage));
 }
 
 TensorPool::Stats TensorPool::stats() const {

@@ -39,8 +39,7 @@ Tensor Tensor::full(std::vector<int> shape, float value) {
   return t;
 }
 
-Tensor Tensor::from_storage(std::vector<int> shape,
-                            std::vector<float> storage) {
+Tensor Tensor::from_storage(std::vector<int> shape, FloatStorage storage) {
   const std::int64_t n = shape_numel(shape);
   Tensor t;
   t.shape_ = std::move(shape);
@@ -49,7 +48,7 @@ Tensor Tensor::from_storage(std::vector<int> shape,
   return t;
 }
 
-std::vector<float> Tensor::release_storage() && {
+FloatStorage Tensor::release_storage() && {
   shape_.clear();
   return std::move(data_);
 }

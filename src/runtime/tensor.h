@@ -1,11 +1,54 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <new>
 #include <vector>
 
 #include "common/error.h"
 
 namespace dpipe::rt {
+
+/// Every tensor (and pooled packing buffer) starts on a 64-byte boundary:
+/// one cache line, and wide enough for aligned AVX-512 loads. The SIMD
+/// microkernels rely on this for aligned panel loads, and the TensorPool
+/// rounds its buckets up to this granule (pool.h).
+inline constexpr std::size_t kTensorAlignment = 64;
+
+/// Minimal allocator that hands out kTensorAlignment-aligned storage via
+/// C++17 aligned operator new. Stateless: all instances are interchangeable,
+/// so vectors with this allocator move storage freely between owners (the
+/// TensorPool free lists depend on that).
+template <typename T>
+class AlignedAllocator {
+ public:
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U>&) noexcept {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{kTensorAlignment}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{kTensorAlignment});
+  }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U>&) const noexcept {
+    return true;
+  }
+  template <typename U>
+  bool operator!=(const AlignedAllocator<U>&) const noexcept {
+    return false;
+  }
+};
+
+/// The storage type behind every Tensor: a float vector whose data() is
+/// always kTensorAlignment-aligned.
+using FloatStorage = std::vector<float, AlignedAllocator<float>>;
 
 /// Minimal dense float tensor (row-major, rank <= 2 in practice) backing the
 /// functional mini-training runtime. Hot paths use the out-parameter kernels
@@ -24,9 +67,9 @@ class Tensor {
   /// the shape's element count; any recycled contents are preserved, so the
   /// result must be fully overwritten before use.
   [[nodiscard]] static Tensor from_storage(std::vector<int> shape,
-                                           std::vector<float> storage);
+                                           FloatStorage storage);
   /// Extracts the storage buffer, leaving the tensor undefined.
-  [[nodiscard]] std::vector<float> release_storage() &&;
+  [[nodiscard]] FloatStorage release_storage() &&;
 
   [[nodiscard]] const std::vector<int>& shape() const { return shape_; }
   [[nodiscard]] std::int64_t numel() const {
@@ -48,7 +91,7 @@ class Tensor {
 
  private:
   std::vector<int> shape_;
-  std::vector<float> data_;
+  FloatStorage data_;
 };
 
 /// Deterministic xorshift64-based normal sampler (Box-Muller). A zero seed

@@ -4,10 +4,13 @@
 // modes and thread counts (the determinism contract in DESIGN.md §8).
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstring>
+#include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/parallel.h"
 #include "runtime/dp_trainer.h"
 #include "runtime/kernels.h"
 #include "runtime/pipeline_exec.h"
@@ -138,6 +141,72 @@ TEST(Kernels, RejectsBadOutputShapeAndAliasing) {
   EXPECT_THROW(matmul_into(alias, alias, b), std::invalid_argument);
 }
 
+// --- Concurrent kernel entry (the try-lock fan-out path) --------------------
+
+TEST(Kernels, ConcurrentCallersBitExactUnderContention) {
+  // Stage threads hammer kBlockedParallel simultaneously: one caller owns
+  // the worker pool, losers either inline (pool genuinely busy) or wait
+  // their turn (transient contention). Results must be bit-identical to
+  // the single-threaded reference either way. Runs under TSan in tier-1.
+  KernelStateGuard guard;
+  set_kernel_threads(4);
+  constexpr int kDim = 96;  // 2*96^3 FLOPs: above the parallel threshold.
+  Rng rng(41);
+  const Tensor a = rng.randn({kDim, kDim});
+  const Tensor b = rng.randn({kDim, kDim});
+  Tensor ref({kDim, kDim});
+  matmul_into(ref, a, b, KernelMode::kNaive);
+  std::vector<std::thread> callers;
+  std::vector<int> mismatches(4, 0);
+  for (int t = 0; t < 4; ++t) {
+    callers.emplace_back([&, t] {
+      Tensor out({kDim, kDim});
+      for (int rep = 0; rep < 20; ++rep) {
+        matmul_into(out, a, b, KernelMode::kBlockedParallel);
+        if (std::memcmp(ref.data(), out.data(),
+                        static_cast<std::size_t>(ref.numel()) *
+                            sizeof(float)) != 0) {
+          ++mismatches[static_cast<std::size_t>(t)];
+        }
+      }
+    });
+  }
+  for (std::thread& th : callers) {
+    th.join();
+  }
+  for (const int m : mismatches) {
+    EXPECT_EQ(m, 0);
+  }
+}
+
+TEST(Kernels, NestedInsideParallelForRunsInlineWithoutDeadlock) {
+  // A kernel called from inside any ThreadPool batch must take the inline
+  // path (in_parallel_region) — blocking on the kernel pool there could
+  // deadlock the pool on itself.
+  KernelStateGuard guard;
+  set_kernel_threads(4);
+  Rng rng(43);
+  const Tensor a = rng.randn({96, 96});
+  const Tensor b = rng.randn({96, 96});
+  Tensor ref({96, 96});
+  matmul_into(ref, a, b, KernelMode::kNaive);
+  ThreadPool outer(3);
+  std::vector<int> ok(6, 0);
+  outer.parallel_for(ok.size(), [&](std::size_t i) {
+    EXPECT_TRUE(in_parallel_region());
+    Tensor out({96, 96});
+    matmul_into(out, a, b, KernelMode::kBlockedParallel);
+    ok[i] = std::memcmp(ref.data(), out.data(),
+                        static_cast<std::size_t>(ref.numel()) *
+                            sizeof(float)) == 0
+                ? 1
+                : 0;
+  });
+  for (const int v : ok) {
+    EXPECT_EQ(v, 1);
+  }
+}
+
 TEST(RngSeed, ZeroSeedDoesNotLockUp) {
   // xorshift64 has a fixed point at state 0: seeding with 0 used to yield
   // an all-zero stream forever. The constructor must remap seed 0.
@@ -198,6 +267,50 @@ TEST(TensorPool, EmptyTensorsAreIgnored) {
   EXPECT_EQ(pool.stats().released, 0u);
   const Tensor e = pool.acquire({0, 5});
   EXPECT_EQ(e.numel(), 0);
+}
+
+bool is_aligned(const float* p) {
+  return reinterpret_cast<std::uintptr_t>(p) % kTensorAlignment == 0;
+}
+
+TEST(TensorPool, StorageIsCacheLineAligned) {
+  // Every tensor — pooled or not — sits on a 64-byte boundary (the SIMD
+  // microkernels issue aligned loads against pooled packing panels).
+  TensorPool pool;
+  Tensor t = pool.acquire({3, 7});
+  EXPECT_TRUE(is_aligned(t.data()));
+  pool.release(std::move(t));
+  Tensor u = pool.acquire({21});
+  EXPECT_TRUE(is_aligned(u.data()));
+  EXPECT_TRUE(is_aligned(Tensor::zeros({5, 5}).data()));
+  Rng rng(7);
+  EXPECT_TRUE(is_aligned(rng.randn({9, 3}).data()));
+}
+
+TEST(TensorPool, PadsBucketsToAlignmentGranule) {
+  TensorPool pool;
+  // 1x5 and 3x5 both round up to one 16-float granule: same bucket.
+  Tensor small = pool.acquire({1, 5});
+  const float* storage = small.data();
+  pool.release(std::move(small));
+  Tensor larger = pool.acquire({3, 5});
+  EXPECT_EQ(larger.data(), storage);
+  EXPECT_EQ(larger.numel(), 15);
+  const TensorPool::Stats stats = pool.stats();
+  EXPECT_EQ(stats.allocs_avoided, 1u);
+  EXPECT_EQ(stats.allocs_fresh, 1u);
+  EXPECT_EQ(stats.alignment_bytes, kTensorAlignment);
+  EXPECT_EQ(stats.rounded_allocs, 2u);  // 5 -> 16 and 15 -> 16.
+  EXPECT_EQ(stats.padding_bytes_total, (11u + 1u) * sizeof(float));
+}
+
+TEST(TensorPool, BytesAccountingUsesPaddedBuckets) {
+  TensorPool pool;
+  Tensor t = pool.acquire({1, 5});
+  pool.release(std::move(t));
+  EXPECT_EQ(pool.stats().bytes_free,
+            static_cast<std::uint64_t>(TensorPool::kGranuleElems) *
+                sizeof(float));
 }
 
 // --- Training-trajectory bit-identity across the substrate ------------------

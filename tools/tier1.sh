@@ -15,10 +15,17 @@ cmake -B build -S .
 cmake --build build -j"$(nproc)"
 (cd build && ctest --output-on-failure -j"$(nproc)")
 
+echo "== tier-1: scalar-forced kernel pass (DPIPE_SIMD=scalar) =="
+# The portable fallback must stay green on machines without AVX2: force the
+# dispatch level to scalar and rerun the kernel, pool, SIMD, and trajectory
+# suites against it.
+DPIPE_SIMD=scalar ./build/tests/dpipe_tests \
+  --gtest_filter='Kernels.*:TensorPool.*:Trajectory.*:RngSeed.*:SimdDispatch.*:SimdParity.*:FastMode.*:Roofline.*'
+
 echo "== tier-1: ThreadSanitizer build (runtime + fault tests) =="
 cmake -B build-tsan -S . -DDPIPE_SANITIZE=thread
 cmake --build build-tsan -j"$(nproc)" --target dpipe_tests
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/dpipe_tests \
-  --gtest_filter='Channel.*:PipelineTrainer.*:Equivalence.*:Fault.*:ParallelFor.*:PlannerSearch.*:Kernels.*:TensorPool.*:Trajectory.*:RngSeed.*:Interpreter.*:Parity.*:Elastic.*:Reshard.*:CheckpointIo.*'
+  --gtest_filter='Channel.*:PipelineTrainer.*:Equivalence.*:Fault.*:ParallelFor.*:PlannerSearch.*:Kernels.*:TensorPool.*:Trajectory.*:RngSeed.*:SimdDispatch.*:SimdParity.*:FastMode.*:Interpreter.*:Parity.*:Elastic.*:Reshard.*:CheckpointIo.*'
 
 echo "tier-1 OK"
