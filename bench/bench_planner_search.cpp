@@ -39,24 +39,42 @@ struct Row {
   int combos = 0;
 };
 
-double time_plan_ms(const Planner& planner, Plan* out) {
-  // Best of 5: the search is deterministic, so the minimum is the cleanest
-  // estimate of the actual work.
-  double best = 0.0;
-  for (int rep = 0; rep < 5; ++rep) {
-    const auto start = std::chrono::steady_clock::now();
-    Plan plan = planner.plan();
-    const double ms = std::chrono::duration<double, std::milli>(
-                          std::chrono::steady_clock::now() - start)
-                          .count();
-    if (rep == 0 || ms < best) {
-      best = ms;
+double time_plan_once_ms(const Planner& planner, Plan* out) {
+  const auto start = std::chrono::steady_clock::now();
+  Plan plan = planner.plan();
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  if (out != nullptr) {
+    *out = std::move(plan);
+  }
+  return ms;
+}
+
+/// Times every variant round-robin, one repetition each per round, taking
+/// per-variant minima. Interleaving keeps slow background-load drift from
+/// biasing one variant's block of repetitions against another's; the search
+/// is deterministic, so the minimum is the cleanest estimate of the actual
+/// work. Cheap (small-grid) plans get more rounds because scheduler noise
+/// is proportionally larger for them.
+void time_plans_ms(const std::vector<const Planner*>& planners,
+                   std::vector<double>* best_ms, std::vector<Plan>* plans) {
+  best_ms->assign(planners.size(), 0.0);
+  plans->resize(planners.size());
+  int rounds = 5;
+  for (int round = 0; round < rounds; ++round) {
+    for (std::size_t v = 0; v < planners.size(); ++v) {
+      const double ms = time_plan_once_ms(*planners[v], &(*plans)[v]);
+      if (round == 0 || ms < (*best_ms)[v]) {
+        (*best_ms)[v] = ms;
+      }
     }
-    if (out != nullptr) {
-      *out = std::move(plan);
+    if (round == 0) {
+      const double slowest =
+          *std::max_element(best_ms->begin(), best_ms->end());
+      rounds = slowest < 40.0 ? 31 : (slowest < 250.0 ? 15 : 5);
     }
   }
-  return best;
 }
 
 Row run_case(const Case& c) {
@@ -87,14 +105,19 @@ Row run_case(const Case& c) {
 
   Row row;
   row.config = c.name;
-  Plan seq_plan;
-  Plan par_nocache_plan;
-  Plan par_plan;
-  Plan adaptive_plan;
-  row.seq_ms = time_plan_ms(seq_planner, &seq_plan);
-  row.par_nocache_ms = time_plan_ms(par_nocache_planner, &par_nocache_plan);
-  row.par_ms = time_plan_ms(par_planner, &par_plan);
-  row.adaptive_ms = time_plan_ms(adaptive_planner, &adaptive_plan);
+  std::vector<double> best_ms;
+  std::vector<Plan> plans;
+  time_plans_ms({&seq_planner, &par_nocache_planner, &par_planner,
+                 &adaptive_planner},
+                &best_ms, &plans);
+  row.seq_ms = best_ms[0];
+  row.par_nocache_ms = best_ms[1];
+  row.par_ms = best_ms[2];
+  row.adaptive_ms = best_ms[3];
+  const Plan& seq_plan = plans[0];
+  const Plan& par_nocache_plan = plans[1];
+  const Plan& par_plan = plans[2];
+  const Plan& adaptive_plan = plans[3];
   row.speedup = row.seq_ms / row.par_ms;
   row.adaptive_speedup = row.seq_ms / row.adaptive_ms;
   row.combos = par_plan.search.combos_total;

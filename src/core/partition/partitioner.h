@@ -43,6 +43,9 @@ struct PartitionOptions {
   /// Can only produce equal-or-worse objectives than the full frontier
   /// (see DESIGN.md §3 and PartitionerAblation tests).
   bool scalarize_dp_states = false;
+
+  friend bool operator==(const PartitionOptions&,
+                         const PartitionOptions&) = default;
 };
 
 /// Which way a backbone pipelines along the device chain (§4.2). Down

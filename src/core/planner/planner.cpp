@@ -4,7 +4,9 @@
 #include <chrono>
 #include <cmath>
 #include <limits>
+#include <sstream>
 
+#include "common/hash.h"
 #include "common/parallel.h"
 #include "core/partition/stage_cache.h"
 
@@ -49,16 +51,27 @@ Planner::Planner(ModelDesc model, ClusterSpec cluster, PlannerOptions options)
   require(options_.global_batch > 0.0, "global batch must be positive");
   ensure(model_.backbone_ids.size() <= 2,
          "grouping must produce at most two virtual backbones");
-  if (options_.stage_candidates.empty()) {
-    options_.stage_candidates = {2, 4, 8};
+  apply_default_candidates(options_, cluster_.world_size());
+}
+
+void Planner::apply_default_candidates(PlannerOptions& options, int world) {
+  if (options.stage_candidates.empty()) {
+    options.stage_candidates = {2, 4, 8};
   }
-  if (options_.micro_candidates.empty()) {
-    options_.micro_candidates = {2, 4, 8, 16};
+  if (options.micro_candidates.empty()) {
+    options.micro_candidates = {2, 4, 8, 16};
   }
-  if (options_.group_candidates.empty()) {
-    options_.group_candidates =
-        default_group_candidates(cluster_.world_size());
+  if (options.group_candidates.empty()) {
+    options.group_candidates = default_group_candidates(world);
   }
+}
+
+std::string Planner::cost_context_fingerprint() const {
+  std::ostringstream canonical;
+  write_canonical(canonical, model_);
+  write_canonical(canonical, cluster_);
+  write_canonical(canonical, options_.profiler);
+  return fingerprint_bytes(canonical.str()).hex();
 }
 
 bool Planner::combo_shape_valid(int S, int M, int D) const {
@@ -236,31 +249,35 @@ Plan Planner::plan() const {
   // heavyweight search machinery when it cannot pay for itself — both the
   // ThreadPool fan-out AND the per-evaluation stage cache, whose
   // bookkeeping outweighs its savings on small single-backbone grids
-  // (BENCH_planner's small-grid regression). Results are bit-identical
-  // either way; only wall time changes. Persistent cache stores are exempt:
-  // their warmth spans plans, which is the point of having them.
+  // (BENCH_planner's small-grid regression). Small grids take the true
+  // sequential path below: a plain loop, no ThreadPool construction, no
+  // cache bookkeeping. Results are bit-identical either way; only wall
+  // time changes. Persistent cache stores are exempt: their warmth spans
+  // plans, which is the point of having them.
   double grid_work = 0.0;
   for (const Combo& c : combos) {
     grid_work += combo_work_estimate(c.S, c.M, c.D);
   }
   const bool small_grid = grid_work < options_.parallel_work_threshold;
-  const int search_threads =
-      (options_.search_threads != 1 && small_grid) ? 1
-                                                   : options_.search_threads;
+  const bool run_sequential = small_grid || options_.search_threads == 1;
   const bool eval_cache = !small_grid;
 
-  // With a cache store, materialize every shape-valid combo's persistent
-  // cache up front (the store is not thread-safe); afterwards each cache is
-  // touched by exactly one search thread.
+  // With a cache store, lease every shape-valid combo's persistent cache up
+  // front; the store is thread-safe and each lease is exclusive, so one
+  // search thread owns each cache for the duration of the search.
+  std::vector<StageCostStore::Lease> leases(n);
   std::vector<StageCostCache*> combo_cache(n, nullptr);
   if (options_.cache_store != nullptr && options_.enable_stage_cache) {
+    const std::string context = cost_context_fingerprint();
     const int world = cluster_.world_size();
     for (std::size_t i = 0; i < n; ++i) {
       const Combo& c = combos[i];
       if (combo_shape_valid(c.S, c.M, c.D)) {
         const int dp = world / c.D;
-        combo_cache[i] = &options_.cache_store->get(
-            world, c.S, c.M, c.D, dp, options_.global_batch / dp / c.M);
+        leases[i] = options_.cache_store->acquire(
+            context, world, c.S, c.M, c.D, dp,
+            options_.global_batch / dp / c.M);
+        combo_cache[i] = leases[i].cache();
       }
     }
   }
@@ -303,22 +320,32 @@ Plan Planner::plan() const {
     }
   }
 
-  // Parallel evaluation. Each index writes only results[i], so the outcome
+  // Evaluation. Each index writes only results[i], so the parallel outcome
   // is bit-identical for any pool size (see ThreadPool's contract); the
   // reduction below runs sequentially in candidate order, reproducing the
-  // sequential loop's earliest-minimum selection exactly.
-  ThreadPool pool(search_threads);
+  // sequential loop's earliest-minimum selection exactly. Small grids run
+  // the same loop inline without ever touching a ThreadPool.
   std::vector<std::optional<Evaluation>> results(n);
   if (seed_index != n) {
     results[seed_index] = std::move(seed_eval);
     skip[seed_index] = 1;  // Already evaluated; not pruned.
   }
-  pool.parallel_for(n, [&](std::size_t i) {
+  const auto evaluate_combo = [&](std::size_t i) {
     if (!skip[i]) {
       results[i] = evaluate(combos[i].S, combos[i].M, combos[i].D,
                             combo_cache[i], eval_cache);
     }
-  });
+  };
+  int threads_used = 1;
+  if (run_sequential) {
+    for (std::size_t i = 0; i < n; ++i) {
+      evaluate_combo(i);
+    }
+  } else {
+    ThreadPool pool(options_.search_threads);
+    threads_used = pool.size();
+    pool.parallel_for(n, evaluate_combo);
+  }
 
   std::optional<Evaluation> best;
   double partition_ms = 0.0;
@@ -345,7 +372,7 @@ Plan Planner::plan() const {
   }
   ensure(best.has_value(), "no feasible (S, M, D) configuration found");
 
-  plan.search.threads = pool.size();
+  plan.search.threads = threads_used;
   plan.search.combos_total = static_cast<int>(n);
   plan.search.combos_evaluated = static_cast<int>(n) - pruned_count;
   plan.search.combos_pruned = pruned_count;

@@ -44,11 +44,14 @@ struct PlannerOptions {
   /// fractional micro-batches fine; the functional runtime slices real
   /// tensors and needs global_batch divisible by dp x M.
   bool integer_microbatches = false;
-  /// Optional cross-plan stage-cost persistence: combos look up their
-  /// StageCostCache here (keyed by world and combo, so reuse is always
-  /// fingerprint-valid) instead of a per-evaluation cache. Caller owns the
-  /// store and must keep it alive and unshared across concurrent plan()
-  /// calls. nullptr = per-evaluation caches (the default).
+  /// Optional cross-plan stage-cost persistence: combos lease their
+  /// StageCostCache here (keyed by the planner's model/cluster/profiler
+  /// context fingerprint plus world and combo, so reuse is always
+  /// fingerprint-valid) instead of a per-evaluation cache. The store is
+  /// thread-safe; one store may be shared across concurrent plan() calls
+  /// and across tenants (the plan service does both). Caller owns the
+  /// store and must keep it alive. nullptr = per-evaluation caches (the
+  /// default).
   StageCostStore* cache_store = nullptr;
   /// Memoize DpPartitioner::stage_cost per configuration (shared between
   /// the DP and the schedule builder). Invisible to results; off only for
@@ -131,6 +134,18 @@ class Planner {
   /// factor for the bidirectional pairing loop). plan() sums this over the
   /// grid to decide between sequential and parallel search.
   [[nodiscard]] double combo_work_estimate(int S, int M, int D) const;
+
+  /// Fills empty candidate lists with their defaults for a `world`-device
+  /// cluster: S in {2, 4, 8}, M in {2, 4, 8, 16}, D over the divisors of
+  /// the world size (>= 2). The constructor applies this; the plan
+  /// service's request canonicalizer calls it too, so an empty candidate
+  /// list and its explicit default fingerprint identically.
+  static void apply_default_candidates(PlannerOptions& options, int world);
+
+  /// Fingerprint of everything the stage costs depend on — the grouped
+  /// model, the cluster, and the profiler settings, in canonical bytes —
+  /// used to key this planner's leases in a shared StageCostStore.
+  [[nodiscard]] std::string cost_context_fingerprint() const;
 
  private:
   struct Evaluation {

@@ -1,7 +1,11 @@
 #include "model/model.h"
 
 #include <algorithm>
+#include <array>
+#include <istream>
 #include <numeric>
+#include <ostream>
+#include <sstream>
 
 namespace dpipe {
 
@@ -31,6 +35,22 @@ const char* to_string(LayerKind kind) {
       return "other";
   }
   return "unknown";
+}
+
+LayerKind layer_kind_from_string(const std::string& text) {
+  static constexpr std::array<LayerKind, 11> kAll = {
+      LayerKind::kConv,      LayerKind::kHighResConv,
+      LayerKind::kResBlock,  LayerKind::kAttention,
+      LayerKind::kTransformerBlock,
+      LayerKind::kLinear,    LayerKind::kNorm,
+      LayerKind::kEmbedding, LayerKind::kUpsample,
+      LayerKind::kDownsample, LayerKind::kOther};
+  for (const LayerKind kind : kAll) {
+    if (text == to_string(kind)) {
+      return kind;
+    }
+  }
+  throw std::invalid_argument("unknown layer kind: " + text);
 }
 
 double ComponentDesc::total_param_mb() const {
@@ -134,6 +154,138 @@ void validate(const ModelDesc& model) {
           "self_cond_prob must be a probability");
   // Throws if the non-trainable dependency graph is cyclic.
   (void)model.non_trainable_topo_order();
+}
+
+namespace {
+
+/// Reads the remainder of the current line after a `key=` token that holds
+/// a free-form name (names are written last on their line for this reason).
+std::string read_name_field(std::istream& in, const std::string& key) {
+  std::string token;
+  require(static_cast<bool>(in >> token) && token.size() >= key.size() &&
+              token.compare(0, key.size(), key) == 0,
+          "expected " + key + " field");
+  std::string rest;
+  std::getline(in, rest);
+  return token.substr(key.size()) + rest;
+}
+
+double read_field(std::istream& in, const std::string& key) {
+  std::string token;
+  require(static_cast<bool>(in >> token) && token.size() > key.size() &&
+              token.compare(0, key.size(), key) == 0,
+          "expected " + key + " field");
+  return std::stod(token.substr(key.size()));
+}
+
+void expect_keyword(std::istream& in, const std::string& keyword) {
+  std::string token;
+  require(static_cast<bool>(in >> token) && token == keyword,
+          "expected keyword " + keyword);
+}
+
+}  // namespace
+
+void write_canonical(std::ostream& out, const ModelDesc& model) {
+  const auto flags = out.flags();
+  const auto precision = out.precision(17);
+  out << "dpipe-model v1\n";
+  out << "name=" << model.name << '\n';
+  out << "self_conditioning " << (model.self_conditioning ? 1 : 0) << ' '
+      << model.self_cond_prob << '\n';
+  out << "image_size " << model.image_size << '\n';
+  out << "components " << model.components.size() << '\n';
+  for (const ComponentDesc& c : model.components) {
+    out << "component trainable=" << (c.trainable ? 1 : 0)
+        << " deps=" << c.deps.size();
+    for (const int dep : c.deps) {
+      out << ' ' << dep;
+    }
+    out << " layers=" << c.layers.size() << " name=" << c.name << '\n';
+    for (const LayerDesc& l : c.layers) {
+      out << "layer kind=" << to_string(l.kind) << " fwd=" << l.fwd_gflop
+          << " bwdf=" << l.bwd_flop_factor << " param=" << l.param_mb
+          << " grad=" << l.grad_mb << " out=" << l.output_mb
+          << " act=" << l.act_mb << " ovf=" << l.overhead_fwd_ms
+          << " ovb=" << l.overhead_bwd_ms << " eff=" << l.efficiency
+          << " name=" << l.name << '\n';
+    }
+  }
+  out << "backbones " << model.backbone_ids.size();
+  for (const int id : model.backbone_ids) {
+    out << ' ' << id;
+  }
+  out << '\n';
+  out.precision(precision);
+  out.flags(flags);
+}
+
+ModelDesc read_canonical_model(std::istream& in) {
+  std::string line;
+  // Tolerate a leading blank from a previous line-oriented reader.
+  while (std::getline(in, line) && line.empty()) {
+  }
+  require(line == "dpipe-model v1", "not a dpipe-model v1 block");
+  ModelDesc model;
+  model.name = read_name_field(in, "name=");
+  // The name line's getline consumed its newline; subsequent reads are
+  // token-based until the next name field.
+  expect_keyword(in, "self_conditioning");
+  int self_cond = 0;
+  require(static_cast<bool>(in >> self_cond >> model.self_cond_prob),
+          "malformed self_conditioning line");
+  model.self_conditioning = self_cond != 0;
+  expect_keyword(in, "image_size");
+  require(static_cast<bool>(in >> model.image_size), "malformed image_size");
+  expect_keyword(in, "components");
+  std::size_t num_components = 0;
+  require(static_cast<bool>(in >> num_components), "malformed components");
+  model.components.reserve(num_components);
+  for (std::size_t ci = 0; ci < num_components; ++ci) {
+    expect_keyword(in, "component");
+    ComponentDesc c;
+    c.trainable = read_field(in, "trainable=") != 0.0;
+    const auto num_deps = static_cast<std::size_t>(read_field(in, "deps="));
+    c.deps.resize(num_deps);
+    for (std::size_t d = 0; d < num_deps; ++d) {
+      require(static_cast<bool>(in >> c.deps[d]), "truncated deps list");
+    }
+    const auto num_layers =
+        static_cast<std::size_t>(read_field(in, "layers="));
+    c.name = read_name_field(in, "name=");
+    c.layers.reserve(num_layers);
+    for (std::size_t li = 0; li < num_layers; ++li) {
+      expect_keyword(in, "layer");
+      LayerDesc l;
+      std::string kind;
+      require(static_cast<bool>(in >> kind) && kind.size() > 5 &&
+                  kind.compare(0, 5, "kind=") == 0,
+              "expected kind= field");
+      l.kind = layer_kind_from_string(kind.substr(5));
+      l.fwd_gflop = read_field(in, "fwd=");
+      l.bwd_flop_factor = read_field(in, "bwdf=");
+      l.param_mb = read_field(in, "param=");
+      l.grad_mb = read_field(in, "grad=");
+      l.output_mb = read_field(in, "out=");
+      l.act_mb = read_field(in, "act=");
+      l.overhead_fwd_ms = read_field(in, "ovf=");
+      l.overhead_bwd_ms = read_field(in, "ovb=");
+      l.efficiency = read_field(in, "eff=");
+      l.name = read_name_field(in, "name=");
+      c.layers.push_back(std::move(l));
+    }
+    model.components.push_back(std::move(c));
+  }
+  expect_keyword(in, "backbones");
+  std::size_t num_backbones = 0;
+  require(static_cast<bool>(in >> num_backbones), "malformed backbones");
+  model.backbone_ids.resize(num_backbones);
+  for (std::size_t b = 0; b < num_backbones; ++b) {
+    require(static_cast<bool>(in >> model.backbone_ids[b]),
+            "truncated backbone list");
+  }
+  std::getline(in, line);  // Consume the trailing newline.
+  return model;
 }
 
 }  // namespace dpipe

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -24,6 +25,10 @@ enum class LayerKind {
 };
 
 [[nodiscard]] const char* to_string(LayerKind kind);
+
+/// Inverse of to_string(LayerKind). Throws std::invalid_argument on an
+/// unknown spelling.
+[[nodiscard]] LayerKind layer_kind_from_string(const std::string& text);
 
 /// Gradients are reduced in fp32 (DeepSpeed's default) while grad_mb
 /// records the fp16 tensor size, so every gradient allreduce moves twice
@@ -90,5 +95,17 @@ struct ModelDesc {
 /// Validates structural invariants (backbone ids in range and trainable,
 /// deps form a DAG, layer sizes non-negative). Throws on violation.
 void validate(const ModelDesc& model);
+
+/// Writes the model in its canonical text form: every field, in a fixed
+/// order, doubles at precision 17 (lossless round-trip). Equal models
+/// produce equal bytes, so the text doubles as the fingerprint input for
+/// the plan service ("model profile bytes") and as the wire encoding of a
+/// plan request's model.
+void write_canonical(std::ostream& out, const ModelDesc& model);
+
+/// Parses write_canonical output. Throws std::invalid_argument on
+/// malformed input. read_canonical_model then write_canonical is
+/// byte-identity.
+[[nodiscard]] ModelDesc read_canonical_model(std::istream& in);
 
 }  // namespace dpipe

@@ -1,5 +1,8 @@
 #include "profiler/profiler.h"
 
+#include <istream>
+#include <ostream>
+
 namespace dpipe {
 
 Profiler::Profiler(ProfilerOptions options) : options_(std::move(options)) {
@@ -36,6 +39,53 @@ ProfileReport Profiler::profile(const ModelDesc& model,
   ProfileReport report{std::move(db),
                        total_measurement_ms / cluster.world_size()};
   return report;
+}
+
+void write_canonical(std::ostream& out, const ProfilerOptions& options) {
+  const auto flags = out.flags();
+  const auto precision = out.precision(17);
+  out << "dpipe-profiler v1\n";
+  out << "batch_grid " << options.batch_grid.size();
+  for (const double batch : options.batch_grid) {
+    out << ' ' << batch;
+  }
+  out << '\n';
+  out << "noise " << options.noise_seed << ' ' << options.noise_amplitude
+      << '\n';
+  out << "repeats " << options.repeats << ' ' << options.warmup_repeats
+      << '\n';
+  out.precision(precision);
+  out.flags(flags);
+}
+
+ProfilerOptions read_canonical_profiler_options(std::istream& in) {
+  std::string line;
+  while (std::getline(in, line) && line.empty()) {
+  }
+  require(line == "dpipe-profiler v1", "not a dpipe-profiler v1 block");
+  ProfilerOptions options;
+  std::string keyword;
+  require(static_cast<bool>(in >> keyword) && keyword == "batch_grid",
+          "expected batch_grid line");
+  std::size_t grid_size = 0;
+  require(static_cast<bool>(in >> grid_size), "malformed batch_grid size");
+  options.batch_grid.resize(grid_size);
+  for (std::size_t i = 0; i < grid_size; ++i) {
+    require(static_cast<bool>(in >> options.batch_grid[i]),
+            "truncated batch_grid");
+  }
+  require(static_cast<bool>(in >> keyword) && keyword == "noise",
+          "expected noise line");
+  require(static_cast<bool>(in >> options.noise_seed >>
+                            options.noise_amplitude),
+          "malformed noise line");
+  require(static_cast<bool>(in >> keyword) && keyword == "repeats",
+          "expected repeats line");
+  require(static_cast<bool>(in >> options.repeats >>
+                            options.warmup_repeats),
+          "malformed repeats line");
+  std::getline(in, line);  // Consume the trailing newline.
+  return options;
 }
 
 }  // namespace dpipe

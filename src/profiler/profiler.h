@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 
 #include "cluster/cluster.h"
 #include "profiler/profile_db.h"
@@ -14,6 +15,16 @@ struct ProfilerOptions {
   int repeats = 10;        ///< Measurement repetitions per (layer, batch).
   int warmup_repeats = 3;  ///< Discarded warm-up runs per (layer, batch).
 };
+
+/// Canonical text form of the profiler settings (every ProfileDb-visible
+/// field, fixed order, doubles at precision 17). Part of the plan service's
+/// request fingerprint: two requests whose profiles could differ must never
+/// share a cached plan.
+void write_canonical(std::ostream& out, const ProfilerOptions& options);
+
+/// Parses write_canonical output (byte-identity on re-serialization).
+[[nodiscard]] ProfilerOptions read_canonical_profiler_options(
+    std::istream& in);
 
 /// Result of the parallel profiling pass (step 1 of Fig. 7).
 struct ProfileReport {

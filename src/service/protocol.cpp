@@ -1,0 +1,192 @@
+#include "service/protocol.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/error.h"
+#include "service/plan_store.h"
+#include "service/service.h"
+
+namespace dpipe {
+
+namespace {
+
+void write_all(int fd, const char* data, std::size_t bytes) {
+  while (bytes > 0) {
+    const ssize_t written = ::write(fd, data, bytes);
+    if (written < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw std::runtime_error(std::string("frame write failed: ") +
+                               std::strerror(errno));
+    }
+    data += written;
+    bytes -= static_cast<std::size_t>(written);
+  }
+}
+
+/// Reads exactly `bytes`. Returns false only on EOF before the first byte;
+/// EOF mid-read (a truncated frame) throws.
+bool read_all(int fd, char* data, std::size_t bytes) {
+  std::size_t got = 0;
+  while (got < bytes) {
+    const ssize_t n = ::read(fd, data + got, bytes - got);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw std::runtime_error(std::string("frame read failed: ") +
+                               std::strerror(errno));
+    }
+    if (n == 0) {
+      if (got == 0) {
+        return false;
+      }
+      throw std::runtime_error("truncated frame");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// The stats verb's response body: one "key value" line per counter.
+std::string stats_text(const PlanService& service) {
+  const PlanService::Stats stats = service.stats();
+  std::ostringstream out;
+  out << "ok\n";
+  out << "cache_hits " << stats.cache.hits << '\n';
+  out << "cache_misses " << stats.cache.misses << '\n';
+  out << "single_flight_joins " << stats.cache.single_flight_joins << '\n';
+  out << "cache_entries " << stats.cache.entries << '\n';
+  out << "planner_runs " << stats.planner_runs << '\n';
+  out << "store_loaded " << stats.store_loaded << '\n';
+  out << "stage_cost_entries " << stats.stage_costs.entries << '\n';
+  return out.str();
+}
+
+}  // namespace
+
+void write_frame(int fd, const std::string& payload) {
+  require(payload.size() <= kMaxFrameBytes, "frame payload too large");
+  const auto length = static_cast<std::uint32_t>(payload.size());
+  char header[4] = {static_cast<char>((length >> 24) & 0xFF),
+                    static_cast<char>((length >> 16) & 0xFF),
+                    static_cast<char>((length >> 8) & 0xFF),
+                    static_cast<char>(length & 0xFF)};
+  write_all(fd, header, sizeof(header));
+  write_all(fd, payload.data(), payload.size());
+}
+
+std::optional<std::string> read_frame(int fd) {
+  char header[4];
+  if (!read_all(fd, header, sizeof(header))) {
+    return std::nullopt;
+  }
+  const std::uint32_t length =
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(header[0]))
+       << 24) |
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(header[1]))
+       << 16) |
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(header[2]))
+       << 8) |
+      static_cast<std::uint32_t>(static_cast<unsigned char>(header[3]));
+  if (length > kMaxFrameBytes) {
+    throw std::runtime_error("frame length prefix exceeds limit");
+  }
+  std::string payload(length, '\0');
+  if (length > 0 && !read_all(fd, payload.data(), length)) {
+    throw std::runtime_error("truncated frame");
+  }
+  return payload;
+}
+
+std::string encode_plan_request(const PlanRequest& request) {
+  return "plan\n" + canonical_request_text(request);
+}
+
+std::string encode_plan_response(const CachedPlan& plan, bool cache_hit) {
+  std::ostringstream out;
+  out << "ok hit=" << (cache_hit ? 1 : 0) << '\n';
+  save_plan_entry(plan, out);
+  return out.str();
+}
+
+std::string encode_error_response(const std::string& message) {
+  return "error " + message;
+}
+
+PlanResponse decode_plan_response(const std::string& payload) {
+  PlanResponse response;
+  std::istringstream in(payload);
+  std::string keyword;
+  require(static_cast<bool>(in >> keyword), "empty response payload");
+  if (keyword == "error") {
+    std::getline(in, response.error);
+    if (!response.error.empty() && response.error.front() == ' ') {
+      response.error.erase(response.error.begin());
+    }
+    return response;
+  }
+  require(keyword == "ok", "malformed response verb");
+  std::string hit_token;
+  require(static_cast<bool>(in >> hit_token) &&
+              hit_token.rfind("hit=", 0) == 0,
+          "malformed response hit field");
+  response.cache_hit = hit_token.substr(4) != "0";
+  std::string line;
+  std::getline(in, line);  // Consume the status line's newline.
+  // load_plan_entry re-verifies fingerprints and parses the program, so a
+  // corrupted payload throws here instead of yielding a wrong plan.
+  response.plan = std::make_shared<const CachedPlan>(load_plan_entry(in));
+  response.ok = true;
+  return response;
+}
+
+ServeResult serve_connection(PlanService& service, int in_fd, int out_fd,
+                             std::size_t max_requests) {
+  ServeResult result;
+  while (max_requests == 0 || result.requests_answered < max_requests) {
+    std::optional<std::string> payload = read_frame(in_fd);
+    if (!payload.has_value()) {
+      break;  // Clean EOF: the client is done.
+    }
+    std::istringstream in(*payload);
+    std::string verb;
+    std::getline(in, verb);
+    if (verb == "shutdown") {
+      result.shutdown_requested = true;
+      write_frame(out_fd, "ok\n");
+      break;
+    }
+    std::string response;
+    if (verb == "plan") {
+      try {
+        const std::string request_text =
+            payload->substr(payload->find('\n') + 1);
+        // Parse (validates the payload) and re-canonicalize; a client that
+        // sends non-canonical bytes still deduplicates correctly.
+        const PlanRequest request = parse_request_text(request_text);
+        bool cache_hit = false;
+        const auto plan = service.plan(request, &cache_hit);
+        response = encode_plan_response(*plan, cache_hit);
+      } catch (const std::exception& error) {
+        response = encode_error_response(error.what());
+      }
+    } else if (verb == "stats") {
+      response = stats_text(service);
+    } else {
+      response = encode_error_response("unknown request verb: " + verb);
+    }
+    write_frame(out_fd, response);
+    ++result.requests_answered;
+  }
+  return result;
+}
+
+}  // namespace dpipe

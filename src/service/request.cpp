@@ -1,0 +1,110 @@
+#include "service/request.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace dpipe {
+
+namespace {
+
+void write_candidates(std::ostream& out, const char* label,
+                      const std::vector<int>& values) {
+  out << label << ' ' << values.size();
+  for (const int v : values) {
+    out << ' ' << v;
+  }
+  out << '\n';
+}
+
+std::vector<int> read_candidates(std::istream& in, const std::string& label) {
+  std::string keyword;
+  require(static_cast<bool>(in >> keyword) && keyword == label,
+          "expected " + label + " line");
+  std::size_t count = 0;
+  require(static_cast<bool>(in >> count), "malformed " + label + " count");
+  std::vector<int> values(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    require(static_cast<bool>(in >> values[i]), "truncated " + label);
+  }
+  return values;
+}
+
+}  // namespace
+
+std::string canonical_request_text(const PlanRequest& request) {
+  PlannerOptions options = request.options;
+  Planner::apply_default_candidates(options, request.cluster.world_size());
+  std::ostringstream out;
+  out.precision(17);
+  out << "dpipe-plan-request v1\n";
+  write_canonical(out, request.model);
+  write_canonical(out, request.cluster);
+  out << "options global_batch=" << options.global_batch
+      << " fill=" << (options.enable_fill ? 1 : 0)
+      << " partial=" << (options.enable_partial ? 1 : 0)
+      << " mem=" << (options.check_memory ? 1 : 0)
+      << " one_replica=" << (options.one_replica_per_stage ? 1 : 0)
+      << " int_micro=" << (options.integer_microbatches ? 1 : 0)
+      << " prune=" << (options.enable_pruning ? 1 : 0) << '\n';
+  write_candidates(out, "stage_candidates", options.stage_candidates);
+  write_candidates(out, "micro_candidates", options.micro_candidates);
+  write_candidates(out, "group_candidates", options.group_candidates);
+  write_canonical(out, options.profiler);
+  out << "end\n";
+  return out.str();
+}
+
+PlanRequest parse_request_text(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  require(std::getline(in, line) && line == "dpipe-plan-request v1",
+          "not a dpipe-plan-request v1 payload");
+  PlanRequest request;
+  request.model = read_canonical_model(in);
+  request.cluster = read_canonical_cluster(in);
+  std::string keyword;
+  require(static_cast<bool>(in >> keyword) && keyword == "options",
+          "expected options line");
+  const auto field = [&in](const std::string& key) {
+    std::string token;
+    require(static_cast<bool>(in >> token) && token.size() > key.size() &&
+                token.compare(0, key.size(), key) == 0,
+            "expected options field " + key);
+    return std::stod(token.substr(key.size()));
+  };
+  request.options.global_batch = field("global_batch=");
+  request.options.enable_fill = field("fill=") != 0.0;
+  request.options.enable_partial = field("partial=") != 0.0;
+  request.options.check_memory = field("mem=") != 0.0;
+  request.options.one_replica_per_stage = field("one_replica=") != 0.0;
+  request.options.integer_microbatches = field("int_micro=") != 0.0;
+  request.options.enable_pruning = field("prune=") != 0.0;
+  request.options.stage_candidates = read_candidates(in, "stage_candidates");
+  request.options.micro_candidates = read_candidates(in, "micro_candidates");
+  request.options.group_candidates = read_candidates(in, "group_candidates");
+  request.options.profiler = read_canonical_profiler_options(in);
+  require(static_cast<bool>(in >> keyword) && keyword == "end",
+          "expected request terminator");
+  return request;
+}
+
+Fingerprint request_fingerprint(const PlanRequest& request) {
+  return fingerprint_bytes(canonical_request_text(request));
+}
+
+Fingerprint model_fingerprint(const ModelDesc& model) {
+  std::ostringstream out;
+  write_canonical(out, model);
+  return fingerprint_bytes(out.str());
+}
+
+Fingerprint cluster_fingerprint(const ClusterSpec& cluster) {
+  std::ostringstream out;
+  write_canonical(out, cluster);
+  return fingerprint_bytes(out.str());
+}
+
+}  // namespace dpipe

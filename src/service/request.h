@@ -1,0 +1,56 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "cluster/cluster.h"
+#include "common/hash.h"
+#include "core/planner/planner.h"
+#include "model/model.h"
+
+namespace dpipe {
+
+/// One planning request as the plan service sees it: which model, on which
+/// cluster, under which planner settings. This is also the unit of
+/// cache identity — see canonical_request_text().
+struct PlanRequest {
+  ModelDesc model;
+  ClusterSpec cluster;
+  PlannerOptions options;
+};
+
+/// The canonical byte encoding of a request: model profile bytes, cluster
+/// topology, and every *result-visible* planner option, in a fixed order
+/// with doubles at precision 17. Two requests canonicalize identically iff
+/// the planner is guaranteed to produce bit-identical plans for them, so
+/// this text is simultaneously
+///   - the whole-plan cache key (exact-match, collision-proof),
+///   - the fingerprint input (Fingerprint names the entry on disk/wire),
+///   - the wire encoding of a request (it parses back losslessly).
+///
+/// Result-INVISIBLE options are deliberately excluded so they cannot
+/// fragment the cache: search_threads, parallel_work_threshold,
+/// enable_stage_cache, and cache_store all leave the selected plan
+/// bit-identical by the planner's determinism contract.
+/// enable_pruning IS included: it changes the `explored` list. Empty
+/// candidate lists are resolved to their defaults first
+/// (Planner::apply_default_candidates), so "defaulted" and
+/// "explicitly-default" requests share one cache entry.
+[[nodiscard]] std::string canonical_request_text(const PlanRequest& request);
+
+/// Parses canonical_request_text output (excluded options take their
+/// defaults). canonical_request_text(parse_request_text(t)) == t.
+/// Throws std::invalid_argument on malformed input.
+[[nodiscard]] PlanRequest parse_request_text(const std::string& text);
+
+/// Fingerprint of canonical_request_text(request).
+[[nodiscard]] Fingerprint request_fingerprint(const PlanRequest& request);
+
+/// Fingerprint of the model profile bytes alone.
+[[nodiscard]] Fingerprint model_fingerprint(const ModelDesc& model);
+
+/// Fingerprint of the cluster topology alone — the invalidation key when a
+/// cluster changes shape (plans for the old topology are stale).
+[[nodiscard]] Fingerprint cluster_fingerprint(const ClusterSpec& cluster);
+
+}  // namespace dpipe

@@ -1,0 +1,117 @@
+#include "service/service.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/parallel.h"
+#include "core/instr/serialize.h"
+#include "core/instr/validate.h"
+#include "core/planner/planner.h"
+
+namespace dpipe {
+
+PlanService::PlanService(PlanServiceOptions options)
+    : options_(std::move(options)) {
+  if (!options_.store_dir.empty()) {
+    store_.emplace(options_.store_dir);
+    // Warm start: every verified on-disk plan becomes a ready cache entry,
+    // so a restarted server answers repeats without replanning anything.
+    PlanStore::LoadReport report = store_->load_all();
+    store_loaded_ = report.plans.size();
+    store_corrupt_dropped_ = report.corrupt_dropped;
+    for (auto& plan : report.plans) {
+      cache_.put(std::move(plan));
+    }
+  }
+}
+
+std::shared_ptr<const CachedPlan> PlanService::compute_plan(
+    const PlanRequest& request, const std::string& request_text) {
+  PlannerOptions popts = request.options;
+  popts.search_threads = options_.planner_threads;
+  popts.parallel_work_threshold = options_.parallel_work_threshold;
+  popts.enable_stage_cache = true;
+  popts.cache_store = &stage_costs_;
+  const Planner planner(request.model, request.cluster, popts);
+  const Plan plan = planner.plan();
+  if (options_.validate_programs) {
+    require_valid_program(plan.program);
+  }
+
+  auto entry = std::make_shared<CachedPlan>();
+  entry->fingerprint = fingerprint_bytes(request_text);
+  entry->model_fp = model_fingerprint(request.model);
+  entry->cluster_fp = cluster_fingerprint(request.cluster);
+  entry->request_text = request_text;
+  entry->config = plan.config;
+  entry->partition_opts = plan.partition_opts;
+  entry->explored = plan.explored;
+  entry->program_text = program_to_string(plan.program);
+
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++planner_runs_;
+  }
+  if (store_.has_value()) {
+    const std::lock_guard<std::mutex> lock(store_mutex_);
+    store_->put(*entry);
+  }
+  return entry;
+}
+
+std::shared_ptr<const CachedPlan> PlanService::plan(const PlanRequest& request,
+                                                    bool* cache_hit) {
+  const std::string request_text = canonical_request_text(request);
+  return cache_.get_or_compute(
+      request_text,
+      [this, &request, &request_text] {
+        return compute_plan(request, request_text);
+      },
+      cache_hit);
+}
+
+std::vector<std::shared_ptr<const CachedPlan>> PlanService::plan_all(
+    const std::vector<PlanRequest>& requests, int threads) {
+  std::vector<std::shared_ptr<const CachedPlan>> results(requests.size());
+  if (requests.empty()) {
+    return results;
+  }
+  if (threads <= 0) {
+    threads = static_cast<int>(std::min<std::size_t>(
+        requests.size(), static_cast<std::size_t>(default_thread_count())));
+  }
+  ThreadPool pool(threads);
+  pool.parallel_for(requests.size(), [&](std::size_t i) {
+    results[i] = plan(requests[i]);
+  });
+  return results;
+}
+
+PlanService::InvalidationReport PlanService::invalidate_cluster(
+    const ClusterSpec& cluster) {
+  const Fingerprint cluster_fp = cluster_fingerprint(cluster);
+  InvalidationReport report;
+  report.cache_evicted = cache_.invalidate_cluster(cluster_fp);
+  if (store_.has_value()) {
+    const std::lock_guard<std::mutex> lock(store_mutex_);
+    report.store_removed = store_->invalidate_cluster(cluster_fp);
+  }
+  // Stage-cost contexts embed the cluster's canonical bytes, so entries for
+  // the old topology were already unreachable by key; clearing just
+  // reclaims the dead weight.
+  stage_costs_.clear();
+  return report;
+}
+
+PlanService::Stats PlanService::stats() const {
+  Stats out;
+  out.cache = cache_.stats();
+  out.stage_costs = stage_costs_.stats();
+  const std::lock_guard<std::mutex> lock(stats_mutex_);
+  out.planner_runs = planner_runs_;
+  out.store_loaded = store_loaded_;
+  out.store_corrupt_dropped = store_corrupt_dropped_;
+  return out;
+}
+
+}  // namespace dpipe

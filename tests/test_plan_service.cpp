@@ -1,0 +1,513 @@
+// Tests for the planning service: canonical request identity, the
+// whole-plan cache (single-flight), the on-disk plan store (byte-identical
+// round trips, verification, invalidation), the PlanService itself
+// (bit-identical cached plans, warm restart, concurrent determinism), and
+// the framed wire protocol.
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/instr/serialize.h"
+#include "core/planner/planner.h"
+#include "model/zoo.h"
+#include "service/plan_cache.h"
+#include "service/plan_store.h"
+#include "service/protocol.h"
+#include "service/request.h"
+#include "service/service.h"
+
+namespace dpipe {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A request whose grid is a handful of combos, so cold plans stay fast.
+PlanRequest small_request(double global_batch = 128.0) {
+  PlanRequest request;
+  request.model = make_stable_diffusion_v21();
+  request.cluster = make_p4de_cluster(1);
+  request.options.global_batch = global_batch;
+  request.options.stage_candidates = {2};
+  request.options.micro_candidates = {2, 4};
+  request.options.group_candidates = {2, 4};
+  return request;
+}
+
+/// A fresh per-test scratch directory under the gtest temp root.
+std::string scratch_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / ("dpipe_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+void expect_entries_identical(const CachedPlan& a, const CachedPlan& b) {
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_EQ(a.request_text, b.request_text);
+  EXPECT_EQ(a.config, b.config);
+  EXPECT_TRUE(a.partition_opts == b.partition_opts);
+  EXPECT_EQ(a.explored, b.explored);
+  EXPECT_EQ(a.program_text, b.program_text);
+}
+
+// --- Canonical request identity ---------------------------------------------
+
+TEST(PlanFingerprint, CanonicalTextParsesBackLosslessly) {
+  const PlanRequest request = small_request();
+  const std::string text = canonical_request_text(request);
+  const PlanRequest parsed = parse_request_text(text);
+  EXPECT_EQ(canonical_request_text(parsed), text);
+  EXPECT_EQ(request_fingerprint(parsed), request_fingerprint(request));
+}
+
+TEST(PlanFingerprint, DefaultAndExplicitCandidatesShareIdentity) {
+  PlanRequest defaulted = small_request();
+  defaulted.options.stage_candidates.clear();
+  defaulted.options.micro_candidates.clear();
+  defaulted.options.group_candidates.clear();
+  PlanRequest explicit_defaults = defaulted;
+  Planner::apply_default_candidates(explicit_defaults.options,
+                                    explicit_defaults.cluster.world_size());
+  EXPECT_FALSE(explicit_defaults.options.stage_candidates.empty());
+  EXPECT_EQ(canonical_request_text(defaulted),
+            canonical_request_text(explicit_defaults));
+}
+
+TEST(PlanFingerprint, ResultInvisibleOptionsDoNotFragmentTheCache) {
+  const PlanRequest base = small_request();
+  PlanRequest tuned = base;
+  tuned.options.search_threads = 7;
+  tuned.options.parallel_work_threshold = 0.0;
+  tuned.options.enable_stage_cache = false;
+  EXPECT_EQ(canonical_request_text(base), canonical_request_text(tuned));
+  // enable_pruning changes the explored list, so it IS identity.
+  PlanRequest pruned = base;
+  pruned.options.enable_pruning = true;
+  EXPECT_NE(canonical_request_text(base), canonical_request_text(pruned));
+}
+
+TEST(PlanFingerprint, DistinctInputsGetDistinctFingerprints) {
+  const PlanRequest base = small_request();
+  PlanRequest other_model = base;
+  other_model.model = make_controlnet_v10();
+  PlanRequest other_cluster = base;
+  other_cluster.cluster = make_p4de_cluster(2);
+  PlanRequest other_batch = base;
+  other_batch.options.global_batch = 256.0;
+  EXPECT_NE(request_fingerprint(base), request_fingerprint(other_model));
+  EXPECT_NE(request_fingerprint(base), request_fingerprint(other_cluster));
+  EXPECT_NE(request_fingerprint(base), request_fingerprint(other_batch));
+  EXPECT_NE(model_fingerprint(base.model),
+            model_fingerprint(other_model.model));
+  EXPECT_NE(cluster_fingerprint(base.cluster),
+            cluster_fingerprint(other_cluster.cluster));
+}
+
+TEST(PlanFingerprint, HexRoundTrips) {
+  const Fingerprint fp = request_fingerprint(small_request());
+  EXPECT_EQ(fp.hex().size(), 32u);
+  EXPECT_EQ(Fingerprint::from_hex(fp.hex()), fp);
+  EXPECT_THROW((void)Fingerprint::from_hex("nope"), std::invalid_argument);
+}
+
+// --- StageCostStore lease protocol ------------------------------------------
+
+TEST(StageCostStore, ContendedAcquireGetsPrivateCacheAndMergesBack) {
+  StageCostStore store;
+  auto first = store.acquire("ctx", 8, 2, 4, 2, 4, 16.0);
+  auto second = store.acquire("ctx", 8, 2, 4, 2, 4, 16.0);
+  ASSERT_TRUE(first);
+  ASSERT_TRUE(second);
+  // Contended: the second lease must not alias the shared cache.
+  EXPECT_NE(first.cache(), second.cache());
+  second.cache()->insert(StageCostCache::Key{0, 0, 3, 1, 0},
+                         StageCost{});
+  second.release();  // Merge the private cache into the shared entry.
+  first.release();
+  auto third = store.acquire("ctx", 8, 2, 4, 2, 4, 16.0);
+  EXPECT_NE(third.cache()->find(StageCostCache::Key{0, 0, 3, 1, 0}),
+            nullptr);
+  const StageCostStore::Stats stats = store.stats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.acquires, 3u);
+  EXPECT_EQ(stats.shared_grants, 2u);
+  EXPECT_EQ(stats.private_grants, 1u);
+  EXPECT_EQ(stats.merged_back, 1u);
+}
+
+TEST(StageCostStore, InvalidateByContextAndClear) {
+  StageCostStore store;
+  store.acquire("tenant_a", 8, 2, 4, 2, 4, 16.0).release();
+  store.acquire("tenant_a", 8, 2, 8, 2, 4, 8.0).release();
+  store.acquire("tenant_b", 8, 2, 4, 2, 4, 16.0).release();
+  EXPECT_EQ(store.size(), 3u);
+  EXPECT_EQ(store.invalidate("tenant_a"), 2u);
+  EXPECT_EQ(store.size(), 1u);
+  // An outstanding lease survives invalidation of its entry.
+  auto lease = store.acquire("tenant_b", 8, 2, 4, 2, 4, 16.0);
+  EXPECT_EQ(store.invalidate("tenant_b"), 1u);
+  ASSERT_TRUE(lease);
+  lease.cache()->insert(StageCostCache::Key{0, 0, 1, 1, 0}, StageCost{});
+  lease.release();  // Entry is gone; the merge is dropped, not a crash.
+  store.clear();
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.stats().dropped_merges, 1u);
+}
+
+// --- PlanCache --------------------------------------------------------------
+
+std::shared_ptr<const CachedPlan> fake_entry(const std::string& text,
+                                             Fingerprint cluster_fp) {
+  auto entry = std::make_shared<CachedPlan>();
+  entry->fingerprint = fingerprint_bytes(text);
+  entry->cluster_fp = cluster_fp;
+  entry->request_text = text;
+  return entry;
+}
+
+TEST(PlanCache, MissComputesThenHitsServeWithoutCompute) {
+  PlanCache cache;
+  int computes = 0;
+  const auto compute = [&] {
+    ++computes;
+    return fake_entry("req", Fingerprint{});
+  };
+  bool hit = true;
+  const auto first = cache.get_or_compute("req", compute, &hit);
+  EXPECT_FALSE(hit);
+  const auto second = cache.get_or_compute("req", compute, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(computes, 1);
+  EXPECT_EQ(first.get(), second.get());
+  const PlanCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(PlanCache, SingleFlightCollapsesConcurrentIdenticalMisses) {
+  PlanCache cache;
+  std::atomic<int> computes{0};
+  const auto compute = [&] {
+    computes.fetch_add(1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    return fake_entry("req", Fingerprint{});
+  };
+  constexpr int kThreads = 4;
+  std::vector<std::shared_ptr<const CachedPlan>> results(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back(
+        [&, t] { results[t] = cache.get_or_compute("req", compute); });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(computes.load(), 1);
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(results[t].get(), results[0].get());
+  }
+  const PlanCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, static_cast<std::size_t>(kThreads - 1));
+}
+
+TEST(PlanCache, ComputeFailurePropagatesAndNextRequestRetries) {
+  PlanCache cache;
+  int calls = 0;
+  EXPECT_THROW((void)cache.get_or_compute(
+                   "req",
+                   [&]() -> std::shared_ptr<const CachedPlan> {
+                     ++calls;
+                     throw std::runtime_error("planner failed");
+                   }),
+               std::runtime_error);
+  // The failed slot is gone: the next identical request retries.
+  const auto value = cache.get_or_compute("req", [&] {
+    ++calls;
+    return fake_entry("req", Fingerprint{});
+  });
+  EXPECT_EQ(calls, 2);
+  EXPECT_NE(value, nullptr);
+}
+
+TEST(PlanCache, InvalidateClusterEvictsOnlyMatchingEntries) {
+  PlanCache cache;
+  const Fingerprint cluster_a = fingerprint_bytes("cluster-a");
+  const Fingerprint cluster_b = fingerprint_bytes("cluster-b");
+  cache.put(fake_entry("r1", cluster_a));
+  cache.put(fake_entry("r2", cluster_a));
+  cache.put(fake_entry("r3", cluster_b));
+  EXPECT_EQ(cache.invalidate_cluster(cluster_a), 2u);
+  EXPECT_EQ(cache.find("r1"), nullptr);
+  EXPECT_EQ(cache.find("r2"), nullptr);
+  EXPECT_NE(cache.find("r3"), nullptr);
+  EXPECT_EQ(cache.stats().invalidated, 2u);
+}
+
+// --- PlanStore --------------------------------------------------------------
+
+/// One real planned entry (computed once, reused across store tests).
+const CachedPlan& real_entry() {
+  static const CachedPlan entry = [] {
+    PlanService service;
+    return *service.plan(small_request());
+  }();
+  return entry;
+}
+
+TEST(PlanStore, SaveLoadSaveIsByteIdentical) {
+  std::ostringstream first;
+  save_plan_entry(real_entry(), first);
+  std::istringstream in(first.str());
+  const CachedPlan loaded = load_plan_entry(in);
+  expect_entries_identical(real_entry(), loaded);
+  std::ostringstream second;
+  save_plan_entry(loaded, second);
+  EXPECT_EQ(first.str(), second.str());
+}
+
+TEST(PlanStore, RoundTripsThroughDirectory) {
+  PlanStore store(scratch_dir("store_roundtrip"));
+  store.put(real_entry());
+  EXPECT_EQ(store.size(), 1u);
+  const PlanStore::LoadReport report = store.load_all();
+  EXPECT_EQ(report.corrupt_dropped, 0u);
+  ASSERT_EQ(report.plans.size(), 1u);
+  expect_entries_identical(real_entry(), *report.plans[0]);
+  // The persisted program deserializes to a working InstructionProgram.
+  EXPECT_GT(report.plans[0]->program().per_device.size(), 0u);
+  EXPECT_EQ(store.erase(real_entry().fingerprint), 1u);
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(PlanStore, CorruptEntriesAreDroppedAndDeleted) {
+  const std::string dir = scratch_dir("store_corrupt");
+  PlanStore store(dir);
+  store.put(real_entry());
+  // Flip one byte of the persisted request text: the fingerprint check
+  // must reject the entry.
+  const std::string path =
+      dir + "/" + real_entry().fingerprint.hex() + ".plan";
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    bytes = buf.str();
+  }
+  const std::size_t pos = bytes.find("dpipe-model v1");
+  ASSERT_NE(pos, std::string::npos);
+  bytes[pos] = 'X';
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << bytes;
+  }
+  const PlanStore::LoadReport report = store.load_all();
+  EXPECT_EQ(report.plans.size(), 0u);
+  EXPECT_EQ(report.corrupt_dropped, 1u);
+  EXPECT_EQ(store.size(), 0u);  // Deleted from disk, not just skipped.
+}
+
+TEST(PlanStore, InvalidateClusterRemovesMatchingFiles) {
+  PlanStore store(scratch_dir("store_invalidate"));
+  store.put(real_entry());
+  const Fingerprint other = fingerprint_bytes("some-other-cluster");
+  EXPECT_EQ(store.invalidate_cluster(other), 0u);
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.invalidate_cluster(real_entry().cluster_fp), 1u);
+  EXPECT_EQ(store.size(), 0u);
+}
+
+// --- PlanService ------------------------------------------------------------
+
+TEST(PlanService, CachedPlanIsBitIdenticalToDirectPlanner) {
+  const PlanRequest request = small_request();
+  PlanService service;
+  bool hit = true;
+  const auto cold = service.plan(request, &hit);
+  EXPECT_FALSE(hit);
+  const auto warm = service.plan(request, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(cold.get(), warm.get());
+
+  // The service's answer must match a locally run planner bit for bit:
+  // same winning config, same explored list, same serialized program.
+  const Plan direct =
+      Planner(request.model, request.cluster, request.options).plan();
+  EXPECT_EQ(cold->config, direct.config);
+  EXPECT_EQ(cold->explored, direct.explored);
+  EXPECT_EQ(cold->program_text, program_to_string(direct.program));
+  EXPECT_EQ(service.stats().planner_runs, 1u);
+}
+
+TEST(PlanService, WarmRestartServesFromDiskWithoutPlanning) {
+  const std::string dir = scratch_dir("service_restart");
+  const PlanRequest request = small_request();
+  Fingerprint fp;
+  {
+    PlanServiceOptions options;
+    options.store_dir = dir;
+    PlanService service(options);
+    fp = service.plan(request)->fingerprint;
+    EXPECT_EQ(service.stats().planner_runs, 1u);
+  }
+  PlanServiceOptions options;
+  options.store_dir = dir;
+  PlanService restarted(options);
+  EXPECT_EQ(restarted.stats().store_loaded, 1u);
+  bool hit = false;
+  const auto plan = restarted.plan(request, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(plan->fingerprint, fp);
+  EXPECT_EQ(restarted.stats().planner_runs, 0u);
+}
+
+TEST(PlanService, ClusterInvalidationEvictsCacheAndStore) {
+  const std::string dir = scratch_dir("service_invalidate");
+  PlanServiceOptions options;
+  options.store_dir = dir;
+  PlanService service(options);
+  const PlanRequest request = small_request();
+  (void)service.plan(request);
+  const PlanService::InvalidationReport report =
+      service.invalidate_cluster(request.cluster);
+  EXPECT_EQ(report.cache_evicted, 1u);
+  EXPECT_EQ(report.store_removed, 1u);
+  bool hit = true;
+  (void)service.plan(request, &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(service.stats().planner_runs, 2u);
+}
+
+TEST(PlanService, ConcurrentIdenticalRequestsRunThePlannerOnce) {
+  PlanService service;
+  const PlanRequest request = small_request();
+  constexpr int kThreads = 4;
+  std::vector<std::shared_ptr<const CachedPlan>> results(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] { results[t] = service.plan(request); });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(service.stats().planner_runs, 1u);
+  for (int t = 1; t < kThreads; ++t) {
+    ASSERT_NE(results[t], nullptr);
+    expect_entries_identical(*results[0], *results[t]);
+  }
+}
+
+TEST(PlanService, ConcurrentMixedBatchMatchesSequentialBitForBit) {
+  const std::vector<PlanRequest> requests = {
+      small_request(128.0), small_request(256.0), small_request(128.0),
+      small_request(256.0)};
+  PlanService concurrent_service;
+  const auto concurrent = concurrent_service.plan_all(requests, 4);
+  PlanService sequential_service;
+  const auto sequential = sequential_service.plan_all(requests, 1);
+  ASSERT_EQ(concurrent.size(), requests.size());
+  // Two distinct requests, each planned exactly once per service.
+  EXPECT_EQ(concurrent_service.stats().planner_runs, 2u);
+  EXPECT_EQ(sequential_service.stats().planner_runs, 2u);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    ASSERT_NE(concurrent[i], nullptr);
+    expect_entries_identical(*concurrent[i], *sequential[i]);
+  }
+}
+
+// --- Wire protocol ----------------------------------------------------------
+
+TEST(PlanProtocol, FramesRoundTripOverAPipe) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  // The large frame exceeds the pipe's buffer, so write from a thread
+  // while this one reads (also exercises write_all's short-write loop).
+  std::thread writer([&] {
+    write_frame(fds[1], "hello");
+    write_frame(fds[1], "");
+    write_frame(fds[1], std::string(100000, 'x'));
+    ::close(fds[1]);
+  });
+  EXPECT_EQ(read_frame(fds[0]).value(), "hello");
+  EXPECT_EQ(read_frame(fds[0]).value(), "");
+  EXPECT_EQ(read_frame(fds[0]).value(), std::string(100000, 'x'));
+  EXPECT_FALSE(read_frame(fds[0]).has_value());  // Clean EOF.
+  writer.join();
+  ::close(fds[0]);
+}
+
+TEST(PlanProtocol, PlanResponseRoundTripsAndVerifies) {
+  const std::string payload = encode_plan_response(real_entry(), true);
+  const PlanResponse response = decode_plan_response(payload);
+  EXPECT_TRUE(response.ok);
+  EXPECT_TRUE(response.cache_hit);
+  ASSERT_NE(response.plan, nullptr);
+  expect_entries_identical(real_entry(), *response.plan);
+
+  const PlanResponse failure =
+      decode_plan_response(encode_error_response("no such model"));
+  EXPECT_FALSE(failure.ok);
+  EXPECT_EQ(failure.error, "no such model");
+
+  // A corrupted payload throws instead of yielding a wrong plan.
+  std::string corrupt = payload;
+  corrupt[corrupt.find("dpipe-model v1")] = 'X';
+  EXPECT_THROW((void)decode_plan_response(corrupt), std::invalid_argument);
+}
+
+TEST(PlanProtocol, ServeConnectionAnswersPlanStatsAndShutdown) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  PlanService service;
+  ServeResult result;
+  std::thread server(
+      [&] { result = serve_connection(service, fds[0], fds[0]); });
+
+  const PlanRequest request = small_request();
+  write_frame(fds[1], encode_plan_request(request));
+  const PlanResponse cold = decode_plan_response(read_frame(fds[1]).value());
+  ASSERT_TRUE(cold.ok);
+  EXPECT_FALSE(cold.cache_hit);
+
+  write_frame(fds[1], encode_plan_request(request));
+  const PlanResponse warm = decode_plan_response(read_frame(fds[1]).value());
+  ASSERT_TRUE(warm.ok);
+  EXPECT_TRUE(warm.cache_hit);
+  expect_entries_identical(*cold.plan, *warm.plan);
+
+  write_frame(fds[1], "stats\n");
+  const std::string stats = read_frame(fds[1]).value();
+  EXPECT_NE(stats.find("planner_runs 1"), std::string::npos);
+  EXPECT_NE(stats.find("cache_hits 1"), std::string::npos);
+
+  write_frame(fds[1], "bogus\n");
+  const PlanResponse bogus =
+      decode_plan_response(read_frame(fds[1]).value());
+  EXPECT_FALSE(bogus.ok);
+
+  write_frame(fds[1], "shutdown\n");
+  EXPECT_EQ(read_frame(fds[1]).value(), "ok\n");
+  server.join();
+  EXPECT_TRUE(result.shutdown_requested);
+  EXPECT_EQ(result.requests_answered, 4u);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+}  // namespace
+}  // namespace dpipe

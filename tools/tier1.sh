@@ -3,8 +3,10 @@
 # ThreadSanitizer build running the concurrency-sensitive runtime and fault
 # tests (thread-per-stage program interpreter, channel shutdown, checkpoint
 # recovery, cross-backend parity) plus the parallel planner-search
-# determinism tests and the kernel/pool substrate tests (row-block fan-out,
-# concurrent TensorPool).
+# determinism tests, the kernel/pool substrate tests (row-block fan-out,
+# concurrent TensorPool), and the plan-service suites (single-flight cache,
+# stage-cost leases, concurrent request determinism), ending with a
+# socket-level request-storm smoke of dpipe_plan_serve.
 # Run from the repository root.
 set -euo pipefail
 
@@ -22,10 +24,36 @@ echo "== tier-1: scalar-forced kernel pass (DPIPE_SIMD=scalar) =="
 DPIPE_SIMD=scalar ./build/tests/dpipe_tests \
   --gtest_filter='Kernels.*:TensorPool.*:Trajectory.*:RngSeed.*:SimdDispatch.*:SimdParity.*:FastMode.*:Roofline.*'
 
-echo "== tier-1: ThreadSanitizer build (runtime + fault tests) =="
+echo "== tier-1: ThreadSanitizer build (runtime + fault + service tests) =="
 cmake -B build-tsan -S . -DDPIPE_SANITIZE=thread
 cmake --build build-tsan -j"$(nproc)" --target dpipe_tests
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/dpipe_tests \
-  --gtest_filter='Channel.*:PipelineTrainer.*:Equivalence.*:Fault.*:ParallelFor.*:PlannerSearch.*:Kernels.*:TensorPool.*:Trajectory.*:RngSeed.*:SimdDispatch.*:SimdParity.*:FastMode.*:Interpreter.*:Parity.*:Elastic.*:Reshard.*:CheckpointIo.*'
+  --gtest_filter='Channel.*:PipelineTrainer.*:Equivalence.*:Fault.*:ParallelFor.*:PlannerSearch.*:Kernels.*:TensorPool.*:Trajectory.*:RngSeed.*:SimdDispatch.*:SimdParity.*:FastMode.*:Interpreter.*:Parity.*:Elastic.*:Reshard.*:CheckpointIo.*:PlanFingerprint.*:StageCostStore.*:PlanCache.*:PlanStore.*:PlanService.*:PlanProtocol.*'
+
+echo "== tier-1: plan-server request-storm smoke (socket, concurrent clients) =="
+# Three concurrent clients hammer one dpipe_plan_serve over a Unix socket:
+# 6 requests over 2 distinct plans, so the summary must show cache hits
+# and at most 2 planner runs.
+STORM_DIR="$(mktemp -d)"
+STORM_SOCK="$STORM_DIR/dpipe.sock"
+./build/tools/dpipe_plan_serve --socket "$STORM_SOCK" \
+  --store "$STORM_DIR/plans" --max-requests 6 > "$STORM_DIR/serve.log" 2>&1 &
+SERVE_PID=$!
+for _ in 1 2 3 4 5 6 7 8 9 10; do
+  [ -S "$STORM_SOCK" ] && break
+  sleep 0.3
+done
+for client in 1 2 3; do
+  (
+    ./build/tools/dpipe_plan sd21 1 256 --connect "$STORM_SOCK" &&
+    ./build/tools/dpipe_plan controlnet 1 256 --connect "$STORM_SOCK"
+  ) > "$STORM_DIR/client$client.log" 2>&1 &
+done
+wait "$SERVE_PID"
+wait  # Reap the client subshells before inspecting their logs.
+cat "$STORM_DIR/serve.log"
+grep -q "cache hit" "$STORM_DIR/serve.log"
+grep -q "served from plan cache\|planned by server" "$STORM_DIR/client1.log"
+rm -rf "$STORM_DIR"
 
 echo "tier-1 OK"
