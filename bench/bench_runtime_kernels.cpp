@@ -1,26 +1,36 @@
-// Runtime kernel & memory substrate benchmark (DESIGN.md §8, §11): matmul
-// GFLOP/s for the naive / blocked / blocked+parallel / fast paths across
-// the three transpose variants — square shapes plus the rectangular
+// Runtime kernel & memory substrate benchmark (DESIGN.md §8, §11, §13):
+// matmul GFLOP/s for the naive / blocked / blocked+parallel / fast paths
+// across the three transpose variants — square shapes plus the rectangular
 // (skinny/tall) batch x hidden GEMMs the trainer actually issues — a
 // roofline section comparing achieved GFLOP/s against the measured
-// register-tile compute ceiling at the active SIMD level, end-to-end
-// PipelineTrainer iterations/s under each kernel mode, and TensorPool
-// recycling/alignment stats. Prints a table and writes BENCH_runtime.json
-// (pass an output path to override; pass --quick for a fast smoke run).
+// register-tile compute ceiling at the active SIMD level, an elementwise
+// bandwidth section (GB/s, scalar vs active SIMD level) for the fused
+// eltwise/optimizer kernels, end-to-end PipelineTrainer iterations/s under
+// each kernel mode, a GEMM vs non-GEMM time breakdown of the trainer loop
+// (via the runtime op profiler), and TensorPool recycling/alignment stats.
+// Prints a table and writes BENCH_runtime.json (pass an output path to
+// override; pass --quick for a fast smoke run).
 //
 // Timing idiom (SNIPPETS §2–3, the DeployUseTensorRT harness): set up
 // once, one untimed warm-up, then a timed loop of enough calls to swamp
-// clock granularity, best-of-reps.
+// clock granularity, best-of-reps. The end-to-end section interleaves the
+// kernel modes round-robin across repetitions so slow drift on a shared
+// machine (frequency scaling, co-tenants) hits every mode equally instead
+// of biasing whichever ran last.
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "runtime/dp_trainer.h"
+#include "runtime/eltwise.h"
 #include "runtime/kernels.h"
 #include "runtime/pipeline_exec.h"
 #include "runtime/pool.h"
@@ -123,22 +133,109 @@ MatmulRow run_matmul_case(const std::string& op, int m, int k, int n,
   return row;
 }
 
+// --- Elementwise bandwidth -------------------------------------------------
+
+struct EltwiseRow {
+  std::string op;
+  std::int64_t n = 0;
+  double scalar_gbs = 0.0;
+  double simd_gbs = 0.0;
+  double speedup = 0.0;
+};
+
+/// Best-of-`reps` GB/s for one eltwise op: warm-up call, then timed loops
+/// of `inner` calls each, sized so a loop moves at least ~64 MiB.
+double time_gbs(const std::function<void()>& fn, double bytes_per_call,
+                int reps) {
+  fn();  // Warm-up.
+  const int inner = static_cast<int>(std::max(
+      1.0, static_cast<double>(64ll << 20) / bytes_per_call));
+  double best_ms = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const double start = now_ms();
+    for (int i = 0; i < inner; ++i) {
+      fn();
+    }
+    const double ms = (now_ms() - start) / inner;
+    if (r == 0 || ms < best_ms) {
+      best_ms = ms;
+    }
+  }
+  return bytes_per_call / (best_ms * 1e6);
+}
+
+/// GB/s for every dispatched eltwise op at size `n`, at the given SIMD
+/// level. Bytes counted are the op's actual memory traffic (reads +
+/// writes), so the number is directly comparable to stream bandwidth.
+std::vector<EltwiseRow> run_eltwise_cases(std::int64_t n, int reps) {
+  const int cols = 256;
+  const int rows = static_cast<int>(std::max<std::int64_t>(1, n / cols));
+  Rng rng(0xE17ull + n);
+  const Tensor x = rng.randn({1, static_cast<int>(n)});
+  const Tensor g = rng.randn({1, static_cast<int>(n)});
+  const Tensor a2d = rng.randn({rows, cols});
+  const Tensor bias = rng.randn({1, cols});
+  Tensor out({1, static_cast<int>(n)});
+  Tensor p = rng.randn({1, static_cast<int>(n)});
+  Tensor m({1, static_cast<int>(n)});
+  Tensor v({1, static_cast<int>(n)});
+  Tensor row_acc = a2d.slice_rows(0, rows);
+  Tensor col_sum({1, cols});
+
+  struct Case {
+    const char* name;
+    double bytes;  ///< reads + writes per call.
+    std::function<void()> fn;
+  };
+  const double fn4 = static_cast<double>(n) * 4.0;
+  std::vector<Case> cases;
+  cases.push_back({"exp", 2 * fn4, [&] { exp_into(out, x); }});
+  cases.push_back({"silu", 2 * fn4, [&] { silu_into(out, x); }});
+  cases.push_back(
+      {"silu_bwd", 3 * fn4, [&] { silu_backward_into(out, x, g); }});
+  cases.push_back({"axpy", 3 * fn4, [&] { axpy_inplace(p, g, 0.37f); }});
+  cases.push_back({"sub_scale", 3 * fn4,
+                   [&] { sub_scale_into(out, x, g, 0.123f); }});
+  cases.push_back({"adam", 7 * fn4, [&] {
+                     eltwise_adam(p, g, m, v, 1e-3f, 0.9f, 0.999f, 1e-8f,
+                                  0.5f, 0.5f);
+                   }});
+  cases.push_back({"bias_add",
+                   2.0 * rows * cols * 4.0,
+                   [&] { bias_add_inplace(row_acc, bias); }});
+  cases.push_back({"sum_rows",
+                   static_cast<double>(rows) * cols * 4.0,
+                   [&] { sum_rows_into(col_sum, a2d); }});
+
+  const SimdLevel active = simd_level();
+  std::vector<EltwiseRow> out_rows;
+  for (const Case& c : cases) {
+    EltwiseRow r;
+    r.op = c.name;
+    r.n = (std::strcmp(c.name, "bias_add") == 0 ||
+           std::strcmp(c.name, "sum_rows") == 0)
+              ? static_cast<std::int64_t>(rows) * cols
+              : n;
+    set_simd_level(SimdLevel::kScalar);
+    r.scalar_gbs = time_gbs(c.fn, c.bytes, reps);
+    set_simd_level(active);
+    r.simd_gbs = time_gbs(c.fn, c.bytes, reps);
+    r.speedup = r.simd_gbs / r.scalar_gbs;
+    out_rows.push_back(std::move(r));
+  }
+  set_simd_level(active);
+  return out_rows;
+}
+
+// --- End-to-end trainer ----------------------------------------------------
+
 struct EndToEndRow {
   std::string mode;
   double iters_per_s = 0.0;
   double speedup = 0.0;  ///< vs naive.
 };
 
-/// Iterations/s of the full pipeline trainer (the default example config:
-/// self-conditioning, cross-iteration frozen part, 3 stages x 4 micros x
-/// 2 replicas) under one kernel mode.
-double pipeline_iters_per_s(KernelMode mode, int iters) {
-  set_kernel_mode(mode);
-  set_kernel_threads(0);
-  DdpmConfig dc;
-  dc.self_conditioning = true;
-  dc.self_cond_prob = 0.5;
-  const DdpmProblem problem(dc);
+PipelineRtConfig e2e_config() {
   PipelineRtConfig cfg;
   cfg.num_stages = 3;
   cfg.num_microbatches = 4;
@@ -146,12 +243,95 @@ double pipeline_iters_per_s(KernelMode mode, int iters) {
   cfg.global_batch = 32;
   cfg.lr = 0.2f;
   cfg.cross_iteration = true;
-  PipelineTrainer trainer(problem, cfg);
-  trainer.train(2);  // Warm-up: thread startup, pool fill.
+  return cfg;
+}
+
+DdpmConfig e2e_problem_config() {
+  DdpmConfig dc;
+  dc.self_conditioning = true;
+  dc.self_cond_prob = 0.5;
+  return dc;
+}
+
+/// Iterations/s of the full pipeline trainer (the default example config:
+/// self-conditioning, cross-iteration frozen part, 3 stages x 4 micros x
+/// 2 replicas) under each kernel mode. One persistent trainer per mode;
+/// the modes are timed round-robin for `rounds` repetitions of `iters`
+/// each, best-of-rounds per mode.
+std::vector<EndToEndRow> run_end_to_end(int iters, int rounds) {
+  const std::vector<KernelMode> modes = {
+      KernelMode::kNaive, KernelMode::kBlocked,
+      KernelMode::kBlockedParallel, KernelMode::kFast};
+  const DdpmProblem problem(e2e_problem_config());
+  const PipelineRtConfig cfg = e2e_config();
+  set_kernel_threads(0);
+  std::vector<std::unique_ptr<PipelineTrainer>> trainers;
+  std::vector<double> best_ms(modes.size(), 0.0);
+  for (const KernelMode mode : modes) {
+    set_kernel_mode(mode);
+    trainers.push_back(std::make_unique<PipelineTrainer>(problem, cfg));
+    trainers.back()->train(2);  // Warm-up: thread startup, pool fill.
+  }
+  for (int round = 0; round < rounds; ++round) {
+    for (std::size_t i = 0; i < modes.size(); ++i) {
+      set_kernel_mode(modes[i]);
+      const double start = now_ms();
+      trainers[i]->train(iters);
+      const double ms = now_ms() - start;
+      if (round == 0 || ms < best_ms[i]) {
+        best_ms[i] = ms;
+      }
+    }
+  }
+  std::vector<EndToEndRow> rows;
+  for (std::size_t i = 0; i < modes.size(); ++i) {
+    EndToEndRow row;
+    row.mode = kernel_mode_name(modes[i]);
+    row.iters_per_s = iters / (best_ms[i] / 1000.0);
+    row.speedup = row.iters_per_s / (iters / (best_ms[0] / 1000.0));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+// --- GEMM vs non-GEMM breakdown --------------------------------------------
+
+struct OpBreakdown {
+  double wall_ms = 0.0;
+  double matmul_ms = 0.0;   ///< Summed across stage threads.
+  double eltwise_ms = 0.0;  ///< Summed across stage threads.
+  std::uint64_t matmul_calls = 0;
+  std::uint64_t eltwise_calls = 0;
+  double nongemm_share = 0.0;  ///< eltwise / (matmul + eltwise) time.
+};
+
+/// Where the trainer's compute time goes, via the runtime op profiler:
+/// matmul vs dispatched-eltwise nanoseconds accumulated across all stage
+/// threads over `iters` iterations under kBlockedParallel. The op times
+/// are thread-summed, so they can exceed wall time on a multi-core box;
+/// the share is the meaningful number.
+OpBreakdown run_op_breakdown(int iters) {
+  set_kernel_mode(KernelMode::kBlockedParallel);
+  set_kernel_threads(0);
+  const DdpmProblem problem(e2e_problem_config());
+  PipelineTrainer trainer(problem, e2e_config());
+  trainer.train(2);  // Warm-up.
+  reset_op_profile();
+  set_op_profiling(true);
   const double start = now_ms();
   trainer.train(iters);
-  const double ms = now_ms() - start;
-  return iters / (ms / 1000.0);
+  const double wall = now_ms() - start;
+  set_op_profiling(false);
+  const RuntimeOpProfile prof = op_profile();
+  OpBreakdown b;
+  b.wall_ms = wall;
+  b.matmul_ms = static_cast<double>(prof.matmul_ns) / 1e6;
+  b.eltwise_ms = static_cast<double>(prof.eltwise_ns) / 1e6;
+  b.matmul_calls = prof.matmul_calls;
+  b.eltwise_calls = prof.eltwise_calls;
+  const double accounted = b.matmul_ms + b.eltwise_ms;
+  b.nongemm_share = accounted > 0.0 ? b.eltwise_ms / accounted : 0.0;
+  return b;
 }
 
 }  // namespace
@@ -226,27 +406,47 @@ int main(int argc, char** argv) {
                 100.0 * r.fast_gflops / peak_fast);
   }
 
-  const int e2e_iters = quick ? 6 : 20;
-  TensorPool::global().reset_stats();
-  std::printf("\n%-18s %10s %9s   (PipelineTrainer, %d iters)\n", "mode",
-              "iters/s", "speedup", e2e_iters);
-  std::vector<EndToEndRow> e2e_rows;
-  double naive_ips = 0.0;
-  for (const KernelMode mode :
-       {KernelMode::kNaive, KernelMode::kBlocked,
-        KernelMode::kBlockedParallel, KernelMode::kFast}) {
-    EndToEndRow row;
-    row.mode = kernel_mode_name(mode);
-    row.iters_per_s = pipeline_iters_per_s(mode, e2e_iters);
-    if (mode == KernelMode::kNaive) {
-      naive_ips = row.iters_per_s;
+  // Elementwise bandwidth: GB/s of actual memory traffic per dispatched
+  // op, scalar table vs the active SIMD table (DESIGN.md §13).
+  std::vector<EltwiseRow> eltwise_rows;
+  std::printf("\n%-9s %9s %12s %12s %9s   (eltwise GB/s)\n", "op", "n",
+              "scalar", simd_level_name(simd_level()), "speedup");
+  for (const std::int64_t n :
+       quick ? std::vector<std::int64_t>{1 << 16}
+             : std::vector<std::int64_t>{1 << 14, 1 << 20}) {
+    for (EltwiseRow& r : run_eltwise_cases(n, reps)) {
+      std::printf("%-9s %9lld %12.2f %12.2f %8.2fx\n", r.op.c_str(),
+                  static_cast<long long>(r.n), r.scalar_gbs, r.simd_gbs,
+                  r.speedup);
+      eltwise_rows.push_back(std::move(r));
     }
-    row.speedup = row.iters_per_s / naive_ips;
+  }
+
+  const int e2e_iters = quick ? 6 : 20;
+  const int e2e_rounds = quick ? 2 : 3;
+  TensorPool::global().reset_stats();
+  std::printf("\n%-18s %10s %9s   (PipelineTrainer, best of %d x %d iters, "
+              "interleaved)\n",
+              "mode", "iters/s", "speedup", e2e_rounds, e2e_iters);
+  const std::vector<EndToEndRow> e2e_rows =
+      run_end_to_end(e2e_iters, e2e_rounds);
+  for (const EndToEndRow& row : e2e_rows) {
     std::printf("%-18s %10.1f %8.2fx\n", row.mode.c_str(), row.iters_per_s,
                 row.speedup);
-    e2e_rows.push_back(row);
   }
   set_kernel_mode(KernelMode::kBlockedParallel);
+
+  // GEMM vs non-GEMM: where the blocked_parallel trainer's compute time
+  // goes, accumulated across stage threads by the runtime op profiler.
+  const OpBreakdown bd = run_op_breakdown(e2e_iters);
+  std::printf(
+      "\nop breakdown (blocked_parallel, %d iters): wall %.1f ms, "
+      "matmul %.1f ms / %llu calls, eltwise %.1f ms / %llu calls, "
+      "non-GEMM share %.1f%%\n",
+      e2e_iters, bd.wall_ms, bd.matmul_ms,
+      static_cast<unsigned long long>(bd.matmul_calls), bd.eltwise_ms,
+      static_cast<unsigned long long>(bd.eltwise_calls),
+      100.0 * bd.nongemm_share);
 
   const TensorPool::Stats pool = TensorPool::global().stats();
   const double hit_rate =
@@ -290,7 +490,16 @@ int main(int argc, char** argv) {
          << ", \"fast_pct\": " << 100.0 * r.fast_gflops / peak_fast << "}"
          << (i + 1 < matmul_rows.size() ? "," : "") << "\n";
   }
-  json << "    ]\n  },\n  \"end_to_end\": [\n";
+  json << "    ]\n  },\n  \"eltwise\": [\n";
+  for (std::size_t i = 0; i < eltwise_rows.size(); ++i) {
+    const EltwiseRow& r = eltwise_rows[i];
+    json << "    {\"op\": \"" << r.op << "\", \"n\": " << r.n
+         << ", \"scalar_gbs\": " << r.scalar_gbs
+         << ", \"simd_gbs\": " << r.simd_gbs
+         << ", \"speedup\": " << r.speedup << "}"
+         << (i + 1 < eltwise_rows.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"end_to_end\": [\n";
   for (std::size_t i = 0; i < e2e_rows.size(); ++i) {
     const EndToEndRow& r = e2e_rows[i];
     json << "    {\"mode\": \"" << r.mode
@@ -298,7 +507,14 @@ int main(int argc, char** argv) {
          << ", \"speedup\": " << r.speedup << "}"
          << (i + 1 < e2e_rows.size() ? "," : "") << "\n";
   }
-  json << "  ],\n  \"pool\": {\"allocs_avoided\": " << pool.allocs_avoided
+  json << "  ],\n  \"op_breakdown\": {\"mode\": \"blocked_parallel\", "
+       << "\"iters\": " << e2e_iters << ", \"wall_ms\": " << bd.wall_ms
+       << ", \"matmul_ms\": " << bd.matmul_ms
+       << ", \"matmul_calls\": " << bd.matmul_calls
+       << ", \"eltwise_ms\": " << bd.eltwise_ms
+       << ", \"eltwise_calls\": " << bd.eltwise_calls
+       << ", \"nongemm_share\": " << bd.nongemm_share << "},\n";
+  json << "  \"pool\": {\"allocs_avoided\": " << pool.allocs_avoided
        << ", \"allocs_fresh\": " << pool.allocs_fresh
        << ", \"hit_rate\": " << hit_rate
        << ", \"peak_bytes\": " << pool.peak_bytes

@@ -9,6 +9,13 @@
 
 namespace dpipe::rt {
 
+/// Outcome of a non-blocking Channel::try_pop().
+enum class TryPop {
+  kValue,   ///< A value was dequeued.
+  kEmpty,   ///< Nothing queued, but the channel is still open.
+  kClosed,  ///< Closed and fully drained: no value will ever arrive.
+};
+
 /// Blocking FIFO channel between pipeline stage threads.
 ///
 /// Supports cooperative shutdown: `close()` wakes every blocked consumer,
@@ -37,6 +44,20 @@ class Channel {
     std::unique_lock<std::mutex> lock(mutex_);
     cv_.wait(lock, [&] { return !queue_.empty() || closed_; });
     return take_locked();
+  }
+
+  /// Non-blocking pop for the cooperative wave scheduler. Dequeues into
+  /// `out` whenever a value is queued — including after close(), matching
+  /// pop()'s drain-then-nullopt order — otherwise reports whether one can
+  /// still arrive (kEmpty) or never will (kClosed).
+  [[nodiscard]] TryPop try_pop(T& out) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!queue_.empty()) {
+      out = std::move(queue_.front());
+      queue_.pop();
+      return TryPop::kValue;
+    }
+    return closed_ ? TryPop::kClosed : TryPop::kEmpty;
   }
 
   /// Like pop(), but gives up after `timeout_ms`; nullopt on timeout too.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "runtime/eltwise.h"
 #include "runtime/pool.h"
 
 namespace dpipe::rt {
@@ -96,9 +97,7 @@ Tensor DdpmProblem::make_input(const Batch& batch, const Tensor& cond,
     const float* x0 = batch.x0.data() + static_cast<std::ptrdiff_t>(i) * d;
     const float* eps =
         batch.noise.data() + static_cast<std::ptrdiff_t>(i) * d;
-    for (int j = 0; j < d; ++j) {
-      row[j] = sa * x0[j] + sn * eps[j];
-    }
+    eltwise_axpby(row, x0, eps, sa, sn, d);
     const float* tf =
         batch.t_feat.data() + static_cast<std::ptrdiff_t>(i) * t;
     std::copy(tf, tf + t, row + d);
@@ -121,9 +120,10 @@ Tensor DdpmProblem::loss_grad(const Tensor& pred, const Tensor& target,
   DPIPE_REQUIRE(global_batch >= 1, "global batch must be positive");
   const float norm =
       2.0f / (static_cast<float>(global_batch) * pred.cols());
+  // Fused (pred - target) * norm: same two roundings as the historical
+  // sub_into + scale_inplace pair, one memory pass instead of two.
   Tensor out = TensorPool::global().acquire(pred.shape());
-  sub_into(out, pred, target);
-  scale_inplace(out, norm);
+  sub_scale_into(out, pred, target, norm);
   return out;
 }
 

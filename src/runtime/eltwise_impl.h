@@ -1,0 +1,278 @@
+#pragma once
+
+// Internal interface between the elementwise/optimizer engine (eltwise.cpp)
+// and the per-ISA translation units. Not installed, not part of the public
+// API — include only from runtime kernel/eltwise TUs and their tests.
+//
+// Exactness contract (DESIGN.md §13): every op in this table is elementwise
+// (or, for sum_rows, one ascending accumulation chain per output column),
+// and every implementation — portable scalar, AVX2, and any future level —
+// performs the *same sequence of IEEE-754 single-precision operations* per
+// element, each rounded separately. Vector lanes are distinct elements, and
+// every vector instruction used (mul/add/sub/div/sqrt/min/max/round) is
+// correctly rounded or exactly specified, so each lane reproduces the
+// scalar chain bit-for-bit. The AVX2 TUs are compiled with
+// -ffp-contract=off and never use FMA, so the compiler cannot collapse a
+// mul+add pair into one rounding on one level but not another.
+//
+// The transcendental is the one place libm would break this: std::exp's
+// result differs across libms and has no vector twin. dpipe_exp below is a
+// self-contained polynomial exp (cephes-style range reduction + degree-5
+// minimax, |rel err| < 4 ulp vs correctly-rounded exp) whose scalar and
+// vector forms execute identical op sequences — adopting it changes
+// trainer trajectories ONCE vs the libm-based history (documented in
+// DESIGN.md §13, validated in tests), and in exchange every DPIPE_SIMD
+// level, kernel mode, and thread count stays bit-identical.
+//
+// The scalar helpers are `static`: each TU gets its own internal-linkage
+// copy, so TUs compiled with different ISA flags cannot collide at link
+// time. Result parity across those copies is by construction — no FMA is
+// available to the base ISA and contraction is off in the AVX2 TUs.
+
+#include <cmath>
+#include <cstdint>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace dpipe::rt::detail {
+
+// --- Deterministic exp: shared constants ---------------------------------
+// Input clamp: exp(-87) and exp(88) are both normal floats, so the scaling
+// step 2^n below never needs denormal or infinity handling. Outside this
+// range float exp is pinned to ~0 / ~3e38 anyway; the clamp is part of the
+// function's definition (dpipe_exp(x) == dpipe_exp(clamp(x))).
+inline constexpr float kExpLo = -87.0f;
+inline constexpr float kExpHi = 88.0f;
+inline constexpr float kLog2E = 1.44269504088896341f;
+// ln2 split hi+lo: n*ln2_hi is exact for |n| <= 127 (hi has 9 trailing
+// zero bits), so the reduction r = (x - n*hi) - n*lo loses no bits.
+inline constexpr float kLn2Hi = 0.693359375f;
+inline constexpr float kLn2Lo = -2.12194440e-4f;
+// Degree-5 minimax coefficients for (exp(r) - 1 - r) / r^2 on
+// [-ln2/2, ln2/2] (the classic cephes expf tail).
+inline constexpr float kExpC0 = 1.9875691500e-4f;
+inline constexpr float kExpC1 = 1.3981999507e-3f;
+inline constexpr float kExpC2 = 8.3334519073e-3f;
+inline constexpr float kExpC3 = 4.1665795894e-2f;
+inline constexpr float kExpC4 = 1.6666665459e-1f;
+inline constexpr float kExpC5 = 5.0000001201e-1f;
+
+/// Scalar reference for the deterministic exp. The op sequence (one
+/// rounding per named step) is the contract; the vector implementations
+/// mirror it lane-wise. The clamp mirrors vmaxps/vminps semantics
+/// ((a > b) ? a : b picks the second operand for NaN) so even non-finite
+/// inputs agree across levels.
+static inline float dpipe_exp(float x) {
+  float t = (x > kExpLo) ? x : kExpLo;  // maxps(x, lo)
+  t = (t < kExpHi) ? t : kExpHi;        // minps(t, hi)
+  const float z = t * kLog2E;
+  const float n = std::nearbyintf(z);  // roundps to nearest-even
+  const float r = (t - n * kLn2Hi) - n * kLn2Lo;
+  float p = kExpC0;
+  p = p * r + kExpC1;
+  p = p * r + kExpC2;
+  p = p * r + kExpC3;
+  p = p * r + kExpC4;
+  p = p * r + kExpC5;
+  const float r2 = r * r;
+  float y = p * r2;
+  y = y + r;
+  y = y + 1.0f;
+  // 2^n by exponent-field construction: n is integral in [-126, 127].
+  const std::int32_t ni = static_cast<std::int32_t>(n);
+  const std::int32_t bits = (ni + 127) << 23;
+  float scale;
+  static_assert(sizeof(scale) == sizeof(bits));
+  __builtin_memcpy(&scale, &bits, sizeof(scale));
+  return y * scale;
+}
+
+/// sigmoid(x) = 1 / (1 + dpipe_exp(-x)); division is correctly rounded on
+/// every level (divps), so parity reduces to dpipe_exp parity.
+static inline float dpipe_sigmoid(float x) {
+  return 1.0f / (1.0f + dpipe_exp(-x));
+}
+
+/// silu(x) = x * sigmoid(x).
+static inline float dpipe_silu(float x) { return x * dpipe_sigmoid(x); }
+
+/// d silu / dx contracted with the upstream gradient:
+/// g * (s + x * (s * (1 - s))) with s = sigmoid(x); the parenthesisation is
+/// the contract (each step one rounding).
+static inline float dpipe_silu_bwd(float g, float x) {
+  const float s = dpipe_sigmoid(x);
+  const float u = 1.0f - s;
+  const float v = s * u;
+  const float w = x * v;
+  const float q = s + w;
+  return g * q;
+}
+
+#if defined(__AVX2__)
+
+// --- Vector mirrors (AVX2 TUs only) --------------------------------------
+// Lane-for-lane transcriptions of the scalar helpers above: the same op in
+// the same order per step, so each lane is bit-identical to the scalar
+// chain. vmaxps/vminps match the scalar clamp's NaN behaviour by
+// construction; _MM_FROUND_TO_NEAREST_INT is round-half-even, which equals
+// std::nearbyintf under the default (never changed) rounding mode; cvt of
+// the already-integral n is exact.
+
+static inline __m256 dpipe_exp8(__m256 x) {
+  __m256 t = _mm256_max_ps(x, _mm256_set1_ps(kExpLo));
+  t = _mm256_min_ps(t, _mm256_set1_ps(kExpHi));
+  const __m256 z = _mm256_mul_ps(t, _mm256_set1_ps(kLog2E));
+  const __m256 n =
+      _mm256_round_ps(z, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+  __m256 r = _mm256_sub_ps(t, _mm256_mul_ps(n, _mm256_set1_ps(kLn2Hi)));
+  r = _mm256_sub_ps(r, _mm256_mul_ps(n, _mm256_set1_ps(kLn2Lo)));
+  __m256 p = _mm256_set1_ps(kExpC0);
+  p = _mm256_add_ps(_mm256_mul_ps(p, r), _mm256_set1_ps(kExpC1));
+  p = _mm256_add_ps(_mm256_mul_ps(p, r), _mm256_set1_ps(kExpC2));
+  p = _mm256_add_ps(_mm256_mul_ps(p, r), _mm256_set1_ps(kExpC3));
+  p = _mm256_add_ps(_mm256_mul_ps(p, r), _mm256_set1_ps(kExpC4));
+  p = _mm256_add_ps(_mm256_mul_ps(p, r), _mm256_set1_ps(kExpC5));
+  const __m256 r2 = _mm256_mul_ps(r, r);
+  __m256 y = _mm256_mul_ps(p, r2);
+  y = _mm256_add_ps(y, r);
+  y = _mm256_add_ps(y, _mm256_set1_ps(1.0f));
+  const __m256i ni = _mm256_cvtps_epi32(n);
+  const __m256i bits =
+      _mm256_slli_epi32(_mm256_add_epi32(ni, _mm256_set1_epi32(127)), 23);
+  return _mm256_mul_ps(y, _mm256_castsi256_ps(bits));
+}
+
+static inline __m256 dpipe_neg8(__m256 x) {
+  // Exact sign flip, matching scalar unary minus (keeps -0 semantics).
+  return _mm256_xor_ps(x, _mm256_set1_ps(-0.0f));
+}
+
+static inline __m256 dpipe_sigmoid8(__m256 x) {
+  const __m256 one = _mm256_set1_ps(1.0f);
+  return _mm256_div_ps(one, _mm256_add_ps(one, dpipe_exp8(dpipe_neg8(x))));
+}
+
+static inline __m256 dpipe_silu8(__m256 x) {
+  return _mm256_mul_ps(x, dpipe_sigmoid8(x));
+}
+
+static inline __m256 dpipe_silu_bwd8(__m256 g, __m256 x) {
+  const __m256 s = dpipe_sigmoid8(x);
+  const __m256 u = _mm256_sub_ps(_mm256_set1_ps(1.0f), s);
+  const __m256 v = _mm256_mul_ps(s, u);
+  const __m256 w = _mm256_mul_ps(x, v);
+  const __m256 q = _mm256_add_ps(s, w);
+  return _mm256_mul_ps(g, q);
+}
+
+#endif  // defined(__AVX2__)
+
+// --- Fused Adam ----------------------------------------------------------
+
+/// Per-step scalars for the fused Adam update, hoisted once per tensor.
+/// The element recurrence (optim.cpp's historical loop, now the contract):
+///   m' = beta1*m + (1-beta1)*g
+///   v' = beta2*v + ((1-beta2)*g)*g
+///   p' = p - (lr * (m'/bc1)) / (sqrt(v'/bc2) + eps)
+/// every step one rounding; sqrt and the divisions are correctly rounded on
+/// all levels, so the fused vector update is bit-identical to the scalar
+/// reference loop.
+struct AdamConsts {
+  float beta1 = 0.0f;
+  float beta2 = 0.0f;
+  float one_minus_beta1 = 0.0f;
+  float one_minus_beta2 = 0.0f;
+  float bc1 = 1.0f;  ///< Bias correction 1 - beta1^t.
+  float bc2 = 1.0f;  ///< Bias correction 1 - beta2^t.
+  float lr = 0.0f;
+  float eps = 0.0f;
+};
+
+static inline void dpipe_adam_element(float* p, const float* g, float* m,
+                                      float* v, const AdamConsts& c) {
+  const float mn = c.beta1 * *m + c.one_minus_beta1 * *g;
+  const float vn = c.beta2 * *v + (c.one_minus_beta2 * *g) * *g;
+  *m = mn;
+  *v = vn;
+  const float mhat = mn / c.bc1;
+  const float vhat = vn / c.bc2;
+  *p = *p - (c.lr * mhat) / (std::sqrt(vhat) + c.eps);
+}
+
+// --- Per-ISA op table ----------------------------------------------------
+
+/// One elementwise/optimizer kernel set (one ISA level). All pointers are
+/// to float data; `n` is the element count of the flat range the caller
+/// split off (threading splits ranges at fixed block boundaries, so a
+/// kernel never sees anything thread-count-dependent). Unless noted, out
+/// may alias the first input (in-place) but no other operand.
+struct EltwiseKernels {
+  const char* name;
+  /// out[i] = dpipe_exp(x[i]).
+  void (*vexp)(float* out, const float* x, std::int64_t n);
+  /// out[i] = dpipe_sigmoid(x[i]).
+  void (*sigmoid)(float* out, const float* x, std::int64_t n);
+  /// out[i] = dpipe_silu(x[i]).
+  void (*silu)(float* out, const float* x, std::int64_t n);
+  /// gin[i] = dpipe_silu_bwd(gout[i], x[i]); gin may alias gout or x.
+  void (*silu_bwd)(float* gin, const float* x, const float* gout,
+                   std::int64_t n);
+  /// out[i] = a[i] + b[i].
+  void (*add)(float* out, const float* a, const float* b, std::int64_t n);
+  /// out[i] = a[i] - b[i].
+  void (*sub)(float* out, const float* a, const float* b, std::int64_t n);
+  /// out[i] = a[i] * s.
+  void (*scale)(float* out, const float* a, float s, std::int64_t n);
+  /// y[i] = y[i] + alpha * x[i].
+  void (*axpy)(float* y, const float* x, float alpha, std::int64_t n);
+  /// out[i] = a*x[i] + b*y[i] (each product and the sum rounded once).
+  void (*axpby)(float* out, const float* x, const float* y, float a, float b,
+                std::int64_t n);
+  /// out[i] = (a[i] - b[i]) * s.
+  void (*sub_scale)(float* out, const float* a, const float* b, float s,
+                    std::int64_t n);
+  /// y[i*ld + j] += bias[j] for i in [0, rows), j in [0, cols).
+  void (*bias_add)(float* y, std::int64_t ld, const float* bias, int rows,
+                   int cols);
+  /// out[j] = sum over i ascending of a[i*ld + j], j in [0, cols) — one
+  /// ascending chain per column, seeded from 0 (overwrites out).
+  void (*sum_rows)(float* out, const float* a, std::int64_t ld, int rows,
+                   int cols);
+  /// Fused Adam over a flat range (reads p/g/m/v once, writes p/m/v once).
+  void (*adam)(float* p, const float* g, float* m, float* v,
+               const AdamConsts& c, std::int64_t n);
+};
+
+/// Portable fallback, compiled with the project's base ISA flags.
+[[nodiscard]] const EltwiseKernels& scalar_eltwise();
+
+#if defined(DPIPE_HAVE_AVX2_TU)
+/// AVX2 eltwise kernels; present only when CMake compiled the native TU.
+/// Call only when cpu_supports_avx2().
+[[nodiscard]] const EltwiseKernels& avx2_eltwise();
+#endif
+
+/// The table for the current simd_level() (same dispatch rule as the
+/// matmul microkernels).
+[[nodiscard]] const EltwiseKernels& active_eltwise();
+
+// --- Matmul epilogue -----------------------------------------------------
+
+/// Epilogue applied in-tile by the packed matmul driver right after a tile's
+/// final k-chunk, while the output block is cache-hot (kernels_impl.h hands
+/// this region contract to the per-ISA implementations):
+///   if bias:  out[i*ldout + j] += bias[j]          (one add per element)
+///   if act:   act[i*ldact + j] = dpipe_silu(out[i*ldout + j])
+/// for i in [i0, i1), j in [j0, j0 + valid_cols). `act` may alias `out`
+/// (in-place activation); `bias` must alias neither. Applying this per tile
+/// is bit-identical to the unfused bias_add + silu sweeps because a float
+/// round-trips memory exactly and the per-element op sequence is the same.
+struct EpilogueArgs {
+  const float* bias = nullptr;  ///< [n] or null.
+  float* act = nullptr;         ///< [rows, ldact] silu destination or null.
+  std::int64_t ldact = 0;
+};
+
+}  // namespace dpipe::rt::detail

@@ -1,8 +1,11 @@
 #include "runtime/interpreter.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
 #include <map>
+#include <string>
 #include <thread>
 #include <utility>
 
@@ -50,6 +53,38 @@ class ReduceBarrier {
     return !aborted_;
   }
 
+  enum class TryArrive { kReduced, kPending, kAborted };
+
+  /// Non-blocking variant for the cooperative scheduler. `arrived` is the
+  /// calling task's own registration flag: the first call registers the
+  /// arrival, later calls only poll. kReduced means the reduction has run
+  /// and the task may proceed; kPending means peers are still missing. The
+  /// last arriver runs the reduction inline with the same abort-on-throw
+  /// semantics as arrive_and_wait().
+  template <typename Fn>
+  [[nodiscard]] TryArrive try_arrive(bool& arrived, Fn&& reduce) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (aborted_) {
+      return TryArrive::kAborted;
+    }
+    if (!arrived) {
+      arrived = true;
+      if (++arrived_ == parties_) {
+        try {
+          reduce();
+        } catch (...) {
+          aborted_ = true;
+          cv_.notify_all();
+          throw;
+        }
+        done_ = true;
+        cv_.notify_all();
+        return TryArrive::kReduced;
+      }
+    }
+    return done_ ? TryArrive::kReduced : TryArrive::kPending;
+  }
+
   void abort() {
     {
       const std::lock_guard<std::mutex> lock(mutex_);
@@ -95,7 +130,365 @@ struct DeviceStage {
   return out;
 }
 
+/// DPIPE_WAVE_EXEC resolution for WaveExec::kAuto: explicit env override,
+/// else serial exactly when the host has nothing to run threads on.
+[[nodiscard]] WaveExec resolve_wave_exec_auto() {
+  if (const char* env = std::getenv("DPIPE_WAVE_EXEC")) {
+    const std::string value(env);
+    if (value == "threads") {
+      return WaveExec::kThreads;
+    }
+    if (value == "serial") {
+      return WaveExec::kSerial;
+    }
+    // "auto" (or anything unrecognized) falls through to detection.
+  }
+  return std::thread::hardware_concurrency() <= 1 ? WaveExec::kSerial
+                                                  : WaveExec::kThreads;
+}
+
+std::atomic<WaveExec> g_wave_exec{WaveExec::kAuto};
+
+/// Everything one train_wave's per-(replica, stage) tasks share. Owned by
+/// train_wave's frame; tasks hold a reference.
+struct TrainWave {
+  const ProgramBinding& b;
+  const DdpmProblem& problem;
+  const std::vector<ProgramInterpreter::ReplicaState>& replicas;
+  const std::vector<ProgramInterpreter::WaveInputs>& inputs;
+  int global_batch;
+  int iteration;
+  const RtFaultInjection& fault;
+  ExecutionLog* log;
+  int S;
+  int M;
+  int G;
+  int per_micro;
+  std::vector<std::vector<std::vector<Tensor*>>>& stage_params;
+  std::vector<std::vector<std::vector<Tensor*>>>& stage_grads;
+  std::vector<Channel<Tensor>>& act;
+  std::vector<Channel<Tensor>>& grad;
+  std::vector<Channel<int>>& cond_gate;
+  std::vector<std::unique_ptr<ReduceBarrier>>& barriers;
+  std::vector<std::vector<Tensor>>& preds;
+};
+
+/// Resumable execution state of one (replica g, stage s) training task —
+/// the historical per-thread lambda body with its locals lifted into
+/// members and an instruction cursor. The threaded scheduler calls
+/// run(true) once: identical behavior to the old thread body. The
+/// cooperative scheduler calls run(false) repeatedly: the task executes
+/// until its next channel pop or barrier would block, returns kBlocked
+/// with all state intact, and resumes exactly where it stopped. Suspension
+/// points carry no partial arithmetic, so the two schedules produce
+/// bit-identical tensors.
+class StageExec {
+ public:
+  enum class Status { kBlocked, kDone };
+
+  StageExec(TrainWave& w, int g, int s)
+      : w_(w),
+        g_(g),
+        s_(s),
+        dev_(w.b.device_of_stage(s)),
+        stream_(w.b.program().per_device[dev_]),
+        in_(w.inputs[g]),
+        replica_(w.replicas[g]),
+        mb_(w.b.module_begin(s)),
+        me_(w.b.module_end(s)),
+        loaded_(w.M),       // Stage-0 assembled inputs.
+        inbox_act_(w.M),    // Received activations.
+        inbox_grad_(w.M),   // Received gradients.
+        local_grads_(w.M)   // Last stage's loss grads.
+  {}
+
+  /// Executes instructions from the cursor. With may_block the call waits
+  /// inside channel/barrier ops and never returns kBlocked. Throws on
+  /// stage failure; an aborted wave ends the task silently (kDone), same
+  /// as the historical early `return`.
+  Status run(bool may_block);
+
+  /// Whether the latest run(false) call executed at least one instruction
+  /// (the cooperative scheduler's livelock guard).
+  [[nodiscard]] bool made_progress() const { return progressed_; }
+
+ private:
+  /// Marks the task finished (aborted wave): the scheduler must not resume
+  /// it again.
+  Status finish() {
+    ip_ = stream_.size();
+    progressed_ = true;
+    return Status::kDone;
+  }
+
+  enum class PopOutcome { kOk, kWouldBlock, kAborted };
+
+  template <typename T>
+  [[nodiscard]] PopOutcome pop_from(Channel<T>& ch, bool may_block, T& out) {
+    if (may_block) {
+      std::optional<T> value = ch.pop();
+      if (!value.has_value()) {
+        return PopOutcome::kAborted;
+      }
+      out = std::move(*value);
+      return PopOutcome::kOk;
+    }
+    switch (ch.try_pop(out)) {
+      case TryPop::kValue:
+        return PopOutcome::kOk;
+      case TryPop::kEmpty:
+        return PopOutcome::kWouldBlock;
+      case TryPop::kClosed:
+        return PopOutcome::kAborted;
+    }
+    return PopOutcome::kAborted;  // Unreachable.
+  }
+
+  TrainWave& w_;
+  int g_;
+  int s_;
+  int dev_;
+  const std::vector<Instruction>& stream_;
+  const ProgramInterpreter::WaveInputs& in_;
+  const ProgramInterpreter::ReplicaState& replica_;
+  int mb_;
+  int me_;
+  std::vector<Tensor> loaded_;
+  std::vector<Tensor> inbox_act_;
+  std::vector<Tensor> inbox_grad_;
+  std::vector<Tensor> local_grads_;
+  bool gate_passed_ = false;
+  int frozen_seen_ = 0;
+  std::size_t ip_ = 0;      ///< Next instruction to execute.
+  std::size_t logged_ = 0;  ///< Instructions already logged (once each).
+  bool barrier_arrived_ = false;
+  bool progressed_ = false;
+};
+
+StageExec::Status StageExec::run(bool may_block) {
+  progressed_ = false;
+  TensorPool& pool = TensorPool::global();
+  while (ip_ < stream_.size()) {
+    const Instruction& instr = stream_[ip_];
+    if (logged_ <= ip_) {
+      // Log on first arrival (a blocked instruction is revisited but must
+      // be recorded once, in the order the device reached it).
+      logged_ = ip_ + 1;
+      if (w_.log != nullptr && g_ == 0 && occupies_device(instr.kind)) {
+        (*w_.log)[dev_].push_back(op_signature(instr));
+      }
+    }
+    switch (instr.kind) {
+      case InstrKind::kLoadMicroBatch: {
+        if (!gate_passed_) {
+          int token = 0;
+          switch (pop_from(w_.cond_gate[g_], may_block, token)) {
+            case PopOutcome::kOk:
+              break;
+            case PopOutcome::kWouldBlock:
+              return Status::kBlocked;
+            case PopOutcome::kAborted:
+              return finish();  // Wave aborted before the inputs arrived.
+          }
+          gate_passed_ = true;
+        }
+        const int m = instr.micro;
+        const int lo = m * w_.per_micro;
+        const int hi = lo + w_.per_micro;
+        const Tensor cond_rows =
+            in_.cond->slice_rows(in_.row_offset + lo, in_.row_offset + hi);
+        const Tensor sc_rows = in_.self_cond != nullptr
+                                   ? in_.self_cond->slice_rows(lo, hi)
+                                   : Tensor();
+        loaded_[m] = w_.problem.make_input(
+            in_.micros[m], cond_rows,
+            in_.self_cond != nullptr ? &sc_rows : nullptr);
+        break;
+      }
+      case InstrKind::kRecvActivation: {
+        Tensor recv;
+        switch (pop_from(w_.act[g_ * w_.S + (s_ - 1)], may_block, recv)) {
+          case PopOutcome::kOk:
+            inbox_act_[instr.micro] = std::move(recv);
+            break;
+          case PopOutcome::kWouldBlock:
+            return Status::kBlocked;
+          case PopOutcome::kAborted:
+            return finish();  // Peer aborted the wave.
+        }
+        break;
+      }
+      case InstrKind::kRecvGradient: {
+        Tensor recv;
+        switch (pop_from(w_.grad[g_ * w_.S + s_], may_block, recv)) {
+          case PopOutcome::kOk:
+            inbox_grad_[instr.micro] = std::move(recv);
+            break;
+          case PopOutcome::kWouldBlock:
+            return Status::kBlocked;
+          case PopOutcome::kAborted:
+            return finish();  // Peer aborted the wave.
+        }
+        break;
+      }
+      case InstrKind::kForward: {
+        const int m = instr.micro;
+        if (w_.fault.armed() && w_.iteration == w_.fault.iteration &&
+            g_ == w_.fault.replica && s_ == w_.fault.stage &&
+            m == w_.fault.micro) {
+          throw StageFailure("injected stage failure: iteration " +
+                             std::to_string(w_.iteration) + ", stage " +
+                             std::to_string(s_) + ", micro " +
+                             std::to_string(m));
+        }
+        Tensor x =
+            s_ == 0 ? std::move(loaded_[m]) : std::move(inbox_act_[m]);
+        Tensor y = replica_.net->forward_range(std::move(x), mb_, me_);
+        if (s_ == w_.S - 1) {
+          local_grads_[m] =
+              w_.problem.loss_grad(y, in_.micros[m].noise, w_.global_batch);
+          w_.preds[g_][m] = std::move(y);
+        } else {
+          inbox_act_[m] = std::move(y);  // Outbox until the send.
+        }
+        break;
+      }
+      case InstrKind::kSendActivation: {
+        if (!w_.act[g_ * w_.S + s_].push(
+                std::move(inbox_act_[instr.micro]))) {
+          return finish();  // Consumer gone: the wave is being aborted.
+        }
+        break;
+      }
+      case InstrKind::kBackward: {
+        const int m = instr.micro;
+        Tensor gin = s_ == w_.S - 1 ? std::move(local_grads_[m])
+                                    : std::move(inbox_grad_[m]);
+        Tensor gout = replica_.net->backward_range(std::move(gin), mb_, me_);
+        if (s_ == 0) {
+          pool.release(std::move(gout));
+        } else {
+          inbox_grad_[m] = std::move(gout);  // Outbox until the send.
+        }
+        break;
+      }
+      case InstrKind::kSendGradient: {
+        if (!w_.grad[g_ * w_.S + (s_ - 1)].push(
+                std::move(inbox_grad_[instr.micro]))) {
+          return finish();  // Consumer gone: the wave is being aborted.
+        }
+        break;
+      }
+      case InstrKind::kFrozenForward: {
+        // One bound slot per covered layer (see ProgramBinding).
+        for (int layer = instr.layer_begin; layer < instr.layer_end;
+             ++layer) {
+          const ProgramBinding::FrozenSlot& slot =
+              w_.b.steady_frozen()[dev_][frozen_seen_++];
+          if (!slot.produces_cond || in_.next_cond_raw == nullptr ||
+              in_.next_cond == nullptr || slot.rows.rows() == 0) {
+            continue;  // Modeled compute only.
+          }
+          const Tensor raw = in_.next_cond_raw->slice_rows(
+              in_.row_offset + slot.rows.begin,
+              in_.row_offset + slot.rows.end);
+          Tensor enc = w_.problem.encode_condition(raw);
+          const int cols = enc.cols();
+          std::copy(enc.data(), enc.data() + enc.numel(),
+                    in_.next_cond->data() +
+                        static_cast<std::int64_t>(in_.row_offset +
+                                                  slot.rows.begin) *
+                            cols);
+          pool.release(std::move(enc));
+        }
+        break;
+      }
+      case InstrKind::kAllReduceGrads: {
+        const auto reduce = [&] {
+          // Sum replica gradients (ascending replica order) and broadcast
+          // the result — micro gradients are already global-batch
+          // normalized, so the sum IS the full-batch gradient.
+          for (std::size_t i = 0; i < w_.stage_grads[0][s_].size(); ++i) {
+            Tensor avg = pool.acquire(w_.stage_grads[0][s_][i]->shape());
+            std::copy(w_.stage_grads[0][s_][i]->data(),
+                      w_.stage_grads[0][s_][i]->data() + avg.numel(),
+                      avg.data());
+            for (int r = 1; r < w_.G; ++r) {
+              add_inplace(avg, *w_.stage_grads[r][s_][i]);
+            }
+            for (int r = 0; r < w_.G; ++r) {
+              std::copy(avg.data(), avg.data() + avg.numel(),
+                        w_.stage_grads[r][s_][i]->data());
+            }
+            pool.release(std::move(avg));
+          }
+        };
+        if (may_block) {
+          if (!w_.barriers[s_]->arrive_and_wait(reduce)) {
+            return finish();  // Wave aborted while waiting for peers.
+          }
+        } else {
+          // Registering this task's arrival can complete the barrier for a
+          // peer — that counts as progress for the livelock guard.
+          if (!barrier_arrived_) {
+            progressed_ = true;
+          }
+          switch (w_.barriers[s_]->try_arrive(barrier_arrived_, reduce)) {
+            case ReduceBarrier::TryArrive::kReduced:
+              break;
+            case ReduceBarrier::TryArrive::kPending:
+              return Status::kBlocked;
+            case ReduceBarrier::TryArrive::kAborted:
+              return finish();  // Wave aborted while waiting for peers.
+          }
+        }
+        break;
+      }
+      case InstrKind::kOptimizerStep: {
+        if (!replica_.stage_adam.empty()) {
+          replica_.stage_adam[s_]->step(w_.stage_params[g_][s_],
+                                        w_.stage_grads[g_][s_]);
+        } else {
+          replica_.sgd->step(w_.stage_params[g_][s_], w_.stage_grads[g_][s_]);
+        }
+        for (Tensor* gt : w_.stage_grads[g_][s_]) {
+          fill(*gt, 0.0f);
+        }
+        break;
+      }
+    }
+    ++ip_;
+    progressed_ = true;
+  }
+  return Status::kDone;
+}
+
 }  // namespace
+
+const char* wave_exec_name(WaveExec mode) {
+  switch (mode) {
+    case WaveExec::kAuto:
+      return "auto";
+    case WaveExec::kThreads:
+      return "threads";
+    case WaveExec::kSerial:
+      return "serial";
+  }
+  return "?";
+}
+
+WaveExec wave_exec() {
+  const WaveExec mode = g_wave_exec.load(std::memory_order_relaxed);
+  if (mode != WaveExec::kAuto) {
+    return mode;
+  }
+  static const WaveExec resolved = resolve_wave_exec_auto();
+  return resolved;
+}
+
+void set_wave_exec(WaveExec mode) {
+  g_wave_exec.store(mode, std::memory_order_relaxed);
+}
 
 ProgramBinding::ProgramBinding(const InstructionProgram& program,
                                const Options& opts)
@@ -326,193 +719,72 @@ double ProgramInterpreter::train_wave(
     preds[g].resize(M);
   }
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(G) * S);
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(G) * S);
 
-  for (int g = 0; g < G; ++g) {
-    for (int s = 0; s < S; ++s) {
-      threads.emplace_back([&, g, s] {
+  TrainWave wave{b,         *problem_,  replicas,  inputs,   global_batch_,
+                 iteration, fault,      log,       S,        M,
+                 G,         per_micro,  stage_params, stage_grads,
+                 act,       grad,       cond_gate, barriers, preds};
+
+  if (wave_exec() == WaveExec::kSerial) {
+    // Cooperative round-robin on this thread: every task runs until its
+    // next pop/barrier would block, then yields. Bit-identical to the
+    // threaded schedule (see WaveExec) without G*S spawns per wave.
+    std::vector<std::unique_ptr<StageExec>> tasks;
+    tasks.reserve(static_cast<std::size_t>(G) * S);
+    for (int g = 0; g < G; ++g) {
+      for (int s = 0; s < S; ++s) {
+        tasks.push_back(std::make_unique<StageExec>(wave, g, s));
+      }
+    }
+    std::vector<char> done(tasks.size(), 0);
+    std::size_t remaining = tasks.size();
+    while (remaining > 0) {
+      bool progressed = false;
+      for (std::size_t t = 0; t < tasks.size(); ++t) {
+        if (done[t] != 0) {
+          continue;
+        }
         try {
-          const int dev = b.device_of_stage(s);
-          const std::vector<Instruction>& stream =
-              b.program().per_device[dev];
-          const WaveInputs& in = inputs[g];
-          const ReplicaState& replica = replicas[g];
-          const int mb = b.module_begin(s);
-          const int me = b.module_end(s);
-          TensorPool& pool = TensorPool::global();
-          std::vector<Tensor> loaded(M);      // Stage-0 assembled inputs.
-          std::vector<Tensor> inbox_act(M);   // Received activations.
-          std::vector<Tensor> inbox_grad(M);  // Received gradients.
-          std::vector<Tensor> local_grads(M); // Last stage's loss grads.
-          bool gate_passed = false;
-          int frozen_seen = 0;
-          for (const Instruction& instr : stream) {
-            if (log != nullptr && g == 0 && occupies_device(instr.kind)) {
-              (*log)[dev].push_back(op_signature(instr));
-            }
-            switch (instr.kind) {
-              case InstrKind::kLoadMicroBatch: {
-                if (!gate_passed) {
-                  if (!cond_gate[g].pop().has_value()) {
-                    return;  // Wave aborted before the inputs arrived.
-                  }
-                  gate_passed = true;
-                }
-                const int m = instr.micro;
-                const int lo = m * per_micro;
-                const int hi = lo + per_micro;
-                const Tensor cond_rows =
-                    in.cond->slice_rows(in.row_offset + lo,
-                                        in.row_offset + hi);
-                const Tensor sc_rows =
-                    in.self_cond != nullptr
-                        ? in.self_cond->slice_rows(lo, hi)
-                        : Tensor();
-                loaded[m] = problem_->make_input(
-                    in.micros[m], cond_rows,
-                    in.self_cond != nullptr ? &sc_rows : nullptr);
-                break;
-              }
-              case InstrKind::kRecvActivation: {
-                std::optional<Tensor> recv = act[g * S + (s - 1)].pop();
-                if (!recv.has_value()) {
-                  return;  // Peer aborted the wave.
-                }
-                inbox_act[instr.micro] = std::move(*recv);
-                break;
-              }
-              case InstrKind::kRecvGradient: {
-                std::optional<Tensor> recv = grad[g * S + s].pop();
-                if (!recv.has_value()) {
-                  return;  // Peer aborted the wave.
-                }
-                inbox_grad[instr.micro] = std::move(*recv);
-                break;
-              }
-              case InstrKind::kForward: {
-                const int m = instr.micro;
-                if (fault.armed() && iteration == fault.iteration &&
-                    g == fault.replica && s == fault.stage &&
-                    m == fault.micro) {
-                  throw StageFailure(
-                      "injected stage failure: iteration " +
-                      std::to_string(iteration) + ", stage " +
-                      std::to_string(s) + ", micro " + std::to_string(m));
-                }
-                Tensor x = s == 0 ? std::move(loaded[m])
-                                  : std::move(inbox_act[m]);
-                Tensor y = replica.net->forward_range(std::move(x), mb, me);
-                if (s == S - 1) {
-                  local_grads[m] = problem_->loss_grad(
-                      y, in.micros[m].noise, global_batch_);
-                  preds[g][m] = std::move(y);
-                } else {
-                  inbox_act[m] = std::move(y);  // Outbox until the send.
-                }
-                break;
-              }
-              case InstrKind::kSendActivation: {
-                if (!act[g * S + s].push(std::move(inbox_act[instr.micro]))) {
-                  return;  // Consumer gone: the wave is being aborted.
-                }
-                break;
-              }
-              case InstrKind::kBackward: {
-                const int m = instr.micro;
-                Tensor gin = s == S - 1 ? std::move(local_grads[m])
-                                        : std::move(inbox_grad[m]);
-                Tensor gout =
-                    replica.net->backward_range(std::move(gin), mb, me);
-                if (s == 0) {
-                  pool.release(std::move(gout));
-                } else {
-                  inbox_grad[m] = std::move(gout);  // Outbox until the send.
-                }
-                break;
-              }
-              case InstrKind::kSendGradient: {
-                if (!grad[g * S + (s - 1)].push(
-                        std::move(inbox_grad[instr.micro]))) {
-                  return;  // Consumer gone: the wave is being aborted.
-                }
-                break;
-              }
-              case InstrKind::kFrozenForward: {
-                // One bound slot per covered layer (see ProgramBinding).
-                for (int layer = instr.layer_begin; layer < instr.layer_end;
-                     ++layer) {
-                  const ProgramBinding::FrozenSlot& slot =
-                      b.steady_frozen()[dev][frozen_seen++];
-                  if (!slot.produces_cond || in.next_cond_raw == nullptr ||
-                      in.next_cond == nullptr || slot.rows.rows() == 0) {
-                    continue;  // Modeled compute only.
-                  }
-                  const Tensor raw = in.next_cond_raw->slice_rows(
-                      in.row_offset + slot.rows.begin,
-                      in.row_offset + slot.rows.end);
-                  Tensor enc = problem_->encode_condition(raw);
-                  const int cols = enc.cols();
-                  std::copy(enc.data(), enc.data() + enc.numel(),
-                            in.next_cond->data() +
-                                static_cast<std::int64_t>(in.row_offset +
-                                                          slot.rows.begin) *
-                                    cols);
-                  pool.release(std::move(enc));
-                }
-                break;
-              }
-              case InstrKind::kAllReduceGrads: {
-                const bool reduced = barriers[s]->arrive_and_wait([&] {
-                  // Sum replica gradients (ascending replica order) and
-                  // broadcast the result — micro gradients are already
-                  // global-batch normalized, so the sum IS the full-batch
-                  // gradient.
-                  for (std::size_t i = 0; i < stage_grads[0][s].size();
-                       ++i) {
-                    Tensor avg = pool.acquire(stage_grads[0][s][i]->shape());
-                    std::copy(stage_grads[0][s][i]->data(),
-                              stage_grads[0][s][i]->data() + avg.numel(),
-                              avg.data());
-                    for (int r = 1; r < G; ++r) {
-                      add_inplace(avg, *stage_grads[r][s][i]);
-                    }
-                    for (int r = 0; r < G; ++r) {
-                      std::copy(avg.data(), avg.data() + avg.numel(),
-                                stage_grads[r][s][i]->data());
-                    }
-                    pool.release(std::move(avg));
-                  }
-                });
-                if (!reduced) {
-                  return;  // Wave aborted while waiting for peers.
-                }
-                break;
-              }
-              case InstrKind::kOptimizerStep: {
-                if (!replica.stage_adam.empty()) {
-                  replica.stage_adam[s]->step(stage_params[g][s],
-                                              stage_grads[g][s]);
-                } else {
-                  replica.sgd->step(stage_params[g][s], stage_grads[g][s]);
-                }
-                for (Tensor* gt : stage_grads[g][s]) {
-                  fill(*gt, 0.0f);
-                }
-                break;
-              }
-            }
+          if (tasks[t]->run(false) == StageExec::Status::kDone) {
+            done[t] = 1;
+            --remaining;
+            progressed = true;
+          } else if (tasks[t]->made_progress()) {
+            progressed = true;
           }
         } catch (...) {
-          errors[static_cast<std::size_t>(g) * S + s] =
-              std::current_exception();
+          errors[t] = std::current_exception();
           abort_all();
+          done[t] = 1;
+          --remaining;
+          progressed = true;
         }
-      });
+      }
+      // A full sweep with zero progress means no runnable task exists: the
+      // program would deadlock under any scheduler. Validated programs
+      // never get here.
+      DPIPE_ENSURE(progressed,
+                   "cooperative wave deadlocked: no task can progress");
     }
-  }
-  for (std::thread& t : threads) {
-    t.join();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(G) * S);
+    for (int g = 0; g < G; ++g) {
+      for (int s = 0; s < S; ++s) {
+        threads.emplace_back([&wave, &errors, &abort_all, g, s, S] {
+          try {
+            StageExec(wave, g, s).run(true);
+          } catch (...) {
+            errors[static_cast<std::size_t>(g) * S + s] =
+                std::current_exception();
+            abort_all();
+          }
+        });
+      }
+    }
+    for (std::thread& t : threads) {
+      t.join();
+    }
   }
   for (int s = 0; s < S; ++s) {
     for (int g = 0; g < G; ++g) {
@@ -545,6 +817,130 @@ double ProgramInterpreter::train_wave(
   return sse;  // Caller normalizes over the global batch.
 }
 
+namespace {
+
+/// Resumable per-stage state of one forward_wave (the no-grad
+/// self-conditioning pass) — same scheduling contract as StageExec.
+class ForwardExec {
+ public:
+  enum class Status { kBlocked, kDone };
+
+  ForwardExec(const ProgramBinding& b, const DdpmProblem& problem,
+              const ProgramInterpreter::ReplicaState& replica,
+              const ProgramInterpreter::WaveInputs& inputs, int s, int S,
+              int M, int per_micro, std::vector<Channel<Tensor>>& act,
+              std::vector<Tensor>& outputs)
+      : problem_(problem),
+        replica_(replica),
+        in_(inputs),
+        s_(s),
+        S_(S),
+        M_(M),
+        per_micro_(per_micro),
+        act_(act),
+        outputs_(outputs),
+        stream_(b.program().per_device[b.device_of_stage(s)]),
+        mb_(b.module_begin(s)),
+        me_(b.module_end(s)),
+        loaded_(M),
+        inbox_(M) {}
+
+  Status run(bool may_block) {
+    progressed_ = false;
+    while (ip_ < stream_.size()) {
+      const Instruction& instr = stream_[ip_];
+      switch (instr.kind) {
+        case InstrKind::kLoadMicroBatch: {
+          const int m = instr.micro;
+          const int lo = m * per_micro_;
+          const Tensor cond_rows = in_.cond->slice_rows(
+              in_.row_offset + lo, in_.row_offset + lo + per_micro_);
+          loaded_[m] = problem_.make_input(in_.micros[m], cond_rows, nullptr);
+          break;
+        }
+        case InstrKind::kRecvActivation: {
+          if (may_block) {
+            std::optional<Tensor> recv = act_[s_ - 1].pop();
+            if (!recv.has_value()) {
+              return finish();
+            }
+            inbox_[instr.micro] = std::move(*recv);
+          } else {
+            Tensor recv;
+            switch (act_[s_ - 1].try_pop(recv)) {
+              case TryPop::kValue:
+                inbox_[instr.micro] = std::move(recv);
+                break;
+              case TryPop::kEmpty:
+                return Status::kBlocked;
+              case TryPop::kClosed:
+                return finish();
+            }
+          }
+          break;
+        }
+        case InstrKind::kForward: {
+          const int m = instr.micro;
+          Tensor x = s_ == 0 ? std::move(loaded_[m]) : std::move(inbox_[m]);
+          Tensor y = replica_.net->forward_range(std::move(x), mb_, me_);
+          if (s_ == S_ - 1) {
+            outputs_[m] = std::move(y);
+          } else {
+            inbox_[m] = std::move(y);
+          }
+          break;
+        }
+        case InstrKind::kSendActivation: {
+          if (!act_[s_].push(std::move(inbox_[instr.micro]))) {
+            return finish();
+          }
+          break;
+        }
+        default:
+          break;  // No-grad pass: backward/opt/frozen ops are inert.
+      }
+      ++ip_;
+      progressed_ = true;
+    }
+    // Discard the stashed contexts of this no-grad pass. Reached only on
+    // natural completion (an aborted task skips it, like the historical
+    // early thread exit).
+    for (int m = 0; m < M_; ++m) {
+      replica_.net->drop_context_range(mb_, me_);
+    }
+    progressed_ = true;
+    return Status::kDone;
+  }
+
+  [[nodiscard]] bool made_progress() const { return progressed_; }
+
+ private:
+  Status finish() {
+    ip_ = stream_.size() + 1;  // Past-the-end: skip the context drop too.
+    progressed_ = true;
+    return Status::kDone;
+  }
+
+  const DdpmProblem& problem_;
+  const ProgramInterpreter::ReplicaState& replica_;
+  const ProgramInterpreter::WaveInputs& in_;
+  int s_;
+  int S_;
+  int M_;
+  int per_micro_;
+  std::vector<Channel<Tensor>>& act_;
+  std::vector<Tensor>& outputs_;
+  const std::vector<Instruction>& stream_;
+  int mb_;
+  int me_;
+  std::vector<Tensor> loaded_;
+  std::vector<Tensor> inbox_;
+  std::size_t ip_ = 0;
+  bool progressed_ = false;
+};
+
+}  // namespace
+
 std::vector<Tensor> ProgramInterpreter::forward_wave(
     const ReplicaState& replica, const WaveInputs& inputs) const {
   const ProgramBinding& b = *binding_;
@@ -562,70 +958,59 @@ std::vector<Tensor> ProgramInterpreter::forward_wave(
       ch.close();
     }
   };
-  std::vector<std::thread> threads;
-  threads.reserve(S);
-  for (int s = 0; s < S; ++s) {
-    threads.emplace_back([&, s] {
-      try {
-        const std::vector<Instruction>& stream =
-            b.program().per_device[b.device_of_stage(s)];
-        const int mb = b.module_begin(s);
-        const int me = b.module_end(s);
-        std::vector<Tensor> loaded(M);
-        std::vector<Tensor> inbox(M);
-        for (const Instruction& instr : stream) {
-          switch (instr.kind) {
-            case InstrKind::kLoadMicroBatch: {
-              const int m = instr.micro;
-              const int lo = m * per_micro;
-              const Tensor cond_rows = inputs.cond->slice_rows(
-                  inputs.row_offset + lo, inputs.row_offset + lo + per_micro);
-              loaded[m] =
-                  problem_->make_input(inputs.micros[m], cond_rows, nullptr);
-              break;
-            }
-            case InstrKind::kRecvActivation: {
-              std::optional<Tensor> recv = act[s - 1].pop();
-              if (!recv.has_value()) {
-                return;
-              }
-              inbox[instr.micro] = std::move(*recv);
-              break;
-            }
-            case InstrKind::kForward: {
-              const int m = instr.micro;
-              Tensor x =
-                  s == 0 ? std::move(loaded[m]) : std::move(inbox[m]);
-              Tensor y = replica.net->forward_range(std::move(x), mb, me);
-              if (s == S - 1) {
-                outputs[m] = std::move(y);
-              } else {
-                inbox[m] = std::move(y);
-              }
-              break;
-            }
-            case InstrKind::kSendActivation: {
-              if (!act[s].push(std::move(inbox[instr.micro]))) {
-                return;
-              }
-              break;
-            }
-            default:
-              break;  // No-grad pass: backward/opt/frozen ops are inert.
+
+  if (wave_exec() == WaveExec::kSerial) {
+    std::vector<std::unique_ptr<ForwardExec>> tasks;
+    tasks.reserve(S);
+    for (int s = 0; s < S; ++s) {
+      tasks.push_back(std::make_unique<ForwardExec>(
+          b, *problem_, replica, inputs, s, S, M, per_micro, act, outputs));
+    }
+    std::vector<char> done(tasks.size(), 0);
+    std::size_t remaining = tasks.size();
+    while (remaining > 0) {
+      bool progressed = false;
+      for (std::size_t t = 0; t < tasks.size(); ++t) {
+        if (done[t] != 0) {
+          continue;
+        }
+        try {
+          if (tasks[t]->run(false) == ForwardExec::Status::kDone) {
+            done[t] = 1;
+            --remaining;
+            progressed = true;
+          } else if (tasks[t]->made_progress()) {
+            progressed = true;
           }
+        } catch (...) {
+          errors[t] = std::current_exception();
+          abort_all();
+          done[t] = 1;
+          --remaining;
+          progressed = true;
         }
-        // Discard the stashed contexts of this no-grad pass.
-        for (int m = 0; m < M; ++m) {
-          replica.net->drop_context_range(mb, me);
-        }
-      } catch (...) {
-        errors[s] = std::current_exception();
-        abort_all();
       }
-    });
-  }
-  for (std::thread& t : threads) {
-    t.join();
+      DPIPE_ENSURE(progressed,
+                   "cooperative wave deadlocked: no task can progress");
+    }
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(S);
+    for (int s = 0; s < S; ++s) {
+      threads.emplace_back([&, s] {
+        try {
+          ForwardExec(b, *problem_, replica, inputs, s, S, M, per_micro, act,
+                      outputs)
+              .run(true);
+        } catch (...) {
+          errors[s] = std::current_exception();
+          abort_all();
+        }
+      });
+    }
+    for (std::thread& t : threads) {
+      t.join();
+    }
   }
   for (const std::exception_ptr& error : errors) {
     if (error != nullptr) {
@@ -645,48 +1030,65 @@ void ProgramInterpreter::run_preamble(const Tensor& cond_raw, Tensor& cond,
   }
   std::vector<std::exception_ptr> errors(
       static_cast<std::size_t>(replicas) * devices);
-  std::vector<std::thread> threads;
-  threads.reserve(errors.size());
-  for (int g = 0; g < replicas; ++g) {
-    for (int dev = 0; dev < devices; ++dev) {
-      threads.emplace_back([&, g, dev] {
+  // Preamble tasks are fully independent (disjoint row slices, no
+  // channels), so the serial scheduler just runs them inline in task
+  // order — same results, no spawns.
+  const auto run_device = [&](int g, int dev) {
+    const int row_offset = g * b.rows_per_replica();
+    int frozen_seen = 0;
+    TensorPool& pool = TensorPool::global();
+    for (const Instruction& instr : b.program().preamble[dev]) {
+      if (log != nullptr && g == 0) {
+        (*log)[dev].push_back(op_signature(instr));
+      }
+      // One bound slot per covered layer (see ProgramBinding).
+      for (int layer = instr.layer_begin; layer < instr.layer_end; ++layer) {
+        const ProgramBinding::FrozenSlot& slot =
+            b.preamble_frozen()[dev][frozen_seen++];
+        if (!slot.produces_cond || slot.rows.rows() == 0) {
+          continue;  // Modeled compute only.
+        }
+        const Tensor raw = cond_raw.slice_rows(row_offset + slot.rows.begin,
+                                               row_offset + slot.rows.end);
+        Tensor enc = problem_->encode_condition(raw);
+        const int cols = enc.cols();
+        std::copy(enc.data(), enc.data() + enc.numel(),
+                  cond.data() + static_cast<std::int64_t>(
+                                    row_offset + slot.rows.begin) *
+                                    cols);
+        pool.release(std::move(enc));
+      }
+    }
+  };
+  if (wave_exec() == WaveExec::kSerial) {
+    for (int g = 0; g < replicas; ++g) {
+      for (int dev = 0; dev < devices; ++dev) {
         try {
-          const int row_offset = g * b.rows_per_replica();
-          int frozen_seen = 0;
-          TensorPool& pool = TensorPool::global();
-          for (const Instruction& instr : b.program().preamble[dev]) {
-            if (log != nullptr && g == 0) {
-              (*log)[dev].push_back(op_signature(instr));
-            }
-            // One bound slot per covered layer (see ProgramBinding).
-            for (int layer = instr.layer_begin; layer < instr.layer_end;
-                 ++layer) {
-              const ProgramBinding::FrozenSlot& slot =
-                  b.preamble_frozen()[dev][frozen_seen++];
-              if (!slot.produces_cond || slot.rows.rows() == 0) {
-                continue;  // Modeled compute only.
-              }
-              const Tensor raw = cond_raw.slice_rows(
-                  row_offset + slot.rows.begin, row_offset + slot.rows.end);
-              Tensor enc = problem_->encode_condition(raw);
-              const int cols = enc.cols();
-              std::copy(enc.data(), enc.data() + enc.numel(),
-                        cond.data() +
-                            static_cast<std::int64_t>(row_offset +
-                                                      slot.rows.begin) *
-                                cols);
-              pool.release(std::move(enc));
-            }
-          }
+          run_device(g, dev);
         } catch (...) {
           errors[static_cast<std::size_t>(g) * devices + dev] =
               std::current_exception();
         }
-      });
+      }
     }
-  }
-  for (std::thread& t : threads) {
-    t.join();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(errors.size());
+    for (int g = 0; g < replicas; ++g) {
+      for (int dev = 0; dev < devices; ++dev) {
+        threads.emplace_back([&, g, dev] {
+          try {
+            run_device(g, dev);
+          } catch (...) {
+            errors[static_cast<std::size_t>(g) * devices + dev] =
+                std::current_exception();
+          }
+        });
+      }
+    }
+    for (std::thread& t : threads) {
+      t.join();
+    }
   }
   for (const std::exception_ptr& error : errors) {
     if (error != nullptr) {

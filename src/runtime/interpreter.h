@@ -11,6 +11,25 @@
 
 namespace dpipe::rt {
 
+/// How ProgramInterpreter schedules the per-(replica, stage) tasks of a
+/// wave. kThreads spawns one thread per task — the faithful analogue of one
+/// worker process per device. kSerial runs the same tasks as a cooperative
+/// round-robin on the calling thread: a task runs until its next channel
+/// pop or allreduce barrier would block, then yields. Because every value
+/// is a pure function of the inputs (see ProgramInterpreter), the two
+/// schedules are bit-identical; kSerial simply deletes the per-wave thread
+/// spawn/join and context-switch cost, which dominates on single-CPU hosts.
+/// kAuto resolves from the DPIPE_WAVE_EXEC env var ("threads" | "serial" |
+/// "auto"), defaulting to kSerial iff hardware_concurrency() <= 1.
+enum class WaveExec { kAuto, kThreads, kSerial };
+
+[[nodiscard]] const char* wave_exec_name(WaveExec mode);
+
+/// Process-wide wave scheduler selection (default kAuto). wave_exec()
+/// returns the resolved choice — never kAuto.
+[[nodiscard]] WaveExec wave_exec();
+void set_wave_exec(WaveExec mode);
+
 /// Integer row range [begin, end) within one replica's batch shard.
 struct RowRange {
   int begin = 0;

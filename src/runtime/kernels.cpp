@@ -5,10 +5,9 @@
 #include <chrono>
 #include <cstddef>
 #include <cstring>
-#include <memory>
-#include <mutex>
 
-#include "common/parallel.h"
+#include "runtime/eltwise_impl.h"
+#include "runtime/intraop.h"
 #include "runtime/kernels_impl.h"
 #include "runtime/pool.h"
 #include "runtime/simd.h"
@@ -50,6 +49,20 @@ constexpr int kKChunk = 256;
 /// first. Shape-only threshold, so the decision — and the result, since
 /// packing copies values untouched — is deterministic.
 constexpr std::int64_t kPackAThreshold = 16 * 1024;
+
+/// At or below this many FLOPs (2*m*k*n) the packed pipeline is pure
+/// overhead — two TensorPool acquire/releases behind a global mutex plus a
+/// full B-panel packing sweep dwarf the arithmetic — so the driver takes
+/// the slim no-pack path below. Narrow outputs (n < kPanelWidth) also go
+/// slim at any FLOP count: they fill at most one zero-padded panel, wasting
+/// most of every packed lane. Shape-only gate, so dispatch stays
+/// deterministic; the slim kernels keep the exact ascending chains (see
+/// kernels_impl.h), so results are bit-identical to the packed path on
+/// every SIMD level. kFast shares the gate and the slim kernels —
+/// FMA has nothing to win at these sizes, and routing kFast through the
+/// same code guarantees it is never slower than the exact modes on the
+/// shapes that used to lose to packing overhead.
+constexpr std::int64_t kSlimFlopThreshold = 1 << 14;
 
 std::atomic<KernelMode> g_mode{KernelMode::kBlockedParallel};
 
@@ -120,73 +133,112 @@ const Microkernels& active_microkernels() {
   return detail::scalar_microkernels();
 }
 
-// --- Intra-op worker pool -------------------------------------------------
-
-/// The shared intra-op pool. parallel_for is not reentrant and the pipeline
-/// trainer's stage threads call kernels concurrently, so entry is guarded
-/// by a try-lock. A loser only degrades to the caller-inline loop when the
-/// pool is *genuinely busy* (a fan-out batch is in flight, tracked by
-/// fanout_active); a transient loss — the holder is still between locking
-/// and fanning out, or merely rebuilding the pool — blocks briefly for its
-/// own turn instead of silently serializing. Threads already inside any
-/// ThreadPool batch (in_parallel_region) always inline: blocking there
-/// could deadlock the pool on itself.
-struct KernelPool {
-  std::mutex run_mutex;
-  std::atomic<bool> fanout_active{false};  ///< A batch is in flight.
-  std::mutex state_mutex;
-  std::unique_ptr<ThreadPool> pool;  ///< Guarded by state_mutex.
-  int requested_threads = 0;         ///< <= 0: default_thread_count().
-};
-
-KernelPool& kernel_pool() {
-  static KernelPool instance;
-  return instance;
-}
-
-ThreadPool* acquire_pool() {
-  KernelPool& kp = kernel_pool();
-  const std::lock_guard<std::mutex> lock(kp.state_mutex);
-  if (kp.pool == nullptr) {
-    kp.pool = std::make_unique<ThreadPool>(kp.requested_threads);
-  }
-  return kp.pool.get();
-}
-
-/// Runs fn(task) for every task in [0, num_tasks), fanning out over the
-/// kernel pool when profitable and available. fn must write only to its
-/// task's output tile.
+// The intra-op fan-out itself lives in intraop.cpp now (shared with the
+// eltwise engine); for_each_task below is a thin alias that keeps the call
+// sites readable.
 template <typename Fn>
 void for_each_task(int num_tasks, std::int64_t flops, bool want_parallel,
                    const Fn& fn) {
-  if (want_parallel && num_tasks > 1 && flops >= kParallelFlopThreshold &&
-      !in_parallel_region()) {
-    KernelPool& kp = kernel_pool();
-    std::unique_lock<std::mutex> lock(kp.run_mutex, std::try_to_lock);
-    if (!lock.owns_lock() &&
-        !kp.fanout_active.load(std::memory_order_acquire)) {
-      // Transient contention, not a running batch: wait for our turn on
-      // the pool rather than degrading to the single-threaded loop.
-      lock.lock();
+  detail::intraop_for_each_task(num_tasks, flops, want_parallel, fn);
+}
+
+/// Accumulates wall time into the matmul bucket of the runtime op profile
+/// when profiling is on.
+class MatmulTimer {
+ public:
+  MatmulTimer() : on_(detail::op_profiling_enabled()) {
+    if (on_) {
+      start_ = std::chrono::steady_clock::now();
     }
-    if (lock.owns_lock()) {
-      ThreadPool* pool = acquire_pool();
-      if (pool->size() > 1) {
-        kp.fanout_active.store(true, std::memory_order_release);
-        try {
-          pool->parallel_for(static_cast<std::size_t>(num_tasks),
-                             [&](std::size_t t) { fn(static_cast<int>(t)); });
-        } catch (...) {
-          kp.fanout_active.store(false, std::memory_order_release);
-          throw;
-        }
-        kp.fanout_active.store(false, std::memory_order_release);
-        return;
+  }
+  ~MatmulTimer() {
+    if (on_) {
+      const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now() - start_)
+                          .count();
+      detail::profile_add_matmul(static_cast<std::uint64_t>(ns));
+    }
+  }
+  MatmulTimer(const MatmulTimer&) = delete;
+  MatmulTimer& operator=(const MatmulTimer&) = delete;
+
+ private:
+  bool on_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+// --- Scalar epilogue (portable fallback) ---------------------------------
+// Same per-element chain as the AVX2 epilogue: one add for the bias, then
+// the deterministic SiLU from eltwise_impl.h. The base TU has no FMA, so
+// nothing here can contract; bit-identical across ISA levels.
+
+void scalar_epilogue(float* out, int ldout, float* act, std::ptrdiff_t ldact,
+                     const float* bias, int i0, int i1, int j0,
+                     int valid_cols) {
+  for (int i = i0; i < i1; ++i) {
+    float* orow = out + static_cast<std::ptrdiff_t>(i) * ldout + j0;
+    if (bias != nullptr) {
+      const float* brow = bias + j0;
+      for (int c = 0; c < valid_cols; ++c) {
+        orow[c] = orow[c] + brow[c];
+      }
+    }
+    if (act != nullptr) {
+      float* arow = act + static_cast<std::ptrdiff_t>(i) * ldact + j0;
+      for (int c = 0; c < valid_cols; ++c) {
+        arow[c] = detail::dpipe_silu(orow[c]);
       }
     }
   }
-  for (int t = 0; t < num_tasks; ++t) {
-    fn(t);
+}
+
+// --- Slim small-shape kernels (portable fallback) ------------------------
+// No packing, no TensorPool traffic, no task grid: plain stride-addressed
+// loops, dispatched through the Microkernels table like the tiles (the
+// AVX2 TU lane-parallelizes output columns). Every mode including kFast
+// shares one table entry per variant, so cross-mode bit-equality on slim
+// shapes needs only the per-level contract: each output element is one
+// ascending accumulation over p with the multiply and add rounded
+// separately (no FMA exists in the base ISA, and the AVX2 slim kernels
+// use none).
+
+/// b row-major [kk, n]: accumulate in the output row (seeded 0), sweeping p
+/// outer / j inner so b rows stream once per output row.
+void slim_row_major(float* out, const float* a, std::ptrdiff_t ars,
+                    std::ptrdiff_t acs, const float* b, int rows, int kk,
+                    int n) {
+  for (int i = 0; i < rows; ++i) {
+    float* orow = out + static_cast<std::ptrdiff_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      orow[j] = 0.0f;
+    }
+    const float* arow = a + static_cast<std::ptrdiff_t>(i) * ars;
+    for (int p = 0; p < kk; ++p) {
+      const float av = arow[static_cast<std::ptrdiff_t>(p) * acs];
+      const float* brow = b + static_cast<std::ptrdiff_t>(p) * n;
+      for (int j = 0; j < n; ++j) {
+        orow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+/// b transposed [n, kk]: per-element dot products (both operands walk
+/// contiguously when acs == 1).
+void slim_transposed(float* out, const float* a, std::ptrdiff_t ars,
+                     std::ptrdiff_t acs, const float* b, int rows, int kk,
+                     int n) {
+  for (int i = 0; i < rows; ++i) {
+    float* orow = out + static_cast<std::ptrdiff_t>(i) * n;
+    const float* arow = a + static_cast<std::ptrdiff_t>(i) * ars;
+    for (int j = 0; j < n; ++j) {
+      const float* brow = b + static_cast<std::ptrdiff_t>(j) * kk;
+      float acc = 0.0f;
+      for (int p = 0; p < kk; ++p) {
+        acc += arow[static_cast<std::ptrdiff_t>(p) * acs] * brow[p];
+      }
+      orow[j] = acc;
+    }
   }
 }
 
@@ -260,19 +312,40 @@ void pack_a_chunk(float* packed, const float* a, std::ptrdiff_t ars,
 
 /// Shared driver for all three transpose variants: a(i, p) is addressed via
 /// the two strides, b is packed (transposing if b_transposed), and the 2-D
-/// task grid fans out in the parallel modes.
+/// task grid fans out in the parallel modes. `ep` (nullable) is the fused
+/// bias/activation epilogue, applied per output region as it finishes.
 void packed_matmul(Tensor& out, const float* a, std::ptrdiff_t a_row_stride,
                    std::ptrdiff_t a_col_stride, const float* b,
-                   bool b_transposed, int rows, int kk, int n,
-                   KernelMode mode) {
+                   bool b_transposed, int rows, int kk, int n, KernelMode mode,
+                   const detail::EpilogueArgs* ep) {
   if (rows == 0 || n == 0) {
     return;
   }
+  const Microkernels& mk = active_microkernels();
+  float* out_data_early = out.data();
   if (kk == 0) {
-    std::fill(out.data(), out.data() + out.numel(), 0.0f);
+    std::fill(out_data_early, out_data_early + out.numel(), 0.0f);
+    if (ep != nullptr) {
+      mk.epilogue(out_data_early, n, ep->act, ep->ldact, ep->bias, 0, rows, 0,
+                  n);
+    }
     return;
   }
-  const Microkernels& mk = active_microkernels();
+  const std::int64_t slim_flops = 2LL * rows * kk * n;
+  if (n < kPanelWidth || slim_flops <= kSlimFlopThreshold) {
+    if (b_transposed) {
+      mk.slim_transposed(out_data_early, a, a_row_stride, a_col_stride, b,
+                         rows, kk, n);
+    } else {
+      mk.slim_row_major(out_data_early, a, a_row_stride, a_col_stride, b,
+                        rows, kk, n);
+    }
+    if (ep != nullptr) {
+      mk.epilogue(out_data_early, n, ep->act, ep->ldact, ep->bias, 0, rows, 0,
+                  n);
+    }
+    return;
+  }
   const auto tile = mode == KernelMode::kFast ? mk.tile_fast : mk.tile;
 
   const int panels = (n + kPanelWidth - 1) / kPanelWidth;
@@ -312,6 +385,7 @@ void packed_matmul(Tensor& out, const float* a, std::ptrdiff_t a_row_stride,
       ars = kc;
       acs = 1;
     }
+    const bool last_chunk = p0 + kc >= kk;
     for_each_task(row_blocks * col_groups, flops, want_parallel, [&](int t) {
       const int rb = t / col_groups;
       const int cg = t % col_groups;
@@ -320,9 +394,16 @@ void packed_matmul(Tensor& out, const float* a, std::ptrdiff_t a_row_stride,
       const int jp_end = std::min((cg + 1) * kParColGroup, panels);
       for (int jp = cg * kParColGroup; jp < jp_end; ++jp) {
         const int j0 = jp * kPanelWidth;
+        const int valid = std::min(kPanelWidth, n - j0);
         tile(out_data, n, a_chunk, ars, acs,
              panel_base + static_cast<std::ptrdiff_t>(jp) * kc * kPanelWidth,
-             kc, i0, i1, j0, std::min(kPanelWidth, n - j0), accumulate);
+             kc, i0, i1, j0, valid, accumulate);
+        if (last_chunk && ep != nullptr) {
+          // The region's chains are complete and the tile is still L1-hot:
+          // fuse the bias/activation pass here instead of a fresh sweep.
+          mk.epilogue(out_data, n, ep->act, ep->ldact, ep->bias, i0, i1, j0,
+                      valid);
+        }
       }
     });
   }
@@ -387,7 +468,9 @@ void nt_naive(Tensor& out, const Tensor& a, const Tensor& b) {
 namespace detail {
 
 const Microkernels& scalar_microkernels() {
-  static const Microkernels kernels{"scalar", &scalar_tile, &scalar_tile};
+  static const Microkernels kernels{"scalar",          &scalar_tile,
+                                    &scalar_tile,      &scalar_epilogue,
+                                    &slim_row_major,   &slim_transposed};
   return kernels;
 }
 
@@ -413,38 +496,51 @@ void set_kernel_mode(KernelMode mode) {
   g_mode.store(mode, std::memory_order_relaxed);
 }
 
-int kernel_threads() {
-  KernelPool& kp = kernel_pool();
-  const std::lock_guard<std::mutex> lock(kp.state_mutex);
-  if (kp.pool != nullptr) {
-    return kp.pool->size();
-  }
-  return kp.requested_threads > 0 ? kp.requested_threads
-                                  : default_thread_count();
-}
+int kernel_threads() { return detail::intraop_pool_width(); }
 
 void set_kernel_threads(int num_threads) {
-  KernelPool& kp = kernel_pool();
-  // Exclude concurrent parallel_for users while the pool is swapped.
-  const std::lock_guard<std::mutex> run_lock(kp.run_mutex);
-  const std::lock_guard<std::mutex> lock(kp.state_mutex);
-  kp.requested_threads = num_threads;
-  kp.pool = std::make_unique<ThreadPool>(num_threads);
+  detail::set_intraop_pool_width(num_threads);
 }
 
 void matmul_into(Tensor& out, const Tensor& a, const Tensor& b,
-                 KernelMode mode) {
+                 KernelMode mode, const MatmulEpilogue& epilogue) {
   DPIPE_REQUIRE(a.cols() == b.rows(), "matmul inner dimension mismatch");
   const int m = a.rows();
   const int k = a.cols();
   const int n = b.cols();
   check_matmul_shapes(out, a, b, m, k, n, "matmul_into");
+  const MatmulTimer timer;
+  detail::EpilogueArgs ep;
+  const bool fused =
+      epilogue.bias != nullptr || epilogue.silu_out != nullptr;
+  if (epilogue.bias != nullptr) {
+    DPIPE_REQUIRE(epilogue.bias->numel() == n,
+                  "matmul_into: epilogue bias length must equal columns");
+    ep.bias = epilogue.bias->data();
+  }
+  if (epilogue.silu_out != nullptr) {
+    DPIPE_REQUIRE(epilogue.silu_out->rows() == m &&
+                      epilogue.silu_out->cols() == n,
+                  "matmul_into: epilogue activation shape mismatch");
+    ep.act = epilogue.silu_out->data();
+    ep.ldact = n;
+  }
   if (mode == KernelMode::kNaive) {
     nn_naive(out, a, b);
+    if (fused) {
+      // Same per-element chain as the fused path, applied in one sweep.
+      active_microkernels().epilogue(out.data(), n, ep.act, ep.ldact, ep.bias,
+                                     0, m, 0, n);
+    }
     return;
   }
   packed_matmul(out, a.data(), k, 1, b.data(), /*b_transposed=*/false, m, k,
-                n, mode);
+                n, mode, fused ? &ep : nullptr);
+}
+
+void matmul_into(Tensor& out, const Tensor& a, const Tensor& b,
+                 KernelMode mode) {
+  matmul_into(out, a, b, mode, MatmulEpilogue{});
 }
 
 void matmul_tn_into(Tensor& out, const Tensor& a, const Tensor& b,
@@ -454,6 +550,7 @@ void matmul_tn_into(Tensor& out, const Tensor& a, const Tensor& b,
   const int k = a.cols();  // Output rows.
   const int n = b.cols();
   check_matmul_shapes(out, a, b, k, m, n, "matmul_tn_into");
+  const MatmulTimer timer;
   if (mode == KernelMode::kNaive) {
     tn_naive(out, a, b);
     return;
@@ -461,7 +558,7 @@ void matmul_tn_into(Tensor& out, const Tensor& a, const Tensor& b,
   // out[i][j] = sum over the shared row index m of a[m][i] * b[m][j]:
   // a(i, p) = a[p * k + i].
   packed_matmul(out, a.data(), 1, k, b.data(), /*b_transposed=*/false, k, m,
-                n, mode);
+                n, mode, nullptr);
 }
 
 void matmul_nt_into(Tensor& out, const Tensor& a, const Tensor& b,
@@ -471,12 +568,13 @@ void matmul_nt_into(Tensor& out, const Tensor& a, const Tensor& b,
   const int k = a.cols();
   const int n = b.rows();  // Output cols.
   check_matmul_shapes(out, a, b, m, k, n, "matmul_nt_into");
+  const MatmulTimer timer;
   if (mode == KernelMode::kNaive) {
     nt_naive(out, a, b);
     return;
   }
   packed_matmul(out, a.data(), k, 1, b.data(), /*b_transposed=*/true, m, k,
-                n, mode);
+                n, mode, nullptr);
 }
 
 void matmul_into(Tensor& out, const Tensor& a, const Tensor& b) {

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cstdint>
+
 #include "runtime/tensor.h"
 
 namespace dpipe::rt {
@@ -49,6 +51,24 @@ void set_kernel_threads(int num_threads);
 void matmul_into(Tensor& out, const Tensor& a, const Tensor& b);
 void matmul_into(Tensor& out, const Tensor& a, const Tensor& b,
                  KernelMode mode);
+
+/// Optional fused epilogue for matmul_into: the driver applies it to each
+/// output tile right after that tile's final k-chunk, while the tile is
+/// cache-hot, instead of re-reading the whole output in separate bias/SiLU
+/// sweeps. Bit-identical to the unfused sequence (matmul, then
+/// bias_add_inplace, then silu_into) on every SIMD level — a float
+/// round-trips memory exactly and the per-element op chain is unchanged
+/// (DESIGN.md §13).
+struct MatmulEpilogue {
+  /// Row vector added to every output row; numel must equal out.cols().
+  /// Null: no bias.
+  const Tensor* bias = nullptr;
+  /// Destination for silu(out); same shape as out, may be &out (in-place).
+  /// Null: no activation. Uses the runtime's deterministic_exp SiLU.
+  Tensor* silu_out = nullptr;
+};
+void matmul_into(Tensor& out, const Tensor& a, const Tensor& b,
+                 KernelMode mode, const MatmulEpilogue& epilogue);
 /// out = a^T [m,k] x b [m,n] -> [k,n] (weight gradients).
 void matmul_tn_into(Tensor& out, const Tensor& a, const Tensor& b);
 void matmul_tn_into(Tensor& out, const Tensor& a, const Tensor& b,
@@ -65,5 +85,24 @@ void matmul_nt_into(Tensor& out, const Tensor& a, const Tensor& b,
 /// kNaive/kBlocked/kBlockedParallel all report the exact ceiling. Used by
 /// bench_runtime_kernels' roofline report.
 [[nodiscard]] double measured_peak_gflops(KernelMode mode);
+
+// --- Runtime op profiler --------------------------------------------------
+// Process-wide wall-time accounting split into matmul vs elementwise
+// buckets, used by bench_runtime_kernels' GEMM-vs-non-GEMM breakdown.
+// Overhead when disabled is one relaxed atomic load per op; when enabled,
+// one steady_clock pair and two relaxed atomic adds per op. Counters are
+// cumulative across threads (stage threads included) until reset.
+
+struct RuntimeOpProfile {
+  std::uint64_t matmul_ns = 0;
+  std::uint64_t matmul_calls = 0;
+  std::uint64_t eltwise_ns = 0;
+  std::uint64_t eltwise_calls = 0;
+};
+
+void set_op_profiling(bool enabled);
+[[nodiscard]] bool op_profiling_enabled();
+[[nodiscard]] RuntimeOpProfile op_profile();
+void reset_op_profile();
 
 }  // namespace dpipe::rt

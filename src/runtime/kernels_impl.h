@@ -64,6 +64,36 @@ struct Microkernels {
                     std::ptrdiff_t a_row_stride, std::ptrdiff_t a_col_stride,
                     const float* panel, int kk, int i0, int i1, int j0,
                     int valid_cols, bool accumulate);
+  /// Fused bias/activation epilogue, applied by the driver to the output
+  /// region rows [i0, i1) x columns [j0, j0 + valid_cols) right after that
+  /// region's final k-chunk, while it is cache-hot. For each element
+  /// e = out[i * ldout + j0 + c]:
+  ///   if bias != null:  e += bias[j0 + c], stored back to out;
+  ///   if act  != null:  act[i * ldact + j0 + c] = dpipe_silu(e)
+  /// (eltwise_impl.h's deterministic SiLU; act may alias out for in-place
+  /// activation). One add and the fixed SiLU op chain per element, so the
+  /// fused result is bit-identical to the unfused bias_add + silu sweeps —
+  /// and bit-identical across ISA levels, same as tile().
+  void (*epilogue)(float* out, int ldout, float* act, std::ptrdiff_t ldact,
+                   const float* bias, int i0, int i1, int j0, int valid_cols);
+  /// Slim small-shape kernel, b row-major [kk, n] (no packing, no task
+  /// grid — the driver routes shapes below its slim gate here). Computes
+  /// out[i * n + j] = sum over p ascending of
+  ///   a[i * ars + p * acs] * b[p * n + j]
+  /// seeded 0.0f, multiply and add rounded separately (no FMA even in
+  /// kFast — the driver shares this kernel across all modes, which is what
+  /// makes kFast bit-equal to the exact modes on slim shapes). Lane
+  /// parallelism may only group different output elements; each element's
+  /// chain stays ascending, so ISA levels are bit-identical.
+  void (*slim_row_major)(float* out, const float* a, std::ptrdiff_t ars,
+                         std::ptrdiff_t acs, const float* b, int rows, int kk,
+                         int n);
+  /// Slim kernel, b transposed [n, kk]: out[i * n + j] = one ascending dot
+  /// of a(i, ·) (strided) and row j of b. Same exactness rules as
+  /// slim_row_major.
+  void (*slim_transposed)(float* out, const float* a, std::ptrdiff_t ars,
+                          std::ptrdiff_t acs, const float* b, int rows,
+                          int kk, int n);
 };
 
 /// Portable fallback, compiled with the project's base ISA flags.

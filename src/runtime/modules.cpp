@@ -3,6 +3,7 @@
 #include <cmath>
 #include <utility>
 
+#include "runtime/eltwise.h"
 #include "runtime/kernels.h"
 #include "runtime/pool.h"
 
@@ -17,15 +18,23 @@ Linear::Linear(int in_features, int out_features, Rng& rng)
 
 Tensor Linear::forward(Tensor x) {
   Tensor y = TensorPool::global().acquire({x.rows(), weight.cols()});
-  matmul_into(y, x, weight);
-  const int n = weight.cols();
-  for (int i = 0; i < y.rows(); ++i) {
-    float* row = y.data() + static_cast<std::ptrdiff_t>(i) * n;
-    for (int j = 0; j < n; ++j) {
-      row[j] += bias.data()[j];
-    }
-  }
+  MatmulEpilogue ep;
+  ep.bias = &bias;
+  matmul_into(y, x, weight, kernel_mode(), ep);
   inputs_.push_back(std::move(x));
+  return y;
+}
+
+Tensor Linear::forward_fused_silu(Tensor x, SiLU& act) {
+  TensorPool& pool = TensorPool::global();
+  Tensor z = pool.acquire({x.rows(), weight.cols()});
+  Tensor y = pool.acquire(z.shape());
+  MatmulEpilogue ep;
+  ep.bias = &bias;
+  ep.silu_out = &y;
+  matmul_into(z, x, weight, kernel_mode(), ep);
+  inputs_.push_back(std::move(x));
+  act.stash(std::move(z));
   return y;
 }
 
@@ -66,17 +75,9 @@ void Linear::drop_context() {
   }
 }
 
-namespace {
-
-float sigmoid(float x) { return 1.0f / (1.0f + std::exp(-x)); }
-
-}  // namespace
-
 Tensor SiLU::forward(Tensor x) {
   Tensor y = TensorPool::global().acquire(x.shape());
-  for (std::int64_t i = 0; i < x.numel(); ++i) {
-    y.data()[i] = x.data()[i] * sigmoid(x.data()[i]);
-  }
+  silu_into(y, x);
   inputs_.push_back(std::move(x));
   return y;
 }
@@ -87,11 +88,7 @@ Tensor SiLU::backward(Tensor grad_out) {
   inputs_.pop_front();
   TensorPool& pool = TensorPool::global();
   Tensor grad_in = pool.acquire(x.shape());
-  for (std::int64_t i = 0; i < x.numel(); ++i) {
-    const float s = sigmoid(x.data()[i]);
-    grad_in.data()[i] =
-        grad_out.data()[i] * (s + x.data()[i] * s * (1.0f - s));
-  }
+  silu_backward_into(grad_in, x, grad_out);
   pool.release(std::move(x));
   pool.release(std::move(grad_out));
   return grad_in;
@@ -121,6 +118,21 @@ Tensor Sequential::forward_range(Tensor x, int begin, int end) {
           "module range out of bounds");
   Tensor y = std::move(x);
   for (int i = begin; i < end; ++i) {
+    // Adjacent Linear→SiLU pairs inside one range run fused (bias +
+    // activation in the matmul epilogue). Module granularity is untouched —
+    // both modules still stash their own context and backward is the plain
+    // per-module pair — so planner stage cuts are unaffected, and a cut
+    // that splits the pair across ranges simply runs the two modules
+    // unfused, with bit-identical results.
+    if (i + 1 < end) {
+      auto* lin = dynamic_cast<Linear*>(modules_[i].get());
+      auto* act = dynamic_cast<SiLU*>(modules_[i + 1].get());
+      if (lin != nullptr && act != nullptr) {
+        y = lin->forward_fused_silu(std::move(y), *act);
+        ++i;
+        continue;
+      }
+    }
     y = modules_[i]->forward(std::move(y));
   }
   return y;
@@ -207,11 +219,10 @@ FrozenEncoder::FrozenEncoder(int in_features, int out_features, Rng& rng)
 Tensor FrozenEncoder::encode(const Tensor& x) const {
   TensorPool& pool = TensorPool::global();
   Tensor h = pool.acquire({x.rows(), w1_.cols()});
-  matmul_into(h, x, w1_);
-  for (std::int64_t i = 0; i < h.numel(); ++i) {
-    const float v = h.data()[i];
-    h.data()[i] = v * (1.0f / (1.0f + std::exp(-v)));
-  }
+  MatmulEpilogue ep;
+  ep.silu_out = &h;  // In-place SiLU in the matmul epilogue (b1_ unused, as
+                     // before: the frozen encoder has always been bias-free).
+  matmul_into(h, x, w1_, kernel_mode(), ep);
   Tensor out = pool.acquire({x.rows(), w2_.cols()});
   matmul_into(out, h, w2_);
   pool.release(std::move(h));

@@ -35,12 +35,20 @@ class Module {
   virtual void drop_context() {}
 };
 
+class SiLU;
+
 /// y = x W + b.
 class Linear : public Module {
  public:
   Linear(int in_features, int out_features, Rng& rng);
 
   [[nodiscard]] Tensor forward(Tensor x) override;
+  /// Fused Linear→SiLU forward: one matmul whose epilogue applies the bias
+  /// and writes silu(z) while each output tile is cache-hot, instead of
+  /// re-reading z in two extra sweeps. Stashes x here and the
+  /// pre-activation z in `act`, so the backward pair is exactly the
+  /// unfused one — results are bit-identical either way (DESIGN.md §13).
+  [[nodiscard]] Tensor forward_fused_silu(Tensor x, SiLU& act);
   [[nodiscard]] Tensor backward(Tensor grad_out) override;
   [[nodiscard]] std::vector<Tensor*> params() override;
   [[nodiscard]] std::vector<Tensor*> grads() override;
@@ -64,6 +72,9 @@ class SiLU : public Module {
  public:
   [[nodiscard]] Tensor forward(Tensor x) override;
   [[nodiscard]] Tensor backward(Tensor grad_out) override;
+  /// Stashes a pre-activation computed elsewhere (the fused Linear→SiLU
+  /// epilogue) so backward() sees the same FIFO it would after forward().
+  void stash(Tensor x) { inputs_.push_back(std::move(x)); }
   [[nodiscard]] int pending_contexts() const override {
     return static_cast<int>(inputs_.size());
   }

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "runtime/eltwise.h"
+
 namespace dpipe::rt {
 
 void Sgd::step(const std::vector<Tensor*>& params,
@@ -38,17 +40,10 @@ void Adam::step(const std::vector<Tensor*>& params,
   for (std::size_t i = 0; i < params.size(); ++i) {
     Tensor& p = *params[i];
     const Tensor& g = *grads[i];
-    float* pd = p.data();
-    const float* gd = g.data();
-    float* md = m_[i].data();
-    float* vd = v_[i].data();
-    for (std::int64_t j = 0; j < p.numel(); ++j) {
-      md[j] = beta1_ * md[j] + (1 - beta1_) * gd[j];
-      vd[j] = beta2_ * vd[j] + (1 - beta2_) * gd[j] * gd[j];
-      const float mhat = md[j] / bc1;
-      const float vhat = vd[j] / bc2;
-      pd[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
-    }
+    DPIPE_REQUIRE(p.shape() == g.shape(), "param/grad shape mismatch");
+    // Fused SIMD update; the per-element recurrence is bit-identical to the
+    // historical scalar loop here (eltwise_impl.h documents the op order).
+    eltwise_adam(p, g, m_[i], v_[i], lr_, beta1_, beta2_, eps_, bc1, bc2);
   }
 }
 

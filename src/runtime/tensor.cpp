@@ -194,46 +194,9 @@ float max_abs_diff(const Tensor& a, const Tensor& b) {
   return worst;
 }
 
-void add_inplace(Tensor& a, const Tensor& b) {
-  check_same_shape(a, b);
-  for (std::int64_t i = 0; i < a.numel(); ++i) {
-    a.data()[i] += b.data()[i];
-  }
-}
-
-void sub_into(Tensor& out, const Tensor& a, const Tensor& b) {
-  check_same_shape(a, b);
-  DPIPE_REQUIRE(out.shape() == a.shape(), "sub_into output shape mismatch");
-  for (std::int64_t i = 0; i < a.numel(); ++i) {
-    out.data()[i] = a.data()[i] - b.data()[i];
-  }
-}
-
-void scale_inplace(Tensor& a, float s) {
-  for (std::int64_t i = 0; i < a.numel(); ++i) {
-    a.data()[i] *= s;
-  }
-}
-
-void axpy_inplace(Tensor& y, const Tensor& x, float alpha) {
-  check_same_shape(y, x);
-  for (std::int64_t i = 0; i < y.numel(); ++i) {
-    y.data()[i] += alpha * x.data()[i];
-  }
-}
-
-void sum_rows_into(Tensor& out, const Tensor& a) {
-  DPIPE_REQUIRE(out.rows() == 1 && out.cols() == a.cols(),
-                "sum_rows_into output shape mismatch");
-  std::fill(out.data(), out.data() + out.numel(), 0.0f);
-  const int n = a.cols();
-  for (int i = 0; i < a.rows(); ++i) {
-    const float* row = a.data() + static_cast<std::ptrdiff_t>(i) * n;
-    for (int j = 0; j < n; ++j) {
-      out.data()[j] += row[j];
-    }
-  }
-}
+// add_inplace / sub_into / scale_inplace / axpy_inplace / sum_rows_into are
+// defined in eltwise.cpp: they are hot-path ops and go through the
+// SIMD-dispatched elementwise engine (same bit-exactness contract).
 
 void fill(Tensor& t, float value) {
   std::fill(t.data(), t.data() + t.numel(), value);

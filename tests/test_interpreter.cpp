@@ -219,6 +219,49 @@ TEST(Interpreter, CrossIterationBitExactWithAdam) {
   }
 }
 
+TEST(Interpreter, WaveExecSerialMatchesThreadedBitExact) {
+  // The cooperative serial scheduler is a pure scheduling change: with
+  // self-conditioning (forward waves), data parallelism (allreduce
+  // barriers), Adam, and cross-iteration frozen overlap all active, the
+  // serial and threaded executions produce bit-identical trajectories and
+  // identical per-device execution logs.
+  struct WaveExecGuard {
+    ~WaveExecGuard() { set_wave_exec(WaveExec::kAuto); }
+  } guard;
+  DdpmConfig dc;
+  dc.self_conditioning = true;
+  dc.self_cond_prob = 0.5;
+  const DdpmProblem problem(dc);
+  PipelineRtConfig cfg;
+  cfg.num_stages = 3;
+  cfg.num_microbatches = 4;
+  cfg.data_parallel_degree = 2;
+  cfg.global_batch = 16;
+  cfg.cross_iteration = true;
+  cfg.use_adam = true;
+  cfg.lr = 0.01f;
+  cfg.record_execution = true;
+
+  set_wave_exec(WaveExec::kThreads);
+  EXPECT_EQ(wave_exec(), WaveExec::kThreads);
+  PipelineTrainer threaded(problem, cfg);
+  threaded.train(8);
+
+  set_wave_exec(WaveExec::kSerial);
+  EXPECT_EQ(wave_exec(), WaveExec::kSerial);
+  PipelineTrainer serial(problem, cfg);
+  serial.train(8);
+
+  EXPECT_FLOAT_EQ(params_diff(threaded.snapshot_params(),
+                              serial.snapshot_params()),
+                  0.0f);
+  ASSERT_EQ(threaded.losses().size(), serial.losses().size());
+  for (std::size_t i = 0; i < threaded.losses().size(); ++i) {
+    EXPECT_DOUBLE_EQ(threaded.losses()[i], serial.losses()[i]);
+  }
+  EXPECT_EQ(threaded.execution_log(), serial.execution_log());
+}
+
 TEST(Interpreter, RejectsCorruptedPrograms) {
   const DdpmProblem problem(DdpmConfig{});
   TrainerLoweringSpec spec;

@@ -22,13 +22,17 @@ echo "== tier-1: scalar-forced kernel pass (DPIPE_SIMD=scalar) =="
 # dispatch level to scalar and rerun the kernel, pool, SIMD, and trajectory
 # suites against it.
 DPIPE_SIMD=scalar ./build/tests/dpipe_tests \
-  --gtest_filter='Kernels.*:TensorPool.*:Trajectory.*:RngSeed.*:SimdDispatch.*:SimdParity.*:FastMode.*:Roofline.*'
+  --gtest_filter='Kernels.*:TensorPool.*:Trajectory.*:RngSeed.*:SimdDispatch.*:SimdParity.*:FastMode.*:Roofline.*:Eltwise*'
 
 echo "== tier-1: ThreadSanitizer build (runtime + fault + service tests) =="
 cmake -B build-tsan -S . -DDPIPE_SANITIZE=thread
 cmake --build build-tsan -j"$(nproc)" --target dpipe_tests
-TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/dpipe_tests \
-  --gtest_filter='Channel.*:PipelineTrainer.*:Equivalence.*:Fault.*:ParallelFor.*:PlannerSearch.*:Kernels.*:TensorPool.*:Trajectory.*:RngSeed.*:SimdDispatch.*:SimdParity.*:FastMode.*:Interpreter.*:Parity.*:Elastic.*:Reshard.*:CheckpointIo.*:PlanFingerprint.*:StageCostStore.*:PlanCache.*:PlanStore.*:PlanService.*:PlanProtocol.*'
+# DPIPE_WAVE_EXEC=threads: on single-CPU hosts the interpreter would
+# auto-select the cooperative serial wave scheduler, which has no thread
+# interleavings for TSan to check — force the threaded path here.
+TSAN_OPTIONS="halt_on_error=1" DPIPE_WAVE_EXEC=threads \
+  ./build-tsan/tests/dpipe_tests \
+  --gtest_filter='Channel.*:PipelineTrainer.*:Equivalence.*:Fault.*:ParallelFor.*:PlannerSearch.*:Kernels.*:TensorPool.*:Trajectory.*:RngSeed.*:SimdDispatch.*:SimdParity.*:FastMode.*:Interpreter.*:Parity.*:Elastic.*:Reshard.*:CheckpointIo.*:PlanFingerprint.*:StageCostStore.*:PlanCache.*:PlanStore.*:PlanService.*:PlanProtocol.*:Eltwise*'
 
 echo "== tier-1: plan-server request-storm smoke (socket, concurrent clients) =="
 # Three concurrent clients hammer one dpipe_plan_serve over a Unix socket:
