@@ -37,6 +37,7 @@ struct Row {
                                  ///< the small-grid regression fix).
   double cache_hit_rate = 0.0;
   int combos = 0;
+  int vstage_axis = 1;  ///< V-axis size: 1 = the historical (S, M, D) grid.
 };
 
 double time_plan_once_ms(const Planner& planner, Plan* out) {
@@ -121,6 +122,7 @@ Row run_case(const Case& c) {
   row.speedup = row.seq_ms / row.par_ms;
   row.adaptive_speedup = row.seq_ms / row.adaptive_ms;
   row.combos = par_plan.search.combos_total;
+  row.vstage_axis = par_plan.search.vstage_axis;
   const double lookups = static_cast<double>(par_plan.search.cache_hits +
                                              par_plan.search.cache_misses);
   row.cache_hit_rate =
@@ -190,7 +192,8 @@ int main(int argc, char** argv) {
          << ", \"adaptive_ms\": " << r.adaptive_ms
          << ", \"adaptive_speedup\": " << r.adaptive_speedup
          << ", \"cache_hit_rate\": " << r.cache_hit_rate
-         << ", \"combos\": " << r.combos << "}"
+         << ", \"combos\": " << r.combos
+         << ", \"vstage_axis\": " << r.vstage_axis << "}"
          << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   json << "]\n";

@@ -11,10 +11,12 @@ namespace dpipe {
 
 namespace {
 
-/// Everything observed about one (device, backbone) while scanning a stream.
+/// Everything observed about one (device, backbone, stage) while scanning
+/// a stream. Keying by stage (not just device) lets one device host
+/// several virtual stages of the same backbone — the interleaved placement
+/// — with each owned stage fenced independently.
 struct HostRecord {
   int stage = -1;          ///< Hosted stage (from fwd/bwd ops); -1 = none.
-  bool stage_conflict = false;
   int component = -1;
   int layer_begin = 0;
   int layer_end = 0;
@@ -86,7 +88,10 @@ ValidationReport ProgramValidator::validate(
   }
 
   // ---- Pass 1: per-device scan (field sanity + host records). ----
-  std::map<std::pair<int, int>, HostRecord> hosts;  ///< (dev, backbone).
+  /// (dev, backbone, stage) — every instruction kind that feeds a host
+  /// record carries its stage (loads are stage 0, sends the sender's
+  /// stage), so records of co-hosted virtual stages never mix.
+  std::map<std::tuple<int, int, int>, HostRecord> hosts;
   std::map<MsgKey, MsgSide> sends;
   std::map<MsgKey, MsgSide> recvs;
 
@@ -109,7 +114,9 @@ ValidationReport ProgramValidator::validate(
                               to_string(i.kind));
         continue;
       }
-      HostRecord& host = hosts[{dev, i.backbone}];
+      const auto host_of = [&](int stage) -> HostRecord& {
+        return hosts[{dev, i.backbone, stage}];
+      };
       switch (i.kind) {
         case InstrKind::kLoadMicroBatch:
           if (i.stage != 0) {
@@ -121,7 +128,7 @@ ValidationReport ProgramValidator::validate(
           if (i.samples <= 0.0) {
             note(report, dev, "load with non-positive samples");
           }
-          host.load_pos[i.micro].push_back(pos);
+          host_of(i.stage).load_pos[i.micro].push_back(pos);
           break;
         case InstrKind::kForward:
         case InstrKind::kBackward: {
@@ -139,6 +146,7 @@ ValidationReport ProgramValidator::validate(
             note(report, dev, std::string(to_string(i.kind)) +
                                   " with non-positive samples");
           }
+          HostRecord& host = host_of(i.stage);
           if (host.stage < 0) {
             host.stage = i.stage;
             host.component = i.component;
@@ -146,9 +154,6 @@ ValidationReport ProgramValidator::validate(
             host.layer_end = i.layer_end;
             host.samples = i.samples;
           } else {
-            if (host.stage != i.stage) {
-              host.stage_conflict = true;
-            }
             if (host.component != i.component ||
                 host.layer_begin != i.layer_begin ||
                 host.layer_end != i.layer_end) {
@@ -201,6 +206,7 @@ ValidationReport ProgramValidator::validate(
             note(report, dev, std::string(to_string(i.kind)) +
                                   " with negative payload");
           }
+          HostRecord& host = host_of(i.stage);
           if (send) {
             const int receiver_stage = i.stage + (grad ? -1 : 1);
             record_msg(sends, {dev, i.peer, i.backbone, receiver_stage,
@@ -233,15 +239,15 @@ ValidationReport ProgramValidator::validate(
           }
           break;
         case InstrKind::kAllReduceGrads:
-          host.allreduce_pos.push_back(pos);
-          host.allreduce_size.push_back(i.size_mb);
+          host_of(i.stage).allreduce_pos.push_back(pos);
+          host_of(i.stage).allreduce_size.push_back(i.size_mb);
           break;
         case InstrKind::kOptimizerStep:
           if (i.layer_begin < 0 || i.layer_begin >= i.layer_end) {
             note(report, dev, "optimizer step with invalid layer range");
           }
-          host.optimizer_pos.push_back(pos);
-          host.optimizer_instr.push_back(i);
+          host_of(i.stage).optimizer_pos.push_back(pos);
+          host_of(i.stage).optimizer_instr.push_back(i);
           break;
       }
     }
@@ -264,21 +270,14 @@ ValidationReport ProgramValidator::validate(
   // (backbone, stage) -> hosting devices.
   std::map<std::pair<int, int>, std::vector<int>> stage_devices;
   for (const auto& [key, host] : hosts) {
-    const auto [dev, backbone] = key;
-    if (host.stage_conflict) {
-      note(report, dev, "device hosts more than one stage of backbone " +
-                            std::to_string(backbone));
-      continue;
-    }
+    const auto [dev, backbone, stage] = key;
     if (host.stage < 0) {
-      if (!host.allreduce_pos.empty() || !host.optimizer_pos.empty() ||
-          !host.load_pos.empty() || !host.recv_act_pos.empty() ||
-          !host.send_act_pos.empty() || !host.recv_grad_pos.empty() ||
-          !host.send_grad_pos.empty()) {
-        note(report, dev,
-             "backbone " + std::to_string(backbone) +
-                 " ops on a device that hosts none of its stages");
-      }
+      // Channel/allreduce/optimizer/load ops for a stage this device never
+      // runs forward/backward on.
+      note(report, dev,
+           "backbone " + std::to_string(backbone) + " stage " +
+               std::to_string(stage) +
+               " ops on a device that does not host that stage");
       continue;
     }
     num_stages[backbone] = std::max(num_stages[backbone], host.stage + 1);
@@ -297,9 +296,9 @@ ValidationReport ProgramValidator::validate(
         expected_begin = -1;
         continue;
       }
-      const HostRecord& first = hosts.at({it->second.front(), b});
+      const HostRecord& first = hosts.at({it->second.front(), b, s});
       for (const int dev : it->second) {
-        const HostRecord& host = hosts.at({dev, b});
+        const HostRecord& host = hosts.at({dev, b, s});
         if (host.component != first.component ||
             host.layer_begin != first.layer_begin ||
             host.layer_end != first.layer_end) {
@@ -320,8 +319,9 @@ ValidationReport ProgramValidator::validate(
 
   // ---- Pass 3: per-host micro fencing + allreduce/optimizer ordering. ----
   for (const auto& [key, host] : hosts) {
-    const auto [dev, backbone] = key;
-    if (host.stage < 0 || host.stage_conflict) {
+    const int dev = std::get<0>(key);
+    const int backbone = std::get<1>(key);
+    if (host.stage < 0) {
       continue;
     }
     const int S = num_stages[backbone];
@@ -438,7 +438,7 @@ ValidationReport ProgramValidator::validate(
     const auto [backbone, stage] = key;
     double size = -1.0;
     for (const int dev : devices) {
-      const HostRecord& host = hosts.at({dev, backbone});
+      const HostRecord& host = hosts.at({dev, backbone, stage});
       if (host.allreduce_size.empty()) {
         continue;  // Reported in pass 3.
       }
@@ -490,37 +490,132 @@ ValidationReport ProgramValidator::validate_runtime_bindable(
     note(report, -1, "runtime binding requires a single backbone");
     return report;
   }
-  // Every device must host exactly one stage with one replica each, and
-  // the backward micro order must equal the forward micro order (FIFO).
-  std::map<int, int> stage_of;  ///< device -> stage.
-  for (int dev = 0; dev < program.group_size; ++dev) {
-    int stage = -1;
-    std::vector<int> fwd_order;
-    std::vector<int> bwd_order;
+  // Cover-and-fencing contract (replaces the historical stage↔device
+  // bijection): every stage is owned by exactly one device, but a device
+  // may own several virtual stages (the interleaved placement). Per owned
+  // stage the backward micro order must equal the forward micro order
+  // (FIFO autograd stashes), and because the runtime's channels are
+  // untagged FIFOs, each pipeline boundary's send micro order must equal
+  // the receiver's recv micro order.
+  const int D = program.group_size;
+  std::map<int, int> owner;  ///< stage -> owning device.
+  std::vector<std::vector<int>> owned(D);  ///< dev -> stages, stream order.
+  // Per (dev, stage) micro sequences in stream order.
+  std::map<std::pair<int, int>, std::vector<int>> fwd_order;
+  std::map<std::pair<int, int>, std::vector<int>> bwd_order;
+  std::map<std::pair<int, int>, std::vector<int>> send_act_order;
+  std::map<std::pair<int, int>, std::vector<int>> recv_act_order;
+  std::map<std::pair<int, int>, std::vector<int>> send_grad_order;
+  std::map<std::pair<int, int>, std::vector<int>> recv_grad_order;
+  int num_stages = 0;
+  for (int dev = 0; dev < D; ++dev) {
     for (const Instruction& i : program.per_device[dev]) {
-      if (i.kind == InstrKind::kForward) {
-        stage = i.stage;
-        fwd_order.push_back(i.micro);
-      } else if (i.kind == InstrKind::kBackward) {
-        bwd_order.push_back(i.micro);
+      switch (i.kind) {
+        case InstrKind::kForward:
+          if (fwd_order.find({dev, i.stage}) == fwd_order.end()) {
+            owned[dev].push_back(i.stage);
+          }
+          fwd_order[{dev, i.stage}].push_back(i.micro);
+          num_stages = std::max(num_stages, i.stage + 1);
+          break;
+        case InstrKind::kBackward:
+          bwd_order[{dev, i.stage}].push_back(i.micro);
+          break;
+        case InstrKind::kSendActivation:
+          send_act_order[{dev, i.stage}].push_back(i.micro);
+          break;
+        case InstrKind::kRecvActivation:
+          recv_act_order[{dev, i.stage}].push_back(i.micro);
+          break;
+        case InstrKind::kSendGradient:
+          send_grad_order[{dev, i.stage}].push_back(i.micro);
+          break;
+        case InstrKind::kRecvGradient:
+          recv_grad_order[{dev, i.stage}].push_back(i.micro);
+          break;
+        default:
+          break;
       }
     }
-    if (stage < 0) {
-      note(report, dev, "device hosts no stage (runtime binding needs "
-                        "one replica per stage: group_size == num_stages)");
+    if (owned[dev].empty()) {
+      note(report, dev, "device hosts no stage; runtime binding needs "
+                        "every device to own at least one stage");
       continue;
     }
-    if (stage_of.count(stage) > 0) {
-      note(report, dev, "stage " + std::to_string(stage) +
-                            " is replicated; runtime binding requires one "
-                            "replica per stage");
-      continue;
+    for (const int stage : owned[dev]) {
+      if (owner.count(stage) > 0) {
+        note(report, dev, "stage " + std::to_string(stage) +
+                              " is owned by more than one device "
+                              "(replicated stages are not bindable); "
+                              "runtime binding requires each stage owned "
+                              "exactly once");
+        continue;
+      }
+      owner[stage] = dev;
+      if (fwd_order[{dev, stage}] != bwd_order[{dev, stage}]) {
+        note(report, dev,
+             "stage " + std::to_string(stage) +
+                 ": backward micro order differs from forward micro order; "
+                 "the runtime's FIFO autograd stashes require FIFO "
+                 "schedules (1F1B)");
+      }
     }
-    stage_of[stage] = dev;
-    if (fwd_order != bwd_order) {
-      note(report, dev,
-           "backward micro order differs from forward micro order; the "
-           "runtime's FIFO autograd stashes require FIFO schedules (1F1B)");
+  }
+  if (!report.ok()) {
+    return report;
+  }
+  // Multi-stage devices must follow the round-robin virtual-stage
+  // placement: V = num_stages / D full rounds, device d owning stages
+  // {d, d + D, ...} in that (slot) order. Single-stage-per-device programs
+  // keep the historical freedom of an arbitrary bijection.
+  bool multi = false;
+  for (int dev = 0; dev < D; ++dev) {
+    multi = multi || owned[dev].size() > 1;
+  }
+  if (multi) {
+    if (num_stages % D != 0) {
+      note(report, -1,
+           "interleaved binding requires num_stages to be a multiple of "
+           "group_size");
+      return report;
+    }
+    const int V = num_stages / D;
+    for (int dev = 0; dev < D; ++dev) {
+      bool round_robin = static_cast<int>(owned[dev].size()) == V;
+      for (int slot = 0; round_robin && slot < V; ++slot) {
+        round_robin = owned[dev][slot] == dev + slot * D;
+      }
+      if (!round_robin) {
+        note(report, dev,
+             "out-of-round-robin virtual-stage placement: device " +
+                 std::to_string(dev) + " must own stages d, d+D, ... in "
+                 "slot order");
+      }
+    }
+    if (!report.ok()) {
+      return report;
+    }
+  }
+  // Channel-FIFO pairing: per boundary, the sender pushes and the receiver
+  // pops the same micro sequence (untagged FIFO channels deliver tensors
+  // in push order, so any reordering would hand micro m another micro's
+  // tensor).
+  for (int s = 0; s + 1 < num_stages; ++s) {
+    const int src = owner.at(s);
+    const int dst = owner.at(s + 1);
+    if (send_act_order[{src, s}] != recv_act_order[{dst, s + 1}]) {
+      note(report, dst,
+           "activation channel order mismatch at boundary " +
+               std::to_string(s) + "->" + std::to_string(s + 1) +
+               ": the receiver pops micros in a different order than the "
+               "sender pushes them");
+    }
+    if (send_grad_order[{dst, s + 1}] != recv_grad_order[{src, s}]) {
+      note(report, src,
+           "gradient channel order mismatch at boundary " +
+               std::to_string(s + 1) + "->" + std::to_string(s) +
+               ": the receiver pops micros in a different order than the "
+               "sender pushes them");
     }
   }
   return report;

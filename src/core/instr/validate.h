@@ -29,10 +29,12 @@ struct ValidationReport {
 /// Invariants (see DESIGN.md §9):
 ///  - shape/field sanity: stream count matches group_size, indices in
 ///    range, compute ops carry non-empty layer ranges and positive samples;
-///  - stage monotonicity: a device hosts exactly one stage per backbone,
-///    stages 0..S-1 all hosted, replica layer ranges agree and tile the
-///    component contiguously in stage order;
-///  - micro-batch fencing: per (device, backbone) every micro 0..M-1 runs
+///  - stage monotonicity: stages 0..S-1 all hosted (a device may host
+///    several virtual stages of one backbone — the interleaved placement),
+///    replica layer ranges agree and tile the component contiguously in
+///    stage order;
+///  - micro-batch fencing: per (device, backbone, stage) every micro
+///    0..M-1 runs
 ///    forward exactly once and backward exactly once, each backward after
 ///    its forward, each forward fed by exactly one preceding load (stage 0)
 ///    or recv-activation, boundary sends/recvs present exactly where a
@@ -51,12 +53,17 @@ class ProgramValidator {
   [[nodiscard]] ValidationReport validate(
       const InstructionProgram& program) const;
 
-  /// validate() plus the stricter contract the functional runtime's
-  /// interpreter needs to bind a program onto one rt::Sequential:
-  /// a single backbone, exactly one replica per stage (so device<->stage is
-  /// a bijection), and FIFO micro order (each device's backward micro order
-  /// equals its forward micro order — required by the runtime's FIFO
-  /// autograd stashes; 1F1B satisfies this, GPipe's LIFO order does not).
+  /// validate() plus the stricter cover-and-fencing contract the
+  /// functional runtime's interpreter needs to bind a program onto one
+  /// rt::Sequential: a single backbone; every stage owned by exactly one
+  /// device (a device may own several virtual stages — then the ownership
+  /// must be the round-robin interleaved placement, stage s on device
+  /// s % group_size, owned in ascending slot order); FIFO micro order per
+  /// owned stage (backward micro order equals forward micro order —
+  /// required by the runtime's FIFO autograd stashes; 1F1B satisfies this,
+  /// GPipe's LIFO order does not); and per-boundary channel-FIFO pairing
+  /// (each boundary's send micro order equals the receiver's recv micro
+  /// order — the runtime's untagged FIFO channels deliver in push order).
   [[nodiscard]] ValidationReport validate_runtime_bindable(
       const InstructionProgram& program) const;
 };

@@ -46,13 +46,17 @@ std::vector<int> DpPartitioner::sync_group(const PartitionOptions& opts,
                                            int chain_begin,
                                            int replicas) const {
   // Canonical layout: data-parallel group g occupies global ranks
-  // [g * D, (g+1) * D); device_ranks (if given) describe group 0.
+  // [g * D, (g+1) * D); device_ranks (if given) describe group 0. A
+  // synthetic virtual chain overrides the stride with the physical device
+  // count (see PartitionOptions::dp_rank_stride).
+  const int stride =
+      opts.dp_rank_stride > 0 ? opts.dp_rank_stride : opts.group_size;
   std::vector<int> group;
   group.reserve(static_cast<std::size_t>(replicas) *
                 opts.data_parallel_degree);
   for (int g = 0; g < opts.data_parallel_degree; ++g) {
     for (int i = 0; i < replicas; ++i) {
-      group.push_back(rank_at(opts, chain_begin + i) + g * opts.group_size);
+      group.push_back(rank_at(opts, chain_begin + i) + g * stride);
     }
   }
   return group;

@@ -35,6 +35,12 @@ struct PartitionOptions {
   bool force_uniform_replicas = true;
   /// Ranks of group 0's devices in chain order; empty = 0..D-1.
   std::vector<int> device_ranks;
+  /// Global-rank stride between consecutive data-parallel groups;
+  /// 0 = group_size (the canonical layout). Interleaved planning partitions
+  /// over a synthetic S*V-position virtual chain whose positions map
+  /// round-robin onto D physical devices, so its group_size is the chain
+  /// length while the DP replicas of a device are still D ranks apart.
+  int dp_rank_stride = 0;
   /// Multiplier on inter-stage communication time; bidirectional pipelining
   /// sets 2.0 for link competition between the two directions (§4.2).
   double comm_competition_factor = 1.0;

@@ -48,7 +48,8 @@ void StageCostCache::bind(const PartitionOptions& opts) {
                      b.self_cond_prob == opts.self_cond_prob &&
                      b.comm_competition_factor ==
                          opts.comm_competition_factor &&
-                     b.device_ranks == opts.device_ranks,
+                     b.device_ranks == opts.device_ranks &&
+                     b.dp_rank_stride == opts.dp_rank_stride,
                  "StageCostCache reused under different partition options");
     return;
   }
@@ -60,6 +61,7 @@ void StageCostCache::bind(const PartitionOptions& opts) {
   fp.self_cond_prob = opts.self_cond_prob;
   fp.comm_competition_factor = opts.comm_competition_factor;
   fp.device_ranks = opts.device_ranks;
+  fp.dp_rank_stride = opts.dp_rank_stride;
   bound_ = std::move(fp);
   map_.reserve(1024);  // The DP touches hundreds of distinct stage keys.
 }

@@ -95,6 +95,7 @@ class StageCostCache {
     double self_cond_prob = 0.0;
     double comm_competition_factor = 1.0;
     std::vector<int> device_ranks;
+    int dp_rank_stride = 0;
 
     friend bool operator==(const Fingerprint&, const Fingerprint&) = default;
   };

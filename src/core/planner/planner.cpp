@@ -30,13 +30,15 @@ double elapsed_ms(std::chrono::steady_clock::time_point since) {
       .count();
 }
 
-/// One (S, M, D) grid point, in candidate-list enumeration order (D outer,
-/// then S, then M). Index order doubles as the selection tie-break: the
-/// reduction keeps the earliest minimum, matching the sequential baseline.
+/// One (S, M, D, V) grid point, in candidate-list enumeration order (D
+/// outer, then S, then M, then V). Index order doubles as the selection
+/// tie-break: the reduction keeps the earliest minimum, matching the
+/// sequential baseline.
 struct Combo {
   int S = 0;
   int M = 0;
   int D = 0;
+  int V = 1;
 };
 
 }  // namespace
@@ -52,6 +54,22 @@ Planner::Planner(ModelDesc model, ClusterSpec cluster, PlannerOptions options)
   ensure(model_.backbone_ids.size() <= 2,
          "grouping must produce at most two virtual backbones");
   apply_default_candidates(options_, cluster_.world_size());
+  // The historical one_replica_per_stage flag is a deprecated alias of the
+  // placement predicate: setting either sets both.
+  if (options_.one_replica_per_stage) {
+    options_.require_bindable_placement = true;
+  }
+  if (options_.require_bindable_placement) {
+    options_.one_replica_per_stage = true;
+  }
+  for (const int v : options_.vstage_candidates) {
+    require(v >= 1, "vstage candidates must be positive");
+    require(v == 1 || options_.schedule_family == ScheduleFamily::kInterleaved,
+            "vstage candidates > 1 require schedule_family == kInterleaved");
+  }
+  require(options_.schedule_family == ScheduleFamily::k1F1B ||
+              options_.schedule_family == ScheduleFamily::kInterleaved,
+          "planner searches the 1f1b and interleaved schedule families only");
 }
 
 void Planner::apply_default_candidates(PlannerOptions& options, int world) {
@@ -64,6 +82,9 @@ void Planner::apply_default_candidates(PlannerOptions& options, int world) {
   if (options.group_candidates.empty()) {
     options.group_candidates = default_group_candidates(world);
   }
+  if (options.vstage_candidates.empty()) {
+    options.vstage_candidates = {1};
+  }
 }
 
 std::string Planner::cost_context_fingerprint() const {
@@ -74,13 +95,25 @@ std::string Planner::cost_context_fingerprint() const {
   return fingerprint_bytes(canonical.str()).hex();
 }
 
-bool Planner::combo_shape_valid(int S, int M, int D) const {
+bool Planner::combo_shape_valid(int S, int M, int D, int V) const {
   const int world = cluster_.world_size();
+  if (V < 1) {
+    return false;
+  }
   if (D > world || world % D != 0 || D % S != 0) {
     return false;
   }
-  if (options_.one_replica_per_stage && D != S) {
+  if (options_.require_bindable_placement && D != S) {
     return false;
+  }
+  if (V > 1) {
+    // Virtual stages only exist under the interleaved family, on bindable
+    // shapes (one device per chain position), with at least two devices (a
+    // device cannot send to itself) and a single backbone.
+    if (options_.schedule_family != ScheduleFamily::kInterleaved ||
+        D != S || S < 2 || model_.backbone_ids.size() != 1) {
+      return false;
+    }
   }
   const int dp = world / D;
   const double micro = options_.global_batch / dp / M;
@@ -92,7 +125,7 @@ bool Planner::combo_shape_valid(int S, int M, int D) const {
     return false;
   }
   for (const int b : model_.backbone_ids) {
-    if (S > model_.components[b].num_layers()) {
+    if (S * V > model_.components[b].num_layers()) {
       return false;
     }
   }
@@ -102,8 +135,8 @@ bool Planner::combo_shape_valid(int S, int M, int D) const {
   return true;
 }
 
-double Planner::search_lower_bound_ms(int S, int M, int D) const {
-  if (!combo_shape_valid(S, M, D)) {
+double Planner::search_lower_bound_ms(int S, int M, int D, int V) const {
+  if (!combo_shape_valid(S, M, D, V)) {
     return std::numeric_limits<double>::infinity();
   }
   const int dp = cluster_.world_size() / D;
@@ -126,8 +159,8 @@ double Planner::search_lower_bound_ms(int S, int M, int D) const {
          (1.0 - 1e-9);
 }
 
-double Planner::combo_work_estimate(int S, int M, int D) const {
-  if (!combo_shape_valid(S, M, D)) {
+double Planner::combo_work_estimate(int S, int M, int D, int V) const {
+  if (!combo_shape_valid(S, M, D, V)) {
     return 0.0;
   }
   double layer_sq = 0.0;
@@ -135,7 +168,10 @@ double Planner::combo_work_estimate(int S, int M, int D) const {
     const double L = model_.components[b].num_layers();
     layer_sq += L * L;
   }
-  double work = layer_sq * D;
+  // Interleaved combos partition over the S*V-position virtual chain, so
+  // their DP table is L^2 x (S*V); plain combos use the physical chain (D
+  // positions).
+  double work = layer_sq * (V > 1 ? S * V : D);
   if (model_.backbone_ids.size() > 1) {
     work *= D;  // The bidirectional DP pairs every down/up device split.
   }
@@ -143,9 +179,9 @@ double Planner::combo_work_estimate(int S, int M, int D) const {
 }
 
 std::optional<Planner::Evaluation> Planner::evaluate(
-    int S, int M, int D, StageCostCache* external_cache,
+    int S, int M, int D, int V, StageCostCache* external_cache,
     bool enable_eval_cache) const {
-  if (!combo_shape_valid(S, M, D)) {
+  if (!combo_shape_valid(S, M, D, V)) {
     return std::nullopt;
   }
   const int world = cluster_.world_size();
@@ -180,7 +216,36 @@ std::optional<Planner::Evaluation> Planner::evaluate(
   const DpPartitioner partitioner(report_.db, comm_);
   const ScheduleBuilder builder(report_.db, comm_);
   Schedule schedule;
-  if (model_.backbone_ids.size() == 1) {
+  if (V > 1) {
+    // Interleaved placement: partition the backbone into S*V virtual
+    // stages over a synthetic identity chain (one replica per virtual
+    // stage, so the DP and the stage-cost cache see chain positions
+    // 0..S*V-1 — exactly the keys interleaved_stage_timings looks up),
+    // then remap the virtual chain round-robin onto the S physical
+    // devices.
+    const int St = S * V;
+    PartitionOptions chain_opts = opts;
+    chain_opts.num_stages = St;
+    chain_opts.group_size = St;
+    // Chain position s lives on physical device s % D, and a device's DP
+    // replicas are still D global ranks apart — so boundary links and
+    // allreduce groups are costed against the real placement even though
+    // the chain itself has S*V positions.
+    chain_opts.device_ranks.resize(St);
+    for (int s = 0; s < St; ++s) {
+      chain_opts.device_ranks[s] = s % D;
+    }
+    chain_opts.dp_rank_stride = D;
+    const PartitionResult part = partitioner.partition_single(
+        model_.backbone_ids[0], chain_opts, cache_ptr);
+    std::vector<StagePlan> stages = part.stages;
+    for (int s = 0; s < St; ++s) {
+      stages[s].device_ranks = {s % D};
+    }
+    opts.num_stages = St;
+    schedule = builder.build_interleaved(model_.backbone_ids[0], stages,
+                                         opts, cache_ptr);
+  } else if (model_.backbone_ids.size() == 1) {
     const PartitionResult part = partitioner.partition_single(
         model_.backbone_ids[0], opts, cache_ptr);
     schedule = builder.build_1f1b(model_.backbone_ids[0], part.stages, opts,
@@ -202,7 +267,7 @@ std::optional<Planner::Evaluation> Planner::evaluate(
     const MemoryReport memory =
         estimate_pipeline_memory(report_.db, schedule, opts);
     if (!memory.fits(cluster_.device.memory_gb)) {
-      eval.config = {S, M, D, dp, 0.0, 0.0, false};
+      eval.config = {S, M, D, dp, 0.0, 0.0, false, V};
       eval.opts = opts;
       eval.partition_wall_ms = elapsed_ms(partition_start);
       return eval;
@@ -226,6 +291,7 @@ std::optional<Planner::Evaluation> Planner::evaluate(
   eval.config.planned_bubble_ratio = bubble_ratio(
       eval.fill.filled_schedule, extract_bubbles(eval.fill.filled_schedule));
   eval.config.memory_feasible = true;
+  eval.config.vstages = V;
   return eval;
 }
 
@@ -237,7 +303,9 @@ Plan Planner::plan() const {
   for (const int D : options_.group_candidates) {
     for (const int S : options_.stage_candidates) {
       for (const int M : options_.micro_candidates) {
-        combos.push_back({S, M, D});
+        for (const int V : options_.vstage_candidates) {
+          combos.push_back({S, M, D, V});
+        }
       }
     }
   }
@@ -256,7 +324,7 @@ Plan Planner::plan() const {
   // plans, which is the point of having them.
   double grid_work = 0.0;
   for (const Combo& c : combos) {
-    grid_work += combo_work_estimate(c.S, c.M, c.D);
+    grid_work += combo_work_estimate(c.S, c.M, c.D, c.V);
   }
   const bool small_grid = grid_work < options_.parallel_work_threshold;
   const bool run_sequential = small_grid || options_.search_threads == 1;
@@ -272,10 +340,16 @@ Plan Planner::plan() const {
     const int world = cluster_.world_size();
     for (std::size_t i = 0; i < n; ++i) {
       const Combo& c = combos[i];
-      if (combo_shape_valid(c.S, c.M, c.D)) {
+      if (combo_shape_valid(c.S, c.M, c.D, c.V)) {
+        // Interleaved combos are keyed by their virtual chain length
+        // (S*V): their stage costs live at virtual chain positions, so
+        // they must not share a cache with the V == 1 combo of the same
+        // physical shape. S*V never collides with another combo's key in
+        // one grid (V > 1 forces D == S, so any same-D combo with
+        // S' == S*V fails D % S' == 0).
         const int dp = world / c.D;
         leases[i] = options_.cache_store->acquire(
-            context, world, c.S, c.M, c.D, dp,
+            context, world, c.S * c.V, c.M, c.D, dp,
             options_.global_batch / dp / c.M);
         combo_cache[i] = leases[i].cache();
       }
@@ -295,7 +369,8 @@ Plan Planner::plan() const {
   if (options_.enable_pruning) {
     std::vector<double> lb(n);
     for (std::size_t i = 0; i < n; ++i) {
-      lb[i] = search_lower_bound_ms(combos[i].S, combos[i].M, combos[i].D);
+      lb[i] = search_lower_bound_ms(combos[i].S, combos[i].M, combos[i].D,
+                                    combos[i].V);
     }
     for (std::size_t i = 0; i < n; ++i) {
       if (std::isfinite(lb[i]) &&
@@ -305,8 +380,8 @@ Plan Planner::plan() const {
     }
     if (seed_index != n) {
       seed_eval = evaluate(combos[seed_index].S, combos[seed_index].M,
-                           combos[seed_index].D, combo_cache[seed_index],
-                           eval_cache);
+                           combos[seed_index].D, combos[seed_index].V,
+                           combo_cache[seed_index], eval_cache);
       const double threshold =
           (seed_eval.has_value() && seed_eval->config.memory_feasible)
               ? seed_eval->config.predicted_iteration_ms
@@ -333,7 +408,7 @@ Plan Planner::plan() const {
   const auto evaluate_combo = [&](std::size_t i) {
     if (!skip[i]) {
       results[i] = evaluate(combos[i].S, combos[i].M, combos[i].D,
-                            combo_cache[i], eval_cache);
+                            combos[i].V, combo_cache[i], eval_cache);
     }
   };
   int threads_used = 1;
@@ -374,6 +449,8 @@ Plan Planner::plan() const {
 
   plan.search.threads = threads_used;
   plan.search.combos_total = static_cast<int>(n);
+  plan.search.vstage_axis =
+      static_cast<int>(options_.vstage_candidates.size());
   plan.search.combos_evaluated = static_cast<int>(n) - pruned_count;
   plan.search.combos_pruned = pruned_count;
   plan.search.cache_hits = cache_hits;

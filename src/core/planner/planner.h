@@ -35,10 +35,27 @@ struct PlannerOptions {
   /// CDM cascades clear the bar by an order of magnitude. 0 always fans
   /// out; the plan is bit-identical either way (ThreadPool contract).
   double parallel_work_threshold = 500e3;
-  /// Restrict the grid to D == S combos (one device per stage, no intra-
-  /// stage replication) — the shape the functional runtime can bind
-  /// (ProgramValidator::validate_runtime_bindable). Elastic re-plans set
+  /// Schedule family of the candidate plans. k1F1B (the default) is the
+  /// paper's single-backbone schedule; kInterleaved searches the virtual-
+  /// stage axis too: each (S, M, D, V) combo with V > 1 partitions the
+  /// backbone into S*V virtual stages placed round-robin on the group's S
+  /// devices (runtime-bindable shapes only, so D == S). V == 1 combos are
+  /// evaluated exactly like k1F1B ones. kGpipe/kBidirectional are not
+  /// searchable families (GPipe is a baseline; bidirectional is implied by
+  /// a two-backbone model).
+  ScheduleFamily schedule_family = ScheduleFamily::k1F1B;
+  /// V values for kInterleaved; default {1}. Values > 1 require
+  /// schedule_family == kInterleaved (the constructor rejects the
+  /// contradiction).
+  std::vector<int> vstage_candidates;
+  /// Placement validity predicate: restrict the grid to combos whose
+  /// placement the functional runtime can bind (every virtual stage owned
+  /// by exactly one device, i.e. D == S; see
+  /// ProgramValidator::validate_runtime_bindable). Elastic re-plans set
   /// this so every candidate program is executable.
+  bool require_bindable_placement = false;
+  /// Deprecated alias of require_bindable_placement (the historical name,
+  /// kept for wire compatibility). Setting either sets both.
   bool one_replica_per_stage = false;
   /// Reject combos whose micro-batch is fractional. The engine models
   /// fractional micro-batches fine; the functional runtime slices real
@@ -67,13 +84,14 @@ struct PlannerOptions {
 
 /// One evaluated hyper-parameter combination (for sweeps and benches).
 struct PlanConfig {
-  int num_stages = 0;
+  int num_stages = 0;  ///< Pipeline chain length (devices per group / S).
   int num_microbatches = 0;
   int group_size = 0;
   int data_parallel_degree = 0;
   double predicted_iteration_ms = 0.0;
   double planned_bubble_ratio = 0.0;  ///< After filling.
   bool memory_feasible = true;
+  int vstages = 1;  ///< Virtual stages per device (interleaved; else 1).
 
   friend bool operator==(const PlanConfig&, const PlanConfig&) = default;
 };
@@ -83,6 +101,7 @@ struct PlanConfig {
 struct PlanSearchStats {
   int threads = 0;           ///< Execution width actually used.
   int combos_total = 0;      ///< Grid points enumerated.
+  int vstage_axis = 1;       ///< V-axis size (vstage candidate count).
   int combos_evaluated = 0;  ///< evaluate() calls performed.
   int combos_pruned = 0;     ///< Skipped via the exact compute lower bound.
   std::size_t cache_hits = 0;    ///< StageCostCache hits, all evaluations.
@@ -131,9 +150,11 @@ class Planner {
   /// Estimated host work of evaluating one shape-valid combo, in the
   /// arbitrary units parallel_work_threshold is expressed in (roughly
   /// stage_cost evaluations: DP table size L^2 x D, with another device
-  /// factor for the bidirectional pairing loop). plan() sums this over the
-  /// grid to decide between sequential and parallel search.
-  [[nodiscard]] double combo_work_estimate(int S, int M, int D) const;
+  /// factor for the bidirectional pairing loop and a chain factor of S*V
+  /// for interleaved combos). plan() sums this over the grid to decide
+  /// between sequential and parallel search.
+  [[nodiscard]] double combo_work_estimate(int S, int M, int D,
+                                           int V = 1) const;
 
   /// Fills empty candidate lists with their defaults for a `world`-device
   /// cluster: S in {2, 4, 8}, M in {2, 4, 8, 16}, D over the divisors of
@@ -163,16 +184,19 @@ class Planner {
   /// adaptive path). Hit/miss stats in the returned Evaluation are deltas
   /// for this call either way.
   [[nodiscard]] std::optional<Evaluation> evaluate(
-      int S, int M, int D, StageCostCache* external_cache = nullptr,
+      int S, int M, int D, int V, StageCostCache* external_cache = nullptr,
       bool enable_eval_cache = true) const;
   /// The cheap structural validity checks shared by evaluate() and the
   /// pruning lower bound (divisibility, micro-batch >= 1 sample, enough
-  /// layers per stage, CDM self-conditioning exclusion).
-  [[nodiscard]] bool combo_shape_valid(int S, int M, int D) const;
-  /// Exact lower bound on any schedule's makespan for (S, M, D): total
-  /// backbone compute spread perfectly over the group's devices. +inf for
-  /// shape-invalid combos. See DESIGN.md §7.
-  [[nodiscard]] double search_lower_bound_ms(int S, int M, int D) const;
+  /// layers per stage, CDM self-conditioning exclusion, and the placement
+  /// predicate: bindable shapes for V > 1 or require_bindable_placement).
+  [[nodiscard]] bool combo_shape_valid(int S, int M, int D, int V = 1) const;
+  /// Exact lower bound on any schedule's makespan for (S, M, D, V): total
+  /// backbone compute spread perfectly over the group's devices (the V
+  /// axis redistributes stages, not compute, so the bound is V-free). +inf
+  /// for shape-invalid combos. See DESIGN.md §7.
+  [[nodiscard]] double search_lower_bound_ms(int S, int M, int D,
+                                             int V = 1) const;
 
   ModelDesc model_;
   ClusterSpec cluster_;

@@ -41,6 +41,8 @@ Schedule ScheduleBuilder::build_1f1b(int backbone_component,
   Schedule schedule = assemble_schedule(ops, times, devices_of_executor,
                                         opts.group_size, S, M);
   schedule.backbone_stages = {stages};
+  schedule.placement = {
+      backbone_placement(offsets, std::vector<int>(S, 0))};
   return schedule;
 }
 

@@ -61,6 +61,14 @@ Schedule ScheduleBuilder::build_bidirectional(
   Schedule schedule = assemble_schedule(ops, times, devices_of_executor,
                                         opts.group_size, S, M);
   schedule.backbone_stages = {down_stages, up_stages};
+  // Chain slot k hosts down stage k (slot 0) and up stage S-1-k (slot 1).
+  std::vector<int> up_offsets(S);
+  for (int s = 0; s < S; ++s) {
+    up_offsets[s] = offsets[S - 1 - s];
+  }
+  schedule.placement = {
+      backbone_placement(offsets, std::vector<int>(S, 0)),
+      backbone_placement(up_offsets, std::vector<int>(S, 1))};
   return schedule;
 }
 

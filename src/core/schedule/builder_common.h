@@ -30,10 +30,12 @@ inline double self_cond_factor(const PartitionOptions& opts) {
 
 inline std::vector<int> stage_sync_group(const StagePlan& stage,
                                          const PartitionOptions& opts) {
+  const int stride =
+      opts.dp_rank_stride > 0 ? opts.dp_rank_stride : opts.group_size;
   std::vector<int> group;
   for (int g = 0; g < opts.data_parallel_degree; ++g) {
     for (const int rank : stage.device_ranks) {
-      group.push_back(rank + g * opts.group_size);
+      group.push_back(rank + g * stride);
     }
   }
   return group;
@@ -123,6 +125,61 @@ inline std::vector<StageTiming> stage_timings(
           db.grad_range_mb(component, stage.layer_begin, stage.layer_end);
       t.sync_ms = comm.allreduce_ms(grad_mb, stage_sync_group(stage, opts));
     }
+    if (s > 0) {
+      const StagePlan& prev = stages[s - 1];
+      const double size_mb =
+          db.layer(component, stage.layer_begin - 1).output_mb * local_batch;
+      const LinkSpec link =
+          comm.p2p_link(prev.device_ranks.back(), stage.device_ranks.front());
+      const double base =
+          transfer_ms(size_mb, link.bandwidth_gbps) + link.latency_ms;
+      t.comm_in_ms = opts.comm_competition_factor * sc * base;
+      t.comm_out_bwd_ms = opts.comm_competition_factor * base;
+    }
+    timings.push_back(t);
+  }
+  return timings;
+}
+
+/// Per-stage timings of an interleaved (round-robin) placement. Stages
+/// have one replica each on physical chain position s % group_size. The
+/// planner partitions the virtual chain under a canonical identity layout
+/// (group_size == stages.size()), so its StageCostCache keys carry
+/// chain_begin == s with one replica; fwd/bwd sums transfer unchanged (the
+/// profile does not depend on placement) and are looked up directly
+/// instead of via stage_matches_chain. Sync and boundary comm DO depend on
+/// placement and are always recomputed against the physical ranks — with
+/// V == 1 (identity placement) every expression below matches
+/// stage_timings bit-for-bit.
+inline std::vector<StageTiming> interleaved_stage_timings(
+    const ProfileDb& db, const CommModel& comm, int component,
+    const std::vector<StagePlan>& stages, const PartitionOptions& opts,
+    const StageCostCache* cache = nullptr) {
+  std::vector<StageTiming> timings;
+  timings.reserve(stages.size());
+  const double sc = self_cond_factor(opts);
+  for (std::size_t s = 0; s < stages.size(); ++s) {
+    const StagePlan& stage = stages[s];
+    const double local_batch = opts.microbatch_size;  // One replica.
+    StageTiming t;
+    const StageCost* hit =
+        cache == nullptr
+            ? nullptr
+            : cache->find({component, stage.layer_begin, stage.layer_end, 1,
+                           static_cast<int>(s), PipeDirection::kDown});
+    if (hit != nullptr) {
+      t.fwd_ms = sc * hit->fwd_ms;
+      t.bwd_ms = hit->bwd_ms;
+    } else {
+      t.fwd_ms = sc * db.fwd_range_ms(component, stage.layer_begin,
+                                      stage.layer_end, local_batch);
+      t.bwd_ms = db.bwd_range_ms(component, stage.layer_begin,
+                                 stage.layer_end, local_batch);
+    }
+    const double grad_mb =
+        kGradCommBytesFactor *
+        db.grad_range_mb(component, stage.layer_begin, stage.layer_end);
+    t.sync_ms = comm.allreduce_ms(grad_mb, stage_sync_group(stage, opts));
     if (s > 0) {
       const StagePlan& prev = stages[s - 1];
       const double size_mb =
@@ -318,6 +375,18 @@ inline Schedule assemble_schedule(
               });
   }
   return schedule;
+}
+
+/// One backbone's stage→(device, slot) map from its chain offsets: stage s
+/// lives at chain position offset[s] (its first replica) with slot
+/// `slot_of_stage[s]` within that device's owned-stage list.
+inline std::vector<StagePlacement> backbone_placement(
+    const std::vector<int>& offsets, const std::vector<int>& slots) {
+  std::vector<StagePlacement> placement(offsets.size());
+  for (std::size_t s = 0; s < offsets.size(); ++s) {
+    placement[s] = {offsets[s], slots[s]};
+  }
+  return placement;
 }
 
 inline void check_stages(const std::vector<StagePlan>& stages,

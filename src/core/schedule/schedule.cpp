@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <limits>
+#include <stdexcept>
+#include <string>
 
 namespace dpipe {
 
@@ -25,6 +27,37 @@ const char* to_string(OpKind kind) {
       return "optimizer";
   }
   return "unknown";
+}
+
+const char* to_string(ScheduleFamily family) {
+  switch (family) {
+    case ScheduleFamily::k1F1B:
+      return "1f1b";
+    case ScheduleFamily::kGpipe:
+      return "gpipe";
+    case ScheduleFamily::kBidirectional:
+      return "bidir";
+    case ScheduleFamily::kInterleaved:
+      return "interleaved";
+  }
+  return "unknown";
+}
+
+ScheduleFamily parse_schedule_family(const std::string& name) {
+  if (name == "1f1b") {
+    return ScheduleFamily::k1F1B;
+  }
+  if (name == "gpipe") {
+    return ScheduleFamily::kGpipe;
+  }
+  if (name == "bidir") {
+    return ScheduleFamily::kBidirectional;
+  }
+  if (name == "interleaved") {
+    return ScheduleFamily::kInterleaved;
+  }
+  throw std::invalid_argument("unknown schedule family \"" + name +
+                              "\" (expected 1f1b|gpipe|bidir|interleaved)");
 }
 
 double bubble_ratio(const Schedule& schedule,

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "cluster/comm_model.h"
@@ -21,6 +22,31 @@ enum class OpKind {
 };
 
 [[nodiscard]] const char* to_string(OpKind kind);
+
+/// The schedule families the builders (and the planner's search) know.
+/// kInterleaved is the Megatron/JaxPP-style looping placement: each device
+/// owns V non-contiguous virtual stages round-robin (stage s on device
+/// s % D), shrinking the warm-up/cool-down bubble by ~1/V.
+enum class ScheduleFamily { k1F1B, kGpipe, kBidirectional, kInterleaved };
+
+[[nodiscard]] const char* to_string(ScheduleFamily family);
+
+/// Parses "1f1b" | "gpipe" | "bidir" | "interleaved"; throws on anything
+/// else (the CLI surface of --schedule=).
+[[nodiscard]] ScheduleFamily parse_schedule_family(const std::string& name);
+
+/// One entry of the stage→(device, slot) ownership map: the chain position
+/// that owns a stage, and the stage's index within that device's ordered
+/// virtual-stage list. The explicit form of what used to be an implicit
+/// stage↔device bijection.
+struct StagePlacement {
+  int device = 0;
+  int slot = 0;
+
+  friend bool operator==(const StagePlacement& a, const StagePlacement& b) {
+    return a.device == b.device && a.slot == b.slot;
+  }
+};
 
 /// A scheduled operation with resolved times. Compute ops occupy all
 /// devices of their stage; link ops (kGradSync) occupy none.
@@ -65,6 +91,13 @@ struct Schedule {
   /// Stage plans per backbone, in pipeline order (needed by the filler and
   /// instruction generator to map stages to devices).
   std::vector<std::vector<StagePlan>> backbone_stages;
+  /// placement[b][s]: which chain position owns backbone b's stage s, and
+  /// at which slot of that device's ordered virtual-stage list. Replicated
+  /// stages record their first chain position. One-stage-per-device
+  /// families (1F1B, GPipe) are all slot 0; bidirectional devices host a
+  /// down stage (slot 0) and an up stage (slot 1); interleaved devices
+  /// host V stages (stage s → device s % D, slot s / D).
+  std::vector<std::vector<StagePlacement>> placement;
 };
 
 /// Sum over bubbles of (duration x idle devices) / (makespan x all devices)
@@ -98,6 +131,21 @@ class ScheduleBuilder {
                                      const PartitionOptions& opts,
                                      const StageCostCache* cache
                                      = nullptr) const;
+
+  /// Interleaved 1F1B (Megatron/JaxPP-style looping placement): the group's
+  /// opts.group_size devices each own stages.size() / group_size virtual
+  /// stages round-robin — stage s runs on device s % group_size — so every
+  /// stage must have exactly one replica and opts.num_stages must equal
+  /// stages.size() (= V * group_size). Each device interleaves its owned
+  /// stages' 1F1B queues greedily. With V == 1 the result is bit-identical
+  /// to build_1f1b; V > 1 needs group_size >= 2 (a device never sends to
+  /// itself).
+  [[nodiscard]] Schedule build_interleaved(int backbone_component,
+                                           const std::vector<StagePlan>&
+                                               stages,
+                                           const PartitionOptions& opts,
+                                           const StageCostCache* cache
+                                           = nullptr) const;
 
   /// Bidirectional schedule (paper Fig. 3): down backbone stage k and up
   /// backbone stage S-1-k share chain position k. Up stages must be given

@@ -108,28 +108,6 @@ class ReduceBarrier {
          kind == InstrKind::kOptimizerStep;
 }
 
-/// Stage (component, layer range, stream position) facts of one device,
-/// extracted from its already-validated stream.
-struct DeviceStage {
-  int stage = -1;
-  int layer_begin = 0;
-  int layer_end = 0;
-};
-
-[[nodiscard]] DeviceStage device_stage(
-    const std::vector<Instruction>& stream) {
-  DeviceStage out;
-  for (const Instruction& instr : stream) {
-    if (instr.kind == InstrKind::kForward) {
-      out.stage = instr.stage;
-      out.layer_begin = instr.layer_begin;
-      out.layer_end = instr.layer_end;
-      return out;
-    }
-  }
-  return out;
-}
-
 /// DPIPE_WAVE_EXEC resolution for WaveExec::kAuto: explicit env override,
 /// else serial exactly when the host has nothing to run threads on.
 [[nodiscard]] WaveExec resolve_wave_exec_auto() {
@@ -149,7 +127,7 @@ struct DeviceStage {
 
 std::atomic<WaveExec> g_wave_exec{WaveExec::kAuto};
 
-/// Everything one train_wave's per-(replica, stage) tasks share. Owned by
+/// Everything one train_wave's per-(replica, device) tasks share. Owned by
 /// train_wave's frame; tasks hold a reference.
 struct TrainWave {
   const ProgramBinding& b;
@@ -173,34 +151,38 @@ struct TrainWave {
   std::vector<std::vector<Tensor>>& preds;
 };
 
-/// Resumable execution state of one (replica g, stage s) training task —
+/// Resumable execution state of one (replica g, device dev) training task —
 /// the historical per-thread lambda body with its locals lifted into
-/// members and an instruction cursor. The threaded scheduler calls
-/// run(true) once: identical behavior to the old thread body. The
-/// cooperative scheduler calls run(false) repeatedly: the task executes
-/// until its next channel pop or barrier would block, returns kBlocked
-/// with all state intact, and resumes exactly where it stopped. Suspension
-/// points carry no partial arithmetic, so the two schedules produce
-/// bit-identical tensors.
-class StageExec {
+/// members and an instruction cursor. One task walks its device's whole
+/// instruction stream, dispatching each op onto the owned (virtual) stage
+/// it names: per-stage inbox/barrier state is indexed by the stage's slot,
+/// so an interleaved device drives V resumable stage machines from one
+/// cursor. With one stage per device this is exactly the historical
+/// per-(replica, stage) task. The threaded scheduler calls run(true) once:
+/// identical behavior to the old thread body. The cooperative scheduler
+/// calls run(false) repeatedly: the task executes until its next channel
+/// pop or barrier would block, returns kBlocked with all state intact, and
+/// resumes exactly where it stopped. Suspension points carry no partial
+/// arithmetic, so the two schedules produce bit-identical tensors.
+class DeviceExec {
  public:
   enum class Status { kBlocked, kDone };
 
-  StageExec(TrainWave& w, int g, int s)
+  DeviceExec(TrainWave& w, int g, int dev)
       : w_(w),
         g_(g),
-        s_(s),
-        dev_(w.b.device_of_stage(s)),
-        stream_(w.b.program().per_device[dev_]),
+        dev_(dev),
+        stream_(w.b.program().per_device[dev]),
         in_(w.inputs[g]),
         replica_(w.replicas[g]),
-        mb_(w.b.module_begin(s)),
-        me_(w.b.module_end(s)),
-        loaded_(w.M),       // Stage-0 assembled inputs.
-        inbox_act_(w.M),    // Received activations.
-        inbox_grad_(w.M),   // Received gradients.
-        local_grads_(w.M)   // Last stage's loss grads.
-  {}
+        owned_(w.b.stages_of_device(dev)),
+        loaded_(w.M),  // Stage-0 assembled inputs.
+        inbox_act_(owned_.size(),
+                   std::vector<Tensor>(w.M)),  // Received activations.
+        inbox_grad_(owned_.size(),
+                    std::vector<Tensor>(w.M)),  // Received gradients.
+        local_grads_(w.M),                      // Last stage's loss grads.
+        barrier_arrived_(owned_.size(), 0) {}
 
   /// Executes instructions from the cursor. With may_block the call waits
   /// inside channel/barrier ops and never returns kBlocked. Throws on
@@ -246,26 +228,24 @@ class StageExec {
 
   TrainWave& w_;
   int g_;
-  int s_;
   int dev_;
   const std::vector<Instruction>& stream_;
   const ProgramInterpreter::WaveInputs& in_;
   const ProgramInterpreter::ReplicaState& replica_;
-  int mb_;
-  int me_;
+  const std::vector<int>& owned_;  ///< Stages this device owns, slot order.
   std::vector<Tensor> loaded_;
-  std::vector<Tensor> inbox_act_;
-  std::vector<Tensor> inbox_grad_;
+  std::vector<std::vector<Tensor>> inbox_act_;   ///< [slot][micro].
+  std::vector<std::vector<Tensor>> inbox_grad_;  ///< [slot][micro].
   std::vector<Tensor> local_grads_;
   bool gate_passed_ = false;
   int frozen_seen_ = 0;
   std::size_t ip_ = 0;      ///< Next instruction to execute.
   std::size_t logged_ = 0;  ///< Instructions already logged (once each).
-  bool barrier_arrived_ = false;
+  std::vector<char> barrier_arrived_;  ///< [slot].
   bool progressed_ = false;
 };
 
-StageExec::Status StageExec::run(bool may_block) {
+DeviceExec::Status DeviceExec::run(bool may_block) {
   progressed_ = false;
   TensorPool& pool = TensorPool::global();
   while (ip_ < stream_.size()) {
@@ -306,10 +286,11 @@ StageExec::Status StageExec::run(bool may_block) {
         break;
       }
       case InstrKind::kRecvActivation: {
+        const int s = instr.stage;
         Tensor recv;
-        switch (pop_from(w_.act[g_ * w_.S + (s_ - 1)], may_block, recv)) {
+        switch (pop_from(w_.act[g_ * w_.S + (s - 1)], may_block, recv)) {
           case PopOutcome::kOk:
-            inbox_act_[instr.micro] = std::move(recv);
+            inbox_act_[w_.b.slot_of_stage(s)][instr.micro] = std::move(recv);
             break;
           case PopOutcome::kWouldBlock:
             return Status::kBlocked;
@@ -319,10 +300,11 @@ StageExec::Status StageExec::run(bool may_block) {
         break;
       }
       case InstrKind::kRecvGradient: {
+        const int s = instr.stage;
         Tensor recv;
-        switch (pop_from(w_.grad[g_ * w_.S + s_], may_block, recv)) {
+        switch (pop_from(w_.grad[g_ * w_.S + s], may_block, recv)) {
           case PopOutcome::kOk:
-            inbox_grad_[instr.micro] = std::move(recv);
+            inbox_grad_[w_.b.slot_of_stage(s)][instr.micro] = std::move(recv);
             break;
           case PopOutcome::kWouldBlock:
             return Status::kBlocked;
@@ -332,49 +314,57 @@ StageExec::Status StageExec::run(bool may_block) {
         break;
       }
       case InstrKind::kForward: {
+        const int s = instr.stage;
+        const int slot = w_.b.slot_of_stage(s);
         const int m = instr.micro;
         if (w_.fault.armed() && w_.iteration == w_.fault.iteration &&
-            g_ == w_.fault.replica && s_ == w_.fault.stage &&
+            g_ == w_.fault.replica && s == w_.fault.stage &&
             m == w_.fault.micro) {
           throw StageFailure("injected stage failure: iteration " +
                              std::to_string(w_.iteration) + ", stage " +
-                             std::to_string(s_) + ", micro " +
+                             std::to_string(s) + ", micro " +
                              std::to_string(m));
         }
         Tensor x =
-            s_ == 0 ? std::move(loaded_[m]) : std::move(inbox_act_[m]);
-        Tensor y = replica_.net->forward_range(std::move(x), mb_, me_);
-        if (s_ == w_.S - 1) {
+            s == 0 ? std::move(loaded_[m]) : std::move(inbox_act_[slot][m]);
+        Tensor y = replica_.net->forward_range(
+            std::move(x), w_.b.module_begin(s), w_.b.module_end(s));
+        if (s == w_.S - 1) {
           local_grads_[m] =
               w_.problem.loss_grad(y, in_.micros[m].noise, w_.global_batch);
           w_.preds[g_][m] = std::move(y);
         } else {
-          inbox_act_[m] = std::move(y);  // Outbox until the send.
+          inbox_act_[slot][m] = std::move(y);  // Outbox until the send.
         }
         break;
       }
       case InstrKind::kSendActivation: {
-        if (!w_.act[g_ * w_.S + s_].push(
-                std::move(inbox_act_[instr.micro]))) {
+        const int s = instr.stage;
+        if (!w_.act[g_ * w_.S + s].push(std::move(
+                inbox_act_[w_.b.slot_of_stage(s)][instr.micro]))) {
           return finish();  // Consumer gone: the wave is being aborted.
         }
         break;
       }
       case InstrKind::kBackward: {
+        const int s = instr.stage;
+        const int slot = w_.b.slot_of_stage(s);
         const int m = instr.micro;
-        Tensor gin = s_ == w_.S - 1 ? std::move(local_grads_[m])
-                                    : std::move(inbox_grad_[m]);
-        Tensor gout = replica_.net->backward_range(std::move(gin), mb_, me_);
-        if (s_ == 0) {
+        Tensor gin = s == w_.S - 1 ? std::move(local_grads_[m])
+                                   : std::move(inbox_grad_[slot][m]);
+        Tensor gout = replica_.net->backward_range(
+            std::move(gin), w_.b.module_begin(s), w_.b.module_end(s));
+        if (s == 0) {
           pool.release(std::move(gout));
         } else {
-          inbox_grad_[m] = std::move(gout);  // Outbox until the send.
+          inbox_grad_[slot][m] = std::move(gout);  // Outbox until the send.
         }
         break;
       }
       case InstrKind::kSendGradient: {
-        if (!w_.grad[g_ * w_.S + (s_ - 1)].push(
-                std::move(inbox_grad_[instr.micro]))) {
+        const int s = instr.stage;
+        if (!w_.grad[g_ * w_.S + (s - 1)].push(std::move(
+                inbox_grad_[w_.b.slot_of_stage(s)][instr.micro]))) {
           return finish();  // Consumer gone: the wave is being aborted.
         }
         break;
@@ -404,36 +394,42 @@ StageExec::Status StageExec::run(bool may_block) {
         break;
       }
       case InstrKind::kAllReduceGrads: {
+        const int s = instr.stage;
         const auto reduce = [&] {
           // Sum replica gradients (ascending replica order) and broadcast
           // the result — micro gradients are already global-batch
           // normalized, so the sum IS the full-batch gradient.
-          for (std::size_t i = 0; i < w_.stage_grads[0][s_].size(); ++i) {
-            Tensor avg = pool.acquire(w_.stage_grads[0][s_][i]->shape());
-            std::copy(w_.stage_grads[0][s_][i]->data(),
-                      w_.stage_grads[0][s_][i]->data() + avg.numel(),
+          for (std::size_t i = 0; i < w_.stage_grads[0][s].size(); ++i) {
+            Tensor avg = pool.acquire(w_.stage_grads[0][s][i]->shape());
+            std::copy(w_.stage_grads[0][s][i]->data(),
+                      w_.stage_grads[0][s][i]->data() + avg.numel(),
                       avg.data());
             for (int r = 1; r < w_.G; ++r) {
-              add_inplace(avg, *w_.stage_grads[r][s_][i]);
+              add_inplace(avg, *w_.stage_grads[r][s][i]);
             }
             for (int r = 0; r < w_.G; ++r) {
               std::copy(avg.data(), avg.data() + avg.numel(),
-                        w_.stage_grads[r][s_][i]->data());
+                        w_.stage_grads[r][s][i]->data());
             }
             pool.release(std::move(avg));
           }
         };
         if (may_block) {
-          if (!w_.barriers[s_]->arrive_and_wait(reduce)) {
+          if (!w_.barriers[s]->arrive_and_wait(reduce)) {
             return finish();  // Wave aborted while waiting for peers.
           }
         } else {
           // Registering this task's arrival can complete the barrier for a
           // peer — that counts as progress for the livelock guard.
-          if (!barrier_arrived_) {
+          bool arrived =
+              barrier_arrived_[w_.b.slot_of_stage(s)] != 0;
+          if (!arrived) {
             progressed_ = true;
           }
-          switch (w_.barriers[s_]->try_arrive(barrier_arrived_, reduce)) {
+          const ReduceBarrier::TryArrive outcome =
+              w_.barriers[s]->try_arrive(arrived, reduce);
+          barrier_arrived_[w_.b.slot_of_stage(s)] = arrived ? 1 : 0;
+          switch (outcome) {
             case ReduceBarrier::TryArrive::kReduced:
               break;
             case ReduceBarrier::TryArrive::kPending:
@@ -445,13 +441,14 @@ StageExec::Status StageExec::run(bool may_block) {
         break;
       }
       case InstrKind::kOptimizerStep: {
+        const int s = instr.stage;
         if (!replica_.stage_adam.empty()) {
-          replica_.stage_adam[s_]->step(w_.stage_params[g_][s_],
-                                        w_.stage_grads[g_][s_]);
+          replica_.stage_adam[s]->step(w_.stage_params[g_][s],
+                                       w_.stage_grads[g_][s]);
         } else {
-          replica_.sgd->step(w_.stage_params[g_][s_], w_.stage_grads[g_][s_]);
+          replica_.sgd->step(w_.stage_params[g_][s], w_.stage_grads[g_][s]);
         }
-        for (Tensor* gt : w_.stage_grads[g_][s_]) {
+        for (Tensor* gt : w_.stage_grads[g_][s]) {
           fill(*gt, 0.0f);
         }
         break;
@@ -503,38 +500,50 @@ ProgramBinding::ProgramBinding(const InstructionProgram& program,
   DPIPE_REQUIRE(opts.rows_per_replica >= 1,
                 "rows_per_replica must be positive");
 
-  // Device <-> stage bijection (guaranteed by validate_runtime_bindable).
+  // Stage ownership cover (each stage owned by exactly one device —
+  // guaranteed by validate_runtime_bindable). A device's owned stages are
+  // recorded in stream (slot) order; per-stage planner layer ranges come
+  // from the first forward op of each stage.
   const int devices = program_.group_size;
-  stage_of_device_.assign(devices, -1);
-  std::vector<DeviceStage> stages(devices);
+  stages_of_device_.assign(devices, {});
+  std::map<int, std::pair<int, int>> stage_layers;  // stage -> [begin, end)
   for (int dev = 0; dev < devices; ++dev) {
-    stages[dev] = device_stage(program_.per_device[dev]);
-    DPIPE_ENSURE(stages[dev].stage >= 0, "device hosts no backbone stage");
-    stage_of_device_[dev] = stages[dev].stage;
-  }
-  num_stages_ = devices;
-  device_of_stage_.assign(num_stages_, -1);
-  for (int dev = 0; dev < devices; ++dev) {
-    device_of_stage_[stage_of_device_[dev]] = dev;
-  }
-  for (const std::vector<Instruction>& stream : program_.per_device) {
-    for (const Instruction& instr : stream) {
-      if (instr.kind == InstrKind::kForward) {
-        num_micros_ = std::max(num_micros_, instr.micro + 1);
+    for (const Instruction& instr : program_.per_device[dev]) {
+      if (instr.kind != InstrKind::kForward) {
+        continue;
       }
+      if (stage_layers
+              .emplace(instr.stage,
+                       std::make_pair(instr.layer_begin, instr.layer_end))
+              .second) {
+        stages_of_device_[dev].push_back(instr.stage);
+      }
+      num_micros_ = std::max(num_micros_, instr.micro + 1);
+    }
+    DPIPE_ENSURE(!stages_of_device_[dev].empty(),
+                 "device hosts no backbone stage");
+  }
+  num_stages_ = static_cast<int>(stage_layers.size());
+  device_of_stage_.assign(num_stages_, -1);
+  slot_of_stage_.assign(num_stages_, 0);
+  for (int dev = 0; dev < devices; ++dev) {
+    for (std::size_t slot = 0; slot < stages_of_device_[dev].size(); ++slot) {
+      const int s = stages_of_device_[dev][slot];
+      device_of_stage_[s] = dev;
+      slot_of_stage_[s] = static_cast<int>(slot);
     }
   }
 
   // Map planner layer cuts onto runtime module indices. Proportional and
   // monotone (each stage keeps at least one module); the identity mapping
   // when the planner layer count equals the module count.
-  const int planner_layers = stages[device_of_stage_[num_stages_ - 1]].layer_end;
+  const int planner_layers = stage_layers.at(num_stages_ - 1).second;
   DPIPE_REQUIRE(opts.num_modules >= num_stages_,
                 "more pipeline stages than runtime modules");
   module_cut_.assign(num_stages_ + 1, 0);
   module_cut_[num_stages_] = opts.num_modules;
   for (int s = 1; s < num_stages_; ++s) {
-    const int begin = stages[device_of_stage_[s]].layer_begin;
+    const int begin = stage_layers.at(s).first;
     const int mapped = static_cast<int>(std::llround(
         static_cast<double>(begin) * opts.num_modules / planner_layers));
     module_cut_[s] = std::clamp(mapped, module_cut_[s - 1] + 1,
@@ -718,7 +727,9 @@ double ProgramInterpreter::train_wave(
   for (int g = 0; g < G; ++g) {
     preds[g].resize(M);
   }
-  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(G) * S);
+  const int devices = b.program().group_size;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(G) *
+                                         devices);
 
   TrainWave wave{b,         *problem_,  replicas,  inputs,   global_batch_,
                  iteration, fault,      log,       S,        M,
@@ -728,12 +739,12 @@ double ProgramInterpreter::train_wave(
   if (wave_exec() == WaveExec::kSerial) {
     // Cooperative round-robin on this thread: every task runs until its
     // next pop/barrier would block, then yields. Bit-identical to the
-    // threaded schedule (see WaveExec) without G*S spawns per wave.
-    std::vector<std::unique_ptr<StageExec>> tasks;
-    tasks.reserve(static_cast<std::size_t>(G) * S);
+    // threaded schedule (see WaveExec) without G*devices spawns per wave.
+    std::vector<std::unique_ptr<DeviceExec>> tasks;
+    tasks.reserve(static_cast<std::size_t>(G) * devices);
     for (int g = 0; g < G; ++g) {
-      for (int s = 0; s < S; ++s) {
-        tasks.push_back(std::make_unique<StageExec>(wave, g, s));
+      for (int dev = 0; dev < devices; ++dev) {
+        tasks.push_back(std::make_unique<DeviceExec>(wave, g, dev));
       }
     }
     std::vector<char> done(tasks.size(), 0);
@@ -745,7 +756,7 @@ double ProgramInterpreter::train_wave(
           continue;
         }
         try {
-          if (tasks[t]->run(false) == StageExec::Status::kDone) {
+          if (tasks[t]->run(false) == DeviceExec::Status::kDone) {
             done[t] = 1;
             --remaining;
             progressed = true;
@@ -768,14 +779,14 @@ double ProgramInterpreter::train_wave(
     }
   } else {
     std::vector<std::thread> threads;
-    threads.reserve(static_cast<std::size_t>(G) * S);
+    threads.reserve(static_cast<std::size_t>(G) * devices);
     for (int g = 0; g < G; ++g) {
-      for (int s = 0; s < S; ++s) {
-        threads.emplace_back([&wave, &errors, &abort_all, g, s, S] {
+      for (int dev = 0; dev < devices; ++dev) {
+        threads.emplace_back([&wave, &errors, &abort_all, g, dev, devices] {
           try {
-            StageExec(wave, g, s).run(true);
+            DeviceExec(wave, g, dev).run(true);
           } catch (...) {
-            errors[static_cast<std::size_t>(g) * S + s] =
+            errors[static_cast<std::size_t>(g) * devices + dev] =
                 std::current_exception();
             abort_all();
           }
@@ -786,10 +797,11 @@ double ProgramInterpreter::train_wave(
       t.join();
     }
   }
-  for (int s = 0; s < S; ++s) {
+  for (int dev = 0; dev < devices; ++dev) {
     for (int g = 0; g < G; ++g) {
-      if (errors[static_cast<std::size_t>(g) * S + s] != nullptr) {
-        std::rethrow_exception(errors[static_cast<std::size_t>(g) * S + s]);
+      if (errors[static_cast<std::size_t>(g) * devices + dev] != nullptr) {
+        std::rethrow_exception(
+            errors[static_cast<std::size_t>(g) * devices + dev]);
       }
     }
   }
@@ -819,31 +831,31 @@ double ProgramInterpreter::train_wave(
 
 namespace {
 
-/// Resumable per-stage state of one forward_wave (the no-grad
-/// self-conditioning pass) — same scheduling contract as StageExec.
+/// Resumable per-device state of one forward_wave (the no-grad
+/// self-conditioning pass) — same scheduling and stage-dispatch contract
+/// as DeviceExec.
 class ForwardExec {
  public:
   enum class Status { kBlocked, kDone };
 
   ForwardExec(const ProgramBinding& b, const DdpmProblem& problem,
               const ProgramInterpreter::ReplicaState& replica,
-              const ProgramInterpreter::WaveInputs& inputs, int s, int S,
+              const ProgramInterpreter::WaveInputs& inputs, int dev, int S,
               int M, int per_micro, std::vector<Channel<Tensor>>& act,
               std::vector<Tensor>& outputs)
-      : problem_(problem),
+      : b_(b),
+        problem_(problem),
         replica_(replica),
         in_(inputs),
-        s_(s),
         S_(S),
         M_(M),
         per_micro_(per_micro),
         act_(act),
         outputs_(outputs),
-        stream_(b.program().per_device[b.device_of_stage(s)]),
-        mb_(b.module_begin(s)),
-        me_(b.module_end(s)),
+        stream_(b.program().per_device[dev]),
+        owned_(b.stages_of_device(dev)),
         loaded_(M),
-        inbox_(M) {}
+        inbox_(owned_.size(), std::vector<Tensor>(M)) {}
 
   Status run(bool may_block) {
     progressed_ = false;
@@ -859,17 +871,19 @@ class ForwardExec {
           break;
         }
         case InstrKind::kRecvActivation: {
+          const int s = instr.stage;
+          const int slot = b_.slot_of_stage(s);
           if (may_block) {
-            std::optional<Tensor> recv = act_[s_ - 1].pop();
+            std::optional<Tensor> recv = act_[s - 1].pop();
             if (!recv.has_value()) {
               return finish();
             }
-            inbox_[instr.micro] = std::move(*recv);
+            inbox_[slot][instr.micro] = std::move(*recv);
           } else {
             Tensor recv;
-            switch (act_[s_ - 1].try_pop(recv)) {
+            switch (act_[s - 1].try_pop(recv)) {
               case TryPop::kValue:
-                inbox_[instr.micro] = std::move(recv);
+                inbox_[slot][instr.micro] = std::move(recv);
                 break;
               case TryPop::kEmpty:
                 return Status::kBlocked;
@@ -880,18 +894,24 @@ class ForwardExec {
           break;
         }
         case InstrKind::kForward: {
+          const int s = instr.stage;
+          const int slot = b_.slot_of_stage(s);
           const int m = instr.micro;
-          Tensor x = s_ == 0 ? std::move(loaded_[m]) : std::move(inbox_[m]);
-          Tensor y = replica_.net->forward_range(std::move(x), mb_, me_);
-          if (s_ == S_ - 1) {
+          Tensor x =
+              s == 0 ? std::move(loaded_[m]) : std::move(inbox_[slot][m]);
+          Tensor y = replica_.net->forward_range(
+              std::move(x), b_.module_begin(s), b_.module_end(s));
+          if (s == S_ - 1) {
             outputs_[m] = std::move(y);
           } else {
-            inbox_[m] = std::move(y);
+            inbox_[slot][m] = std::move(y);
           }
           break;
         }
         case InstrKind::kSendActivation: {
-          if (!act_[s_].push(std::move(inbox_[instr.micro]))) {
+          const int s = instr.stage;
+          if (!act_[s].push(
+                  std::move(inbox_[b_.slot_of_stage(s)][instr.micro]))) {
             return finish();
           }
           break;
@@ -902,11 +922,14 @@ class ForwardExec {
       ++ip_;
       progressed_ = true;
     }
-    // Discard the stashed contexts of this no-grad pass. Reached only on
-    // natural completion (an aborted task skips it, like the historical
-    // early thread exit).
-    for (int m = 0; m < M_; ++m) {
-      replica_.net->drop_context_range(mb_, me_);
+    // Discard the stashed contexts of this no-grad pass, per owned stage.
+    // Reached only on natural completion (an aborted task skips it, like
+    // the historical early thread exit).
+    for (const int s : owned_) {
+      for (int m = 0; m < M_; ++m) {
+        replica_.net->drop_context_range(b_.module_begin(s),
+                                         b_.module_end(s));
+      }
     }
     progressed_ = true;
     return Status::kDone;
@@ -921,20 +944,19 @@ class ForwardExec {
     return Status::kDone;
   }
 
+  const ProgramBinding& b_;
   const DdpmProblem& problem_;
   const ProgramInterpreter::ReplicaState& replica_;
   const ProgramInterpreter::WaveInputs& in_;
-  int s_;
   int S_;
   int M_;
   int per_micro_;
   std::vector<Channel<Tensor>>& act_;
   std::vector<Tensor>& outputs_;
   const std::vector<Instruction>& stream_;
-  int mb_;
-  int me_;
+  const std::vector<int>& owned_;  ///< Stages this device owns, slot order.
   std::vector<Tensor> loaded_;
-  std::vector<Tensor> inbox_;
+  std::vector<std::vector<Tensor>> inbox_;  ///< [slot][micro].
   std::size_t ip_ = 0;
   bool progressed_ = false;
 };
@@ -950,9 +972,10 @@ std::vector<Tensor> ProgramInterpreter::forward_wave(
                 "micro-batch count mismatch with the program");
   DPIPE_REQUIRE(inputs.cond != nullptr, "wave needs encoder outputs");
   const int per_micro = b.rows_per_replica() / M;
+  const int devices = b.program().group_size;
   std::vector<Channel<Tensor>> act(S);
   std::vector<Tensor> outputs(M);
-  std::vector<std::exception_ptr> errors(S);
+  std::vector<std::exception_ptr> errors(devices);
   const auto abort_all = [&] {
     for (Channel<Tensor>& ch : act) {
       ch.close();
@@ -961,10 +984,10 @@ std::vector<Tensor> ProgramInterpreter::forward_wave(
 
   if (wave_exec() == WaveExec::kSerial) {
     std::vector<std::unique_ptr<ForwardExec>> tasks;
-    tasks.reserve(S);
-    for (int s = 0; s < S; ++s) {
+    tasks.reserve(devices);
+    for (int dev = 0; dev < devices; ++dev) {
       tasks.push_back(std::make_unique<ForwardExec>(
-          b, *problem_, replica, inputs, s, S, M, per_micro, act, outputs));
+          b, *problem_, replica, inputs, dev, S, M, per_micro, act, outputs));
     }
     std::vector<char> done(tasks.size(), 0);
     std::size_t remaining = tasks.size();
@@ -995,15 +1018,15 @@ std::vector<Tensor> ProgramInterpreter::forward_wave(
     }
   } else {
     std::vector<std::thread> threads;
-    threads.reserve(S);
-    for (int s = 0; s < S; ++s) {
-      threads.emplace_back([&, s] {
+    threads.reserve(devices);
+    for (int dev = 0; dev < devices; ++dev) {
+      threads.emplace_back([&, dev] {
         try {
-          ForwardExec(b, *problem_, replica, inputs, s, S, M, per_micro, act,
-                      outputs)
+          ForwardExec(b, *problem_, replica, inputs, dev, S, M, per_micro,
+                      act, outputs)
               .run(true);
         } catch (...) {
-          errors[s] = std::current_exception();
+          errors[dev] = std::current_exception();
           abort_all();
         }
       });
@@ -1144,7 +1167,20 @@ TrainerLowering lower_trainer_program(const TrainerLoweringSpec& spec) {
   DPIPE_REQUIRE(G >= 1, "need at least one replica");
   DPIPE_REQUIRE(spec.global_batch % (G * M) == 0,
                 "global batch must divide into replicas x micro-batches");
-  DPIPE_REQUIRE(spec.num_modules >= S, "more stages than runtime modules");
+  DPIPE_REQUIRE(spec.family == ScheduleFamily::k1F1B ||
+                    spec.family == ScheduleFamily::kInterleaved,
+                "trainer lowering supports the 1f1b and interleaved "
+                "schedule families only");
+  DPIPE_REQUIRE(spec.vstages >= 1, "vstages must be positive");
+  DPIPE_REQUIRE(
+      spec.vstages == 1 || spec.family == ScheduleFamily::kInterleaved,
+      "vstages > 1 needs --schedule=interleaved");
+  const int V = spec.family == ScheduleFamily::kInterleaved ? spec.vstages : 1;
+  const int St = S * V;  ///< Total (virtual) stages over S devices.
+  DPIPE_REQUIRE(V == 1 || S >= 2,
+                "interleaved with vstages > 1 needs at least two devices");
+  DPIPE_REQUIRE(spec.num_modules >= St,
+                "more (virtual) stages than runtime modules");
   const int L = spec.num_modules;
   const int per_replica = spec.global_batch / G;
 
@@ -1156,24 +1192,29 @@ TrainerLowering lower_trainer_program(const TrainerLoweringSpec& spec) {
   const ProfileDb db(out.model, cost, default_batch_grid());
   const CommModel comm(cluster);
 
-  out.options.num_stages = S;
+  out.options.num_stages = St;
   out.options.num_microbatches = M;
   out.options.group_size = S;
   out.options.data_parallel_degree = G;
   out.options.microbatch_size =
       static_cast<double>(per_replica) / M;
 
-  // The trainer's historical stage split: module s*L/S .. (s+1)*L/S.
-  std::vector<StagePlan> stages(S);
-  for (int s = 0; s < S; ++s) {
-    stages[s].layer_begin = s * L / S;
-    stages[s].layer_end = (s + 1) * L / S;
+  // The trainer's historical stage split over the virtual-stage count:
+  // module s*L/St .. (s+1)*L/St on device s % S (round-robin; the identity
+  // placement when V == 1).
+  std::vector<StagePlan> stages(St);
+  for (int s = 0; s < St; ++s) {
+    stages[s].layer_begin = s * L / St;
+    stages[s].layer_end = (s + 1) * L / St;
     stages[s].replicas = 1;
-    stages[s].device_ranks = {s};
+    stages[s].device_ranks = {s % S};
   }
 
   const ScheduleBuilder builder(db, comm);
-  const Schedule schedule = builder.build_1f1b(0, stages, out.options);
+  const Schedule schedule =
+      spec.family == ScheduleFamily::kInterleaved
+          ? builder.build_interleaved(0, stages, out.options)
+          : builder.build_1f1b(0, stages, out.options);
 
   FillResult fill;
   if (spec.cross_iteration) {

@@ -46,12 +46,16 @@ using ExecutionLog = std::vector<std::vector<std::string>>;
 
 /// Binds a validated InstructionProgram onto the functional runtime: maps
 /// `Instruction.component`/`layer_begin..end` onto rt::Sequential module
-/// slices, devices onto stages, and frozen-forward placements onto integer
-/// row ranges of the replica's batch shard.
+/// slices, devices onto their owned (virtual) stages, and frozen-forward
+/// placements onto integer row ranges of the replica's batch shard.
 ///
 /// Requires ProgramValidator::validate_runtime_bindable to pass (single
-/// backbone, one replica per stage, FIFO micro order); throws
-/// std::invalid_argument carrying the report otherwise.
+/// backbone; every stage owned by exactly one device — a device may own
+/// several virtual stages under the round-robin interleaved placement;
+/// FIFO micro order per owned stage; per-boundary channel-FIFO pairing);
+/// throws std::invalid_argument carrying the report otherwise.
+/// num_stages() counts *virtual* stages: with V stages per device it is
+/// V * group_size.
 ///
 /// Planner layers need not be 1:1 with runtime modules: stage layer cuts
 /// are mapped proportionally onto module indices (monotone, at least one
@@ -81,11 +85,17 @@ class ProgramBinding {
   [[nodiscard]] int num_stages() const { return num_stages_; }
   [[nodiscard]] int num_micros() const { return num_micros_; }
   [[nodiscard]] int rows_per_replica() const { return rows_per_replica_; }
-  [[nodiscard]] int stage_of_device(int dev) const {
-    return stage_of_device_[dev];
+  /// The stages device `dev` owns, in slot (stream) order. Length 1 for
+  /// one-stage-per-device programs, V for interleaved ones.
+  [[nodiscard]] const std::vector<int>& stages_of_device(int dev) const {
+    return stages_of_device_[dev];
   }
   [[nodiscard]] int device_of_stage(int stage) const {
     return device_of_stage_[stage];
+  }
+  /// Index of `stage` within its owning device's ordered stage list.
+  [[nodiscard]] int slot_of_stage(int stage) const {
+    return slot_of_stage_[stage];
   }
   /// Module range [begin, end) of `stage` within the bound Sequential.
   [[nodiscard]] int module_begin(int stage) const {
@@ -122,8 +132,9 @@ class ProgramBinding {
   int num_stages_ = 0;
   int num_micros_ = 0;
   int rows_per_replica_ = 0;
-  std::vector<int> stage_of_device_;
+  std::vector<std::vector<int>> stages_of_device_;
   std::vector<int> device_of_stage_;
+  std::vector<int> slot_of_stage_;
   std::vector<int> module_cut_;  ///< Length num_stages + 1.
   std::vector<std::vector<FrozenSlot>> steady_frozen_;
   std::vector<std::vector<FrozenSlot>> preamble_frozen_;
@@ -139,7 +150,8 @@ class ProgramBinding {
 /// row slice of the *next* iteration's conditioning into the sink tensor.
 ///
 /// All data-parallel replicas execute the program concurrently
-/// (num_stages x replicas threads per wave). Determinism: every value is a
+/// (group_size x replicas threads per wave — one per device, each driving
+/// all of its owned virtual stages). Determinism: every value is a
 /// pure function of the inputs — thread interleaving cannot change results
 /// because tensors flow point-to-point, the gradient reduction runs in
 /// ascending replica order under a lock, and per-stage optimizer updates
@@ -210,12 +222,20 @@ struct TrainerLowering {
 };
 
 struct TrainerLoweringSpec {
-  int num_stages = 1;
+  int num_stages = 1;  ///< Pipeline devices (the pipeline-parallel degree).
   int num_microbatches = 1;
   int data_parallel_degree = 1;
   int global_batch = 1;
   bool cross_iteration = true;
-  int num_modules = 1;  ///< rt::Sequential size; must be >= num_stages.
+  int num_modules = 1;  ///< rt::Sequential size; must be >= num_stages
+                        ///< (>= num_stages * vstages when interleaved).
+  /// Schedule family. k1F1B is the historical trainer schedule;
+  /// kInterleaved places vstages virtual stages round-robin on each device
+  /// (vstages == 1 lowers to a program bit-identical to the k1F1B one).
+  /// Other families are not runtime-bindable (GPipe's LIFO backward order
+  /// breaks the FIFO autograd stashes).
+  ScheduleFamily family = ScheduleFamily::k1F1B;
+  int vstages = 1;  ///< Virtual stages per device (kInterleaved only).
 };
 
 [[nodiscard]] TrainerLowering lower_trainer_program(

@@ -61,6 +61,7 @@ void write_partition_opts(std::ostream& out, const PartitionOptions& opts) {
       << " fur=" << (opts.force_uniform_replicas ? 1 : 0)
       << " ccf=" << opts.comm_competition_factor
       << " sds=" << (opts.scalarize_dp_states ? 1 : 0)
+      << " stride=" << opts.dp_rank_stride
       << " ranks=" << opts.device_ranks.size();
   for (const int rank : opts.device_ranks) {
     out << ' ' << rank;
@@ -81,6 +82,7 @@ PartitionOptions read_partition_opts(std::istream& in) {
   opts.force_uniform_replicas = field(in, "fur=") != 0.0;
   opts.comm_competition_factor = field(in, "ccf=");
   opts.scalarize_dp_states = field(in, "sds=") != 0.0;
+  opts.dp_rank_stride = static_cast<int>(field(in, "stride="));
   const auto num_ranks = static_cast<std::size_t>(field(in, "ranks="));
   opts.device_ranks.resize(num_ranks);
   for (std::size_t i = 0; i < num_ranks; ++i) {
@@ -98,7 +100,8 @@ void write_plan_config(std::ostream& out, const PlanConfig& config) {
       << " dp=" << config.data_parallel_degree
       << " t=" << config.predicted_iteration_ms
       << " br=" << config.planned_bubble_ratio
-      << " mem=" << (config.memory_feasible ? 1 : 0) << '\n';
+      << " mem=" << (config.memory_feasible ? 1 : 0)
+      << " v=" << config.vstages << '\n';
 }
 
 PlanConfig read_plan_config(std::istream& in) {
@@ -111,6 +114,7 @@ PlanConfig read_plan_config(std::istream& in) {
   config.predicted_iteration_ms = field(in, "t=");
   config.planned_bubble_ratio = field(in, "br=");
   config.memory_feasible = field(in, "mem=") != 0.0;
+  config.vstages = static_cast<int>(field(in, "v="));
   return config;
 }
 

@@ -48,10 +48,13 @@ std::string canonical_request_text(const PlanRequest& request) {
       << " mem=" << (options.check_memory ? 1 : 0)
       << " one_replica=" << (options.one_replica_per_stage ? 1 : 0)
       << " int_micro=" << (options.integer_microbatches ? 1 : 0)
-      << " prune=" << (options.enable_pruning ? 1 : 0) << '\n';
+      << " prune=" << (options.enable_pruning ? 1 : 0)
+      << " bindable=" << (options.require_bindable_placement ? 1 : 0)
+      << " family=" << static_cast<int>(options.schedule_family) << '\n';
   write_candidates(out, "stage_candidates", options.stage_candidates);
   write_candidates(out, "micro_candidates", options.micro_candidates);
   write_candidates(out, "group_candidates", options.group_candidates);
+  write_candidates(out, "vstage_candidates", options.vstage_candidates);
   write_canonical(out, options.profiler);
   out << "end\n";
   return out.str();
@@ -82,9 +85,14 @@ PlanRequest parse_request_text(const std::string& text) {
   request.options.one_replica_per_stage = field("one_replica=") != 0.0;
   request.options.integer_microbatches = field("int_micro=") != 0.0;
   request.options.enable_pruning = field("prune=") != 0.0;
+  request.options.require_bindable_placement = field("bindable=") != 0.0;
+  request.options.schedule_family =
+      static_cast<ScheduleFamily>(static_cast<int>(field("family=")));
   request.options.stage_candidates = read_candidates(in, "stage_candidates");
   request.options.micro_candidates = read_candidates(in, "micro_candidates");
   request.options.group_candidates = read_candidates(in, "group_candidates");
+  request.options.vstage_candidates =
+      read_candidates(in, "vstage_candidates");
   request.options.profiler = read_canonical_profiler_options(in);
   require(static_cast<bool>(in >> keyword) && keyword == "end",
           "expected request terminator");

@@ -317,7 +317,9 @@ TEST(Interpreter, BindingMapsStagesOntoDisjointModuleRanges) {
     if (s > 0) {
       EXPECT_EQ(binding.module_begin(s), binding.module_end(s - 1));
     }
-    EXPECT_EQ(binding.stage_of_device(binding.device_of_stage(s)), s);
+    const std::vector<int>& owned =
+        binding.stages_of_device(binding.device_of_stage(s));
+    EXPECT_EQ(owned[binding.slot_of_stage(s)], s);
   }
   // Frozen preamble slots, across all devices of the group, tile the
   // replica's rows exactly once.

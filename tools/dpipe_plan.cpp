@@ -2,10 +2,15 @@
 // for a zoo model and writes the back-end instruction program.
 //
 //   dpipe_plan <model> <machines> <global_batch> [output.dpipe]
-//             [--connect <socket>]
+//             [--schedule <family>] [--vstages <N>] [--connect <socket>]
 //
 // Models: sd21, controlnet, cdm_lsun, cdm_imagenet, cdm_imagenet_full,
 //         sdxl, dit.
+//
+// --schedule picks the plannable family: 1f1b (default), interleaved
+// (virtual stages; pair with --vstages), or bidir (requires a two-backbone
+// cdm_* model). --vstages N widens the search grid with a V axis over
+// 1..N virtual stages per device.
 //
 // With --connect the request goes to a running dpipe_plan_serve instead of
 // planning locally: repeats are answered from the server's whole-plan cache.
@@ -63,9 +68,9 @@ int connect_to(const std::string& socket_path) {
 }
 
 void print_config(const dpipe::PlanConfig& config) {
-  std::printf("  S=%d M=%d D=%d dp=%d\n", config.num_stages,
+  std::printf("  S=%d M=%d D=%d dp=%d V=%d\n", config.num_stages,
               config.num_microbatches, config.group_size,
-              config.data_parallel_degree);
+              config.data_parallel_degree, config.vstages);
   std::printf("  predicted iteration %.1f ms, planned bubble %.1f%%\n",
               config.predicted_iteration_ms,
               100.0 * config.planned_bubble_ratio);
@@ -86,12 +91,18 @@ int write_program_text(const std::string& path, const std::string& text) {
 
 int main(int argc, char** argv) {
   std::string connect_path;
+  std::string schedule;
+  int vstages = 1;
   bool shutdown = false;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--connect" && i + 1 < argc) {
       connect_path = argv[++i];
+    } else if (arg == "--schedule" && i + 1 < argc) {
+      schedule = argv[++i];
+    } else if (arg == "--vstages" && i + 1 < argc) {
+      vstages = std::atoi(argv[++i]);
     } else if (arg == "--shutdown") {
       shutdown = true;
     } else {
@@ -114,10 +125,12 @@ int main(int argc, char** argv) {
   if (positional.size() < 3) {
     std::fprintf(stderr,
                  "usage: %s <model> <machines> <global_batch> "
-                 "[output.dpipe] [--connect <socket>]\n"
+                 "[output.dpipe] [--schedule <family>] [--vstages <N>] "
+                 "[--connect <socket>]\n"
                  "       %s --connect <socket> --shutdown\n"
                  "models: sd21 controlnet cdm_lsun cdm_imagenet "
-                 "cdm_imagenet_full sdxl dit\n",
+                 "cdm_imagenet_full sdxl dit\n"
+                 "schedules: 1f1b interleaved bidir\n",
                  argv[0], argv[0]);
     return 2;
   }
@@ -127,6 +140,44 @@ int main(int argc, char** argv) {
     const double batch = std::atof(positional[2].c_str());
     dpipe::PlannerOptions options;
     options.global_batch = batch;
+    if (!schedule.empty()) {
+      const dpipe::ScheduleFamily family =
+          dpipe::parse_schedule_family(schedule);
+      if (family == dpipe::ScheduleFamily::kGpipe) {
+        std::fprintf(stderr,
+                     "error: gpipe is a baseline, not a plannable family; "
+                     "lower one directly with dpipe_run --schedule=gpipe\n");
+        return 2;
+      }
+      if (family == dpipe::ScheduleFamily::kBidirectional) {
+        // The planner picks the bidirectional builder whenever the model
+        // has two backbone components; the flag just validates the intent.
+        if (model.backbone_ids.size() < 2) {
+          std::fprintf(stderr,
+                       "error: bidir needs a two-backbone model "
+                       "(cdm_lsun, cdm_imagenet, ...)\n");
+          return 2;
+        }
+      } else {
+        options.schedule_family = family;
+      }
+    }
+    if (vstages < 1) {
+      std::fprintf(stderr, "error: --vstages must be positive\n");
+      return 2;
+    }
+    if (vstages > 1) {
+      if (options.schedule_family != dpipe::ScheduleFamily::kInterleaved) {
+        std::fprintf(stderr,
+                     "error: --vstages > 1 requires "
+                     "--schedule interleaved\n");
+        return 2;
+      }
+      options.vstage_candidates.clear();
+      for (int v = 1; v <= vstages; ++v) {
+        options.vstage_candidates.push_back(v);
+      }
+    }
 
     if (!connect_path.empty()) {
       dpipe::PlanRequest request;

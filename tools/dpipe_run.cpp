@@ -18,6 +18,19 @@
 //
 //   dpipe_run [--backend=sim|real] [--elastic] <program.dpipe> <model>
 //             <machines> <group_batch> [data_parallel_degree] [iterations]
+//
+// With --schedule the tool lowers its own trainer program instead of
+// loading one: positionals become <stages> <micros> <group_batch>
+// [data_parallel_degree] [iterations] and the chosen schedule family is
+// built over the synthetic trainer model.
+//
+//   --schedule=1f1b|gpipe|interleaved   schedule family to lower
+//   --vstages=N                         virtual stages per device
+//                                       (interleaved only; default 1)
+//
+// 1f1b and interleaved run on both backends; gpipe is sim-only (its LIFO
+// backward order is not runtime-bindable) and bidirectional programs come
+// from dpipe_plan with a two-backbone cdm_* model.
 
 #include <cmath>
 #include <cstdio>
@@ -414,15 +427,119 @@ int run_elastic(const dpipe::InstructionProgram& program,
   return ok ? 0 : 1;
 }
 
+/// GPipe lowering over the synthetic trainer model — the sim-only sibling
+/// of rt::lower_trainer_program (GPipe's LIFO backward order is not
+/// runtime-bindable, so the library lowering rejects it).
+dpipe::rt::TrainerLowering lower_gpipe_program(int S, int M, int G,
+                                               int global_batch, int L) {
+  using namespace dpipe;
+  rt::TrainerLowering out;
+  out.model = rt::trainer_planner_model(L);
+  const ClusterSpec cluster = make_p4de_cluster((S * G + 7) / 8);
+  const AnalyticCostModel cost(cluster.device, NoiseSource(1, 0.0));
+  const ProfileDb db(out.model, cost, default_batch_grid());
+  const CommModel comm(cluster);
+  out.options.num_stages = S;
+  out.options.num_microbatches = M;
+  out.options.group_size = S;
+  out.options.data_parallel_degree = G;
+  out.options.microbatch_size =
+      static_cast<double>(global_batch / G) / M;
+  std::vector<StagePlan> stages(S);
+  for (int s = 0; s < S; ++s) {
+    stages[s].layer_begin = s * L / S;
+    stages[s].layer_end = (s + 1) * L / S;
+    stages[s].replicas = 1;
+    stages[s].device_ranks = {s};
+  }
+  const ScheduleBuilder builder(db, comm);
+  const Schedule schedule = builder.build_gpipe(0, stages, out.options);
+  FillResult fill;
+  fill.filled_schedule = schedule;
+  out.program = generate_instructions(db, schedule, fill, out.options);
+  return out;
+}
+
+/// --schedule mode: lower the requested family over the synthetic trainer
+/// model and replay it on the chosen backend.
+int run_lowered(const std::string& schedule, int vstages,
+                const std::string& backend, int S, int Mi, double gb, int dp,
+                int iterations) {
+  using namespace dpipe;
+  using namespace dpipe::rt;
+  const ScheduleFamily family = parse_schedule_family(schedule);
+  if (family == ScheduleFamily::kBidirectional) {
+    std::fprintf(stderr,
+                 "error: bidirectional schedules need a two-backbone model; "
+                 "plan one with dpipe_plan and a cdm_* model instead\n");
+    return 2;
+  }
+  if (S < 1 || Mi < 1 || dp < 1 || vstages < 1) {
+    std::fprintf(stderr, "error: stages, micros, dp and vstages must be "
+                         "positive\n");
+    return 2;
+  }
+  const int group_batch = static_cast<int>(std::llround(gb));
+  if (group_batch < Mi || group_batch % Mi != 0) {
+    std::fprintf(stderr,
+                 "error: group_batch must be a positive multiple of the "
+                 "micro-batch count\n");
+    return 2;
+  }
+  const int St = family == ScheduleFamily::kInterleaved ? S * vstages : S;
+  // 1:1 with the DdpmProblem geometry run_real builds (depth blocks =
+  // 2*depth+1 modules), so the binding's module map is the identity.
+  const int num_modules = 2 * std::max(4, St) + 1;
+
+  TrainerLowering lowering;
+  if (family == ScheduleFamily::kGpipe) {
+    lowering = lower_gpipe_program(S, Mi, dp, group_batch * dp, num_modules);
+  } else {
+    TrainerLoweringSpec spec;
+    spec.num_stages = S;
+    spec.num_microbatches = Mi;
+    spec.data_parallel_degree = dp;
+    spec.global_batch = group_batch * dp;
+    spec.cross_iteration = true;
+    spec.num_modules = num_modules;
+    spec.family = family;
+    spec.vstages = vstages;
+    lowering = lower_trainer_program(spec);
+  }
+  require_valid_program(lowering.program);
+
+  const ClusterSpec cluster = make_p4de_cluster((S * dp + 7) / 8);
+  const CommModel comm(cluster);
+  const ProfileDb db(lowering.model,
+                     AnalyticCostModel(cluster.device, NoiseSource(1, 0.0)),
+                     default_batch_grid());
+  std::string label = "<" + schedule;
+  if (family == ScheduleFamily::kInterleaved) {
+    label += " v" + std::to_string(vstages);
+  }
+  label += ">";
+  if (backend == "sim") {
+    return run_sim(lowering.program, db, comm, label.c_str(), gb, dp,
+                   iterations);
+  }
+  return run_real(lowering.program, db, comm, label.c_str(), dp, iterations);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string backend = "sim";
+  std::string schedule;
+  int vstages = 1;
   bool elastic = false;
   int arg = 1;
   while (arg < argc && std::strncmp(argv[arg], "--", 2) == 0) {
     if (std::strncmp(argv[arg], "--backend=", 10) == 0) {
       backend = argv[arg] + 10;
+    } else if (std::strncmp(argv[arg], "--schedule=", 11) == 0) {
+      schedule = argv[arg] + 11;
+    } else if (std::strncmp(argv[arg], "--vstages=", 10) == 0) {
+      vstages = std::atoi(argv[arg] + 10);
     } else if (std::strcmp(argv[arg], "--elastic") == 0) {
       elastic = true;
       backend = "real";  // Recovery runs on the functional runtime.
@@ -432,7 +549,30 @@ int main(int argc, char** argv) {
     }
     ++arg;
   }
-  if (argc - arg < 4 || (backend != "sim" && backend != "real")) {
+  if (backend != "sim" && backend != "real") {
+    std::fprintf(stderr, "unknown backend: %s\n", backend.c_str());
+    return 2;
+  }
+  if (!schedule.empty()) {
+    if (elastic || argc - arg < 3) {
+      std::fprintf(stderr,
+                   "usage: %s --schedule=1f1b|gpipe|interleaved "
+                   "[--vstages=N] [--backend=sim|real] <stages> <micros> "
+                   "<group_batch> [dp_degree] [iterations]\n",
+                   argv[0]);
+      return 2;
+    }
+    try {
+      return run_lowered(schedule, vstages, backend, std::atoi(argv[arg]),
+                         std::atoi(argv[arg + 1]), std::atof(argv[arg + 2]),
+                         argc - arg >= 4 ? std::atoi(argv[arg + 3]) : 1,
+                         argc - arg >= 5 ? std::atoi(argv[arg + 4]) : 4);
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "error: %s\n", error.what());
+      return 1;
+    }
+  }
+  if (argc - arg < 4) {
     std::fprintf(stderr,
                  "usage: %s [--backend=sim|real] [--elastic] "
                  "<program.dpipe> <model> <machines> <group_batch> "

@@ -32,7 +32,18 @@ cmake --build build-tsan -j"$(nproc)" --target dpipe_tests
 # interleavings for TSan to check — force the threaded path here.
 TSAN_OPTIONS="halt_on_error=1" DPIPE_WAVE_EXEC=threads \
   ./build-tsan/tests/dpipe_tests \
-  --gtest_filter='Channel.*:PipelineTrainer.*:Equivalence.*:Fault.*:ParallelFor.*:PlannerSearch.*:Kernels.*:TensorPool.*:Trajectory.*:RngSeed.*:SimdDispatch.*:SimdParity.*:FastMode.*:Interpreter.*:Parity.*:Elastic.*:Reshard.*:CheckpointIo.*:PlanFingerprint.*:StageCostStore.*:PlanCache.*:PlanStore.*:PlanService.*:PlanProtocol.*:Eltwise*'
+  --gtest_filter='Channel.*:PipelineTrainer.*:Equivalence.*:Fault.*:ParallelFor.*:PlannerSearch.*:Kernels.*:TensorPool.*:Trajectory.*:RngSeed.*:SimdDispatch.*:SimdParity.*:FastMode.*:Interpreter.*:Parity.*:Interleaved.*:Elastic.*:Reshard.*:CheckpointIo.*:PlanFingerprint.*:StageCostStore.*:PlanCache.*:PlanStore.*:PlanService.*:PlanProtocol.*:Eltwise*'
+
+echo "== tier-1: interleaved schedule smoke (both wave-executor modes) =="
+# The interleaved family exercises multi-virtual-stage device timelines on
+# the functional runtime; both wave executors must replay it with clean
+# cross-backend op-order parity.
+DPIPE_WAVE_EXEC=threads ./build/tools/dpipe_run --schedule=interleaved \
+  --vstages=2 --backend=real 2 4 8 1 2 | grep -q "parity: OK"
+DPIPE_WAVE_EXEC=serial ./build/tools/dpipe_run --schedule=interleaved \
+  --vstages=2 --backend=real 2 4 8 1 2 | grep -q "parity: OK"
+./build/tools/dpipe_run --schedule=interleaved --vstages=2 --backend=sim \
+  2 4 8 1 2 > /dev/null
 
 echo "== tier-1: plan-server request-storm smoke (socket, concurrent clients) =="
 # Three concurrent clients hammer one dpipe_plan_serve over a Unix socket:
